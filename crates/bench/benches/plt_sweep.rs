@@ -1,0 +1,137 @@
+//! Criterion benches over the page-load simulation itself: how fast
+//! the harness regenerates the paper's data points, and a perf guard
+//! for the engine.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use cachecatalyst_bench::runner::{base_url_of, first_visit_time, ClientKind};
+use cachecatalyst_browser::{Browser, SingleOrigin};
+use cachecatalyst_netsim::NetworkConditions;
+use cachecatalyst_origin::OriginServer;
+use cachecatalyst_webmodel::{Site, SiteSpec};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn mid_site() -> Site {
+    Site::generate(SiteSpec {
+        host: "bench.example".into(),
+        seed: 1234,
+        n_resources: 70,
+        js_discovered_fraction: 0.1,
+        ..Default::default()
+    })
+}
+
+fn bench_page_loads(c: &mut Criterion) {
+    let site = mid_site();
+    let cond = NetworkConditions::five_g_median();
+    let base = base_url_of(&site);
+    let t0 = first_visit_time(&site);
+
+    let mut group = c.benchmark_group("page_load");
+    for kind in [ClientKind::Baseline, ClientKind::Catalyst] {
+        let origin = Arc::new(OriginServer::new(site.clone(), kind.header_mode()));
+        let upstream = SingleOrigin(Arc::clone(&origin));
+        // Pre-warm one browser for the warm-visit bench.
+        let mut warm_template: Browser = kind.browser();
+        warm_template.load(&upstream, cond, &base, t0);
+
+        group.bench_function(BenchmarkId::new("cold", format!("{kind:?}")), |b| {
+            b.iter(|| {
+                let mut browser = kind.browser();
+                browser.load(&upstream, cond, &base, t0).plt
+            })
+        });
+        group.bench_function(BenchmarkId::new("warm_1h", format!("{kind:?}")), |b| {
+            b.iter(|| {
+                let mut browser = warm_template.clone();
+                browser.load(&upstream, cond, &base, t0 + 3600).plt
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_figure3_cell(c: &mut Criterion) {
+    // One full Figure-3 data point (both policies, one condition, one
+    // delay, one site): the unit of work the fig3 binary repeats
+    // sites × conditions × delays times.
+    let site = mid_site();
+    let base = base_url_of(&site);
+    let t0 = first_visit_time(&site);
+    let cond = NetworkConditions::five_g_median();
+
+    c.bench_function("figure3_single_cell", |b| {
+        b.iter(|| {
+            let mut improvement = 0.0;
+            let mut plts = [0.0f64; 2];
+            for (i, kind) in [ClientKind::Baseline, ClientKind::Catalyst]
+                .into_iter()
+                .enumerate()
+            {
+                let origin =
+                    Arc::new(OriginServer::new(site.clone(), kind.header_mode()));
+                let upstream = SingleOrigin(origin);
+                let mut browser = kind.browser();
+                browser.load(&upstream, cond, &base, t0);
+                plts[i] = browser.load(&upstream, cond, &base, t0 + 3600).plt_ms();
+            }
+            improvement += (plts[0] - plts[1]) / plts[0];
+            improvement
+        })
+    });
+}
+
+fn bench_site_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("site_generation");
+    for n in [25usize, 70, 200] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                Site::generate(SiteSpec {
+                    host: "gen.example".into(),
+                    seed: 5,
+                    n_resources: n,
+                    ..Default::default()
+                })
+                .len()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_network_conditions_sensitivity(c: &mut Criterion) {
+    // The simulator cost should be independent of simulated bandwidth
+    // (event count, not simulated seconds, drives runtime).
+    let site = mid_site();
+    let base = base_url_of(&site);
+    let t0 = first_visit_time(&site);
+    let origin = Arc::new(OriginServer::new(
+        site.clone(),
+        ClientKind::Baseline.header_mode(),
+    ));
+    let upstream = SingleOrigin(origin);
+
+    let mut group = c.benchmark_group("cold_load_by_condition");
+    for (label, cond) in [
+        ("8Mbps_120ms", NetworkConditions::new(Duration::from_millis(120), 8_000_000)),
+        ("60Mbps_10ms", NetworkConditions::new(Duration::from_millis(10), 60_000_000)),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut browser = Browser::baseline();
+                browser.load(&upstream, cond, &base, t0).plt
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_page_loads,
+    bench_figure3_cell,
+    bench_site_generation,
+    bench_network_conditions_sensitivity
+);
+criterion_main!(benches);

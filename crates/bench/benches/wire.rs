@@ -1,0 +1,118 @@
+//! Criterion benches for the protocol substrates: HTTP/1.1 codec,
+//! chunked coding, the X-Etag-Config codec (experiment E6's hot path)
+//! and markup extraction.
+
+use cachecatalyst_catalyst::EtagConfig;
+use cachecatalyst_httpwire::codec::{
+    encode_request, encode_response, parse_request, parse_response, ParseLimits,
+};
+use cachecatalyst_httpwire::{chunked, EntityTag, Method, Request, Response};
+use cachecatalyst_webmodel::{extract_css_links, extract_html_links, Site, SiteSpec};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_http_codec(c: &mut Criterion) {
+    let req = Request::get("/assets/app-bundle.js?v=3")
+        .with_header("host", "site.example")
+        .with_header("user-agent", "cachecatalyst-browser/0.1")
+        .with_header("accept", "*/*")
+        .with_header("if-none-match", "\"0123456789abcdef\"");
+    let req_wire = encode_request(&req);
+
+    let resp = Response::ok(vec![0u8; 16 * 1024])
+        .with_header("content-type", "application/javascript")
+        .with_header("etag", "\"0123456789abcdef\"")
+        .with_header("cache-control", "no-cache")
+        .with_header("date", "Mon, 06 Jul 2026 00:00:00 GMT");
+    let resp_wire = encode_response(&resp);
+
+    let limits = ParseLimits::default();
+    let mut group = c.benchmark_group("http_codec");
+    group.throughput(Throughput::Bytes(req_wire.len() as u64));
+    group.bench_function("parse_request", |b| {
+        b.iter(|| parse_request(&req_wire, &limits).unwrap())
+    });
+    group.throughput(Throughput::Bytes(resp_wire.len() as u64));
+    group.bench_function("parse_response_16k", |b| {
+        b.iter(|| parse_response(&resp_wire, &Method::Get, &limits).unwrap())
+    });
+    group.bench_function("encode_response_16k", |b| b.iter(|| encode_response(&resp)));
+    group.finish();
+}
+
+fn bench_chunked(c: &mut Criterion) {
+    let body = vec![7u8; 64 * 1024];
+    let encoded = chunked::encode(&body, 4096);
+    let mut group = c.benchmark_group("chunked");
+    group.throughput(Throughput::Bytes(body.len() as u64));
+    group.bench_function("encode_64k", |b| b.iter(|| chunked::encode(&body, 4096)));
+    group.bench_function("decode_64k", |b| {
+        b.iter(|| chunked::decode(&encoded, 1 << 20).unwrap().unwrap())
+    });
+    group.finish();
+}
+
+fn bench_etag_config(c: &mut Criterion) {
+    let mut group = c.benchmark_group("etag_config");
+    for n in [25usize, 100, 400] {
+        let mut config = EtagConfig::new();
+        for i in 0..n {
+            config.insert(
+                &format!("/assets/resource-{i:04}.js"),
+                EntityTag::strong(format!("{i:016x}")).unwrap(),
+            );
+        }
+        let value = config.to_header_value();
+        group.bench_with_input(BenchmarkId::new("serialize", n), &config, |b, cfg| {
+            b.iter(|| cfg.to_header_values(6144))
+        });
+        group.bench_with_input(BenchmarkId::new("parse", n), &value, |b, v| {
+            b.iter(|| EtagConfig::parse(v).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_extraction(c: &mut Criterion) {
+    let site = Site::generate(SiteSpec {
+        host: "extract.example".into(),
+        seed: 99,
+        n_resources: 100,
+        ..Default::default()
+    });
+    let html = String::from_utf8(site.body_at("/index.html", 0).unwrap().to_vec()).unwrap();
+    let css_path = site
+        .resources()
+        .find(|r| r.spec.kind == cachecatalyst_webmodel::ResourceKind::Css)
+        .map(|r| r.spec.path.clone());
+
+    let mut group = c.benchmark_group("extraction");
+    group.throughput(Throughput::Bytes(html.len() as u64));
+    group.bench_function("html_links", |b| b.iter(|| extract_html_links(&html).len()));
+    if let Some(path) = css_path {
+        let css = String::from_utf8(site.body_at(&path, 0).unwrap().to_vec()).unwrap();
+        group.throughput(Throughput::Bytes(css.len() as u64));
+        group.bench_function("css_links", |b| b.iter(|| extract_css_links(&css).len()));
+    }
+    group.bench_function("build_config_100_resources", |b| {
+        b.iter(|| {
+            cachecatalyst_catalyst::build_config_for_site(
+                &site,
+                "/index.html",
+                0,
+                &cachecatalyst_catalyst::ExtractOptions::default(),
+            )
+            .0
+            .len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_http_codec,
+    bench_chunked,
+    bench_etag_config,
+    bench_extraction
+);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! E19 — cache busting: the modern practice the paper doesn't discuss.
+//!
+//! Build pipelines fingerprint their CSS/JS (`app.abc123.js`,
+//! `max-age=1y, immutable`): the URL changes with the content, so
+//! those assets never need revalidation *or* a TTL guess. How much of
+//! CacheCatalyst's benefit survives on sites that already do this?
+//!
+//! Sweep: the fraction of CSS/JS served fingerprinted, measuring the
+//! catalyst gain over the baseline (both sides get the fingerprinting;
+//! churning content so path changes actually happen).
+
+use std::sync::Arc;
+
+use cachecatalyst_bench::runner::{base_url_of, first_visit_time, ClientKind, REVISIT_DELAYS};
+use cachecatalyst_bench::table::render_table;
+use cachecatalyst_browser::{Browser, SingleOrigin};
+use cachecatalyst_netsim::NetworkConditions;
+use cachecatalyst_origin::OriginServer;
+use cachecatalyst_webmodel::{Site, SiteSpec};
+
+fn main() {
+    let cond = NetworkConditions::five_g_median();
+    let n_seeds = 8u64;
+
+    println!(
+        "== E19: cache-busting (fingerprinted assets) vs CacheCatalyst ({}, churning) ==\n",
+        cond.label()
+    );
+
+    let mut rows = Vec::new();
+    for fp_frac in [0.0, 0.5, 1.0] {
+        let mut plt = [0.0f64; 2];
+        let mut reqs = [0.0f64; 2];
+        let mut samples = 0usize;
+        for seed in 0..n_seeds {
+            let site = Site::generate(SiteSpec {
+                host: format!("fp{}-{seed}.example", (fp_frac * 100.0) as u32),
+                seed: 8800 + seed,
+                n_resources: 60,
+                js_discovered_fraction: 0.05,
+                fingerprinted_fraction: fp_frac,
+                ..Default::default()
+            });
+            let base = base_url_of(&site);
+            let t0 = first_visit_time(&site);
+            for (i, kind) in [ClientKind::Baseline, ClientKind::Catalyst]
+                .into_iter()
+                .enumerate()
+            {
+                let origin = Arc::new(OriginServer::new(site.clone(), kind.header_mode()));
+                let upstream = SingleOrigin(origin);
+                let mut cold: Browser = kind.browser();
+                cold.load(&upstream, cond, &base, t0);
+                for delay in REVISIT_DELAYS {
+                    let mut b = cold.clone();
+                    let warm = b.load(
+                        &upstream,
+                        cond,
+                        &base,
+                        t0 + delay.as_secs() as i64,
+                    );
+                    plt[i] += warm.plt_ms();
+                    reqs[i] += warm.network_requests() as f64;
+                    if i == 0 {
+                        samples += 1;
+                    }
+                }
+            }
+        }
+        let n = samples as f64;
+        rows.push(vec![
+            format!("{:.0}% of CSS/JS", fp_frac * 100.0),
+            format!("{:.0}", plt[0] / n),
+            format!("{:.1}", reqs[0] / n),
+            format!("{:.0}", plt[1] / n),
+            format!("{:.1}", reqs[1] / n),
+            format!("{:.1}%", (plt[0] - plt[1]) / plt[0] * 100.0),
+        ]);
+    }
+
+    println!(
+        "{}",
+        render_table(
+            &[
+                "fingerprinted".to_owned(),
+                "base PLT ms".to_owned(),
+                "base reqs".to_owned(),
+                "cat PLT ms".to_owned(),
+                "cat reqs".to_owned(),
+                "catalyst gain".to_owned(),
+            ],
+            &rows
+        )
+    );
+    println!("Fingerprinting already removes revalidations for build-pipeline");
+    println!("assets, shrinking what CacheCatalyst can add there — but HTML,");
+    println!("images and API data cannot be fingerprinted (their URLs are the");
+    println!("identity users navigate to), so a meaningful share of the gain");
+    println!("survives even at 100% fingerprinted CSS/JS.");
+}

@@ -1,0 +1,121 @@
+//! E4 — redundant transfers (§1, §2.2): bytes that cross the network
+//! on a revisit even though the content is unchanged on the client.
+//!
+//! Policies compared per warm visit, against an oracle that transfers
+//! only genuinely changed bytes:
+//!  * status quo (developer headers + browser cache);
+//!  * no-store everything (the pathological lower bound);
+//!  * CacheCatalyst;
+//!  * CacheCatalyst + session capture.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use cachecatalyst_bench::runner::{base_url_of, first_visit_time, ClientKind, REVISIT_DELAYS};
+use cachecatalyst_bench::table::render_table;
+use cachecatalyst_browser::{Browser, SingleOrigin};
+use cachecatalyst_netsim::NetworkConditions;
+use cachecatalyst_origin::{HeaderMode, OriginServer};
+use cachecatalyst_webmodel::{generate_corpus, CorpusSpec, Site};
+
+fn main() {
+    let n_sites: usize = std::env::args()
+        .skip_while(|a| a != "--sites")
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(50);
+    let sites = generate_corpus(&CorpusSpec {
+        n_sites,
+        ..Default::default()
+    });
+    let cond = NetworkConditions::five_g_median();
+
+    let policies: Vec<(&str, ClientKind, HeaderMode)> = vec![
+        ("status quo", ClientKind::Baseline, HeaderMode::Baseline),
+        ("no-store all", ClientKind::Uncached, HeaderMode::NoStore),
+        ("catalyst", ClientKind::Catalyst, HeaderMode::Catalyst),
+        (
+            "catalyst+capture",
+            ClientKind::CatalystCapture,
+            HeaderMode::CatalystWithCapture,
+        ),
+    ];
+
+    println!(
+        "== E4: redundant transfer bytes per warm visit ({n_sites} sites × {} delays, {}) ==\n",
+        REVISIT_DELAYS.len(),
+        cond.label()
+    );
+
+    let mut rows = Vec::new();
+    let oracle = oracle_bytes(&sites, &REVISIT_DELAYS);
+    for (name, kind, mode) in policies {
+        let mut down = 0u64;
+        let mut requests = 0usize;
+        let mut samples = 0usize;
+        for site in &sites {
+            let origin = Arc::new(OriginServer::new(site.clone(), mode));
+            let upstream = SingleOrigin(origin);
+            let base = base_url_of(site);
+            let t0 = first_visit_time(site);
+            let mut cold: Browser = kind.browser();
+            cold.load(&upstream, cond, &base, t0);
+            for delay in REVISIT_DELAYS {
+                let mut b = cold.clone();
+                let warm = b.load(&upstream, cond, &base, t0 + delay.as_secs() as i64);
+                down += warm.bytes_down;
+                requests += warm.network_requests();
+                samples += 1;
+            }
+        }
+        let mean_down = down as f64 / samples as f64;
+        let mean_kb = mean_down / 1000.0;
+        let redundant = (mean_down - oracle) / mean_down * 100.0;
+        rows.push(vec![
+            name.to_owned(),
+            format!("{mean_kb:.0} KB"),
+            format!("{:.1}", requests as f64 / samples as f64),
+            format!("{:.0}%", redundant.max(0.0)),
+        ]);
+    }
+    rows.push(vec![
+        "oracle (changed bytes only)".to_owned(),
+        format!("{:.0} KB", oracle / 1000.0),
+        "-".to_owned(),
+        "0%".to_owned(),
+    ]);
+
+    println!(
+        "{}",
+        render_table(
+            &[
+                "policy".to_owned(),
+                "mean bytes down / visit".to_owned(),
+                "mean requests".to_owned(),
+                "redundant share".to_owned(),
+            ],
+            &rows
+        )
+    );
+}
+
+/// Mean bytes per warm visit an oracle would transfer: exactly the
+/// resources whose content changed between the visits (plus the base
+/// document, which is always fetched when changed).
+fn oracle_bytes(sites: &[Site], delays: &[Duration]) -> f64 {
+    let mut total = 0u64;
+    let mut samples = 0usize;
+    for site in sites {
+        let t0 = first_visit_time(site);
+        for delay in delays {
+            let t1 = t0 + delay.as_secs() as i64;
+            for r in site.resources() {
+                if site.version_at(&r.spec.path, t0) != site.version_at(&r.spec.path, t1) {
+                    total += r.spec.size;
+                }
+            }
+            samples += 1;
+        }
+    }
+    total as f64 / samples as f64
+}

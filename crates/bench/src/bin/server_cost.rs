@@ -1,0 +1,96 @@
+//! E17 — server-side cost (paper §6: "The effect of this approach on
+//! the performance of web servers should also be analyzed").
+//!
+//! Measures real CPU time per request of the origin handler in each
+//! mode: the extra work catalyst adds is DOM traversal + map
+//! construction on HTML responses, amortized by the config cache.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use cachecatalyst_bench::table::render_table;
+use cachecatalyst_httpwire::Request;
+use cachecatalyst_origin::{HeaderMode, OriginServer};
+use cachecatalyst_webmodel::{Site, SiteSpec};
+
+fn measure(origin: &OriginServer, req: &Request, t: i64, iters: u32) -> f64 {
+    // Warm up (fills the config cache where applicable).
+    for _ in 0..8 {
+        let _ = origin.handle(req, t);
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(origin.handle(req, t));
+    }
+    start.elapsed().as_secs_f64() * 1e6 / iters as f64
+}
+
+fn main() {
+    println!("== E17: origin handler cost (µs per request, host CPU) ==\n");
+    let mut rows = Vec::new();
+    for n_resources in [25usize, 70, 200] {
+        let site = Site::generate(SiteSpec {
+            host: format!("cost{n_resources}.example"),
+            seed: 60 + n_resources as u64,
+            n_resources,
+            js_discovered_fraction: 0.0,
+            ..Default::default()
+        });
+        let nav = Request::get("/index.html");
+        let sub = {
+            let path = site
+                .resources()
+                .find(|r| r.spec.path != "/index.html")
+                .unwrap()
+                .spec
+                .path
+                .clone();
+            Request::get(&path)
+        };
+        let etag = site.etag_at("/index.html", 0).unwrap().to_string();
+        let cond_nav = Request::get("/index.html").with_header("if-none-match", &etag);
+
+        let baseline = Arc::new(OriginServer::new(site.clone(), HeaderMode::Baseline));
+        let catalyst = Arc::new(OriginServer::new(site.clone(), HeaderMode::Catalyst));
+
+        // Cold map build cost (uncached, fresh origin per probe).
+        let cold_build = {
+            let fresh = OriginServer::new(site.clone(), HeaderMode::Catalyst);
+            let start = Instant::now();
+            std::hint::black_box(fresh.handle(&nav, 0));
+            start.elapsed().as_secs_f64() * 1e6
+        };
+
+        rows.push(vec![
+            format!("{n_resources}"),
+            format!("{:.0}", measure(&baseline, &nav, 0, 2_000)),
+            format!("{:.0}", measure(&catalyst, &nav, 0, 2_000)),
+            format!("{:.0}", cold_build),
+            format!("{:.0}", measure(&catalyst, &cond_nav, 0, 5_000)),
+            format!("{:.1}", measure(&baseline, &sub, 0, 10_000)),
+            format!("{:.1}", measure(&catalyst, &sub, 0, 10_000)),
+        ]);
+    }
+
+    println!(
+        "{}",
+        render_table(
+            &[
+                "resources".to_owned(),
+                "nav base µs".to_owned(),
+                "nav cat µs".to_owned(),
+                "first map build µs".to_owned(),
+                "nav 304 cat µs".to_owned(),
+                "subres base µs".to_owned(),
+                "subres cat µs".to_owned(),
+            ],
+            &rows
+        )
+    );
+    println!("The first map build (DOM + CSS walk) is the dominant cost and is");
+    println!("amortized by the per-(page, time) config cache. Steady-state");
+    println!("navigations still pay 2–4× the baseline (cloning + serializing the");
+    println!("map into headers) but stay well under a millisecond; subresource");
+    println!("serving is unchanged. (Subresource columns include body synthesis,");
+    println!("which depends on the sampled resource's size.)");
+}

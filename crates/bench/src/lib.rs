@@ -1,0 +1,14 @@
+//! # cachecatalyst-bench
+//!
+//! The experiment harness: shared runners that drive the page-load
+//! engine over the evaluation corpus, plus plain-text table/series
+//! rendering. Each figure/table of the paper has a binary in
+//! `src/bin/` that regenerates it (see DESIGN.md §4 for the index).
+
+pub mod runner;
+pub mod table;
+
+pub use runner::{
+    visit_pair, ClientKind, ExperimentGrid, GridCell, VisitPair, REVISIT_DELAYS,
+};
+pub use table::{render_series, render_table};

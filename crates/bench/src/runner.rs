@@ -1,0 +1,318 @@
+//! Shared experiment runners.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use cachecatalyst_browser::{Browser, EngineConfig, FrozenUpstream, LoadReport, SingleOrigin, Upstream};
+use cachecatalyst_httpwire::Url;
+use cachecatalyst_netsim::NetworkConditions;
+use cachecatalyst_origin::{HeaderMode, OriginServer};
+use cachecatalyst_webmodel::stats::derive_seed;
+use cachecatalyst_webmodel::Site;
+
+/// The revisit delays of the paper's evaluation (§4): one minute, one
+/// hour, six hours, one day, one week.
+pub const REVISIT_DELAYS: [Duration; 5] = [
+    Duration::from_secs(60),
+    Duration::from_secs(3600),
+    Duration::from_secs(6 * 3600),
+    Duration::from_secs(24 * 3600),
+    Duration::from_secs(7 * 24 * 3600),
+];
+
+/// Which client configuration to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClientKind {
+    /// Classic HTTP cache against developer headers.
+    Baseline,
+    /// CacheCatalyst service worker.
+    Catalyst,
+    /// CacheCatalyst + session capture (the future-work mode).
+    CatalystCapture,
+    /// CacheCatalyst + aggregate (popularity) capture — our
+    /// memory-bounded answer to §6's footprint problem.
+    CatalystAggregate,
+    /// No reuse at all.
+    Uncached,
+}
+
+impl ClientKind {
+    /// The origin header mode this client is evaluated against.
+    pub fn header_mode(self) -> HeaderMode {
+        match self {
+            ClientKind::Baseline | ClientKind::Uncached => HeaderMode::Baseline,
+            ClientKind::Catalyst => HeaderMode::Catalyst,
+            ClientKind::CatalystCapture => HeaderMode::CatalystWithCapture,
+            ClientKind::CatalystAggregate => HeaderMode::CatalystAggregate,
+        }
+    }
+
+    /// Builds the matching browser.
+    pub fn browser(self) -> Browser {
+        match self {
+            ClientKind::Baseline => Browser::baseline(),
+            ClientKind::Catalyst => Browser::catalyst(),
+            ClientKind::CatalystCapture => Browser::new(EngineConfig {
+                use_http_cache: false,
+                use_service_worker: true,
+                session: Some("bench-session".to_owned()),
+                ..Default::default()
+            }),
+            ClientKind::CatalystAggregate => Browser::catalyst(),
+            ClientKind::Uncached => Browser::uncached(),
+        }
+    }
+}
+
+/// A cold visit and a warm revisit of the same site.
+#[derive(Debug, Clone)]
+pub struct VisitPair {
+    pub cold: LoadReport,
+    pub warm: LoadReport,
+}
+
+/// The base URL of a site's home page.
+pub fn base_url_of(site: &Site) -> Url {
+    Url::parse(&format!("http://{}{}", site.spec.host, site.base_path()))
+        .expect("generated hosts parse")
+}
+
+/// A per-site first-visit time: spread deterministically across a
+/// month so change-period phases are sampled fairly.
+pub fn first_visit_time(site: &Site) -> i64 {
+    let spread = derive_seed(site.spec.seed, "t0") % (30 * 86_400);
+    (30 * 86_400 + spread) as i64
+}
+
+/// Runs a cold visit at the site's first-visit time and a warm revisit
+/// `delay` later.
+pub fn visit_pair(
+    site: &Site,
+    kind: ClientKind,
+    cond: NetworkConditions,
+    delay: Duration,
+) -> VisitPair {
+    let origin = Arc::new(OriginServer::new(site.clone(), kind.header_mode()));
+    let upstream = SingleOrigin(origin);
+    visit_pair_with(&upstream, site, kind.browser(), cond, delay)
+}
+
+/// Like [`visit_pair`] but against an arbitrary upstream (proxies).
+pub fn visit_pair_with(
+    upstream: &dyn Upstream,
+    site: &Site,
+    mut browser: Browser,
+    cond: NetworkConditions,
+    delay: Duration,
+) -> VisitPair {
+    let base = base_url_of(site);
+    let t0 = first_visit_time(site);
+    let cold = browser.load(upstream, cond, &base, t0);
+    let warm = browser.load(upstream, cond, &base, t0 + delay.as_secs() as i64);
+    VisitPair { cold, warm }
+}
+
+/// One cell of the Figure-3 grid: the mean warm-visit PLT of two
+/// client kinds over `sites × delays`, and the derived improvement.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GridCell {
+    pub baseline_plt_ms: f64,
+    pub treatment_plt_ms: f64,
+    pub samples: usize,
+}
+
+impl GridCell {
+    /// Percent reduction in PLT of treatment vs baseline.
+    pub fn improvement_percent(&self) -> f64 {
+        if self.baseline_plt_ms <= 0.0 {
+            return 0.0;
+        }
+        (self.baseline_plt_ms - self.treatment_plt_ms) / self.baseline_plt_ms * 100.0
+    }
+}
+
+/// A full throughput × latency sweep for a (baseline, treatment) pair.
+pub struct ExperimentGrid {
+    pub throughputs: Vec<u64>,
+    pub latencies: Vec<Duration>,
+    /// Row-major: `cells[throughput_idx][latency_idx]`.
+    pub cells: Vec<Vec<GridCell>>,
+}
+
+/// Whether the content on the server evolves between the first visit
+/// and the reload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ContentModel {
+    /// The paper's methodology: the cloned pages never change; only
+    /// the client's clock advances (TTLs expire, validators match).
+    Frozen,
+    /// The extension: resources churn per the workload's change model,
+    /// so some revalidations genuinely fail.
+    Churning,
+}
+
+impl ExperimentGrid {
+    /// Sweeps the grid. For each site the cold load is done once per
+    /// condition and the browser state is cloned per revisit delay —
+    /// matching the paper's "reload after Δ" methodology.
+    pub fn run(
+        sites: &[Site],
+        baseline: ClientKind,
+        treatment: ClientKind,
+        throughputs: &[u64],
+        latencies: &[Duration],
+        delays: &[Duration],
+    ) -> ExperimentGrid {
+        Self::run_with_content(
+            sites,
+            baseline,
+            treatment,
+            throughputs,
+            latencies,
+            delays,
+            ContentModel::Frozen,
+        )
+    }
+
+    /// [`ExperimentGrid::run`] with an explicit content model.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_with_content(
+        sites: &[Site],
+        baseline: ClientKind,
+        treatment: ClientKind,
+        throughputs: &[u64],
+        latencies: &[Duration],
+        delays: &[Duration],
+        content: ContentModel,
+    ) -> ExperimentGrid {
+        let mut cells =
+            vec![vec![GridCell::default(); latencies.len()]; throughputs.len()];
+        for site in sites {
+            let base = base_url_of(site);
+            let t0 = first_visit_time(site);
+            for (kind_idx, kind) in [baseline, treatment].into_iter().enumerate() {
+                let origin =
+                    Arc::new(OriginServer::new(site.clone(), kind.header_mode()));
+                let upstream: Box<dyn Upstream> = match content {
+                    ContentModel::Frozen => {
+                        Box::new(FrozenUpstream::new(SingleOrigin(origin), t0))
+                    }
+                    ContentModel::Churning => Box::new(SingleOrigin(origin)),
+                };
+                let upstream = upstream.as_ref();
+                for (ti, &bps) in throughputs.iter().enumerate() {
+                    for (li, &rtt) in latencies.iter().enumerate() {
+                        let cond = NetworkConditions::new(rtt, bps);
+                        let mut cold_browser = kind.browser();
+                        cold_browser.load(upstream, cond, &base, t0);
+                        for &delay in delays {
+                            let mut b = cold_browser.clone();
+                            let warm = b.load(
+                                upstream,
+                                cond,
+                                &base,
+                                t0 + delay.as_secs() as i64,
+                            );
+                            let cell = &mut cells[ti][li];
+                            if kind_idx == 0 {
+                                cell.baseline_plt_ms += warm.plt_ms();
+                                cell.samples += 1;
+                            } else {
+                                cell.treatment_plt_ms += warm.plt_ms();
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        for row in &mut cells {
+            for cell in row {
+                if cell.samples > 0 {
+                    cell.baseline_plt_ms /= cell.samples as f64;
+                    cell.treatment_plt_ms /= cell.samples as f64;
+                }
+            }
+        }
+        ExperimentGrid {
+            throughputs: throughputs.to_vec(),
+            latencies: latencies.to_vec(),
+            cells,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cachecatalyst_webmodel::{CorpusSpec, SiteSpec};
+
+    fn tiny_corpus() -> Vec<Site> {
+        cachecatalyst_webmodel::generate_corpus(&CorpusSpec {
+            n_sites: 3,
+            resources_median: 25.0,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn visit_pair_warm_is_faster() {
+        let site = Site::generate(SiteSpec {
+            n_resources: 30,
+            ..Default::default()
+        });
+        let pair = visit_pair(
+            &site,
+            ClientKind::Baseline,
+            NetworkConditions::five_g_median(),
+            Duration::from_secs(60),
+        );
+        assert!(pair.warm.plt < pair.cold.plt);
+        assert!(pair.warm.cache_hits > 0);
+    }
+
+    #[test]
+    fn catalyst_improves_over_baseline_on_corpus() {
+        let sites = tiny_corpus();
+        let grid = ExperimentGrid::run(
+            &sites,
+            ClientKind::Baseline,
+            ClientKind::Catalyst,
+            &[60_000_000],
+            &[Duration::from_millis(40)],
+            &[Duration::from_secs(3600)],
+        );
+        let cell = grid.cells[0][0];
+        assert!(cell.samples == 3);
+        assert!(
+            cell.improvement_percent() > 5.0,
+            "improvement {}% (baseline {} ms, catalyst {} ms)",
+            cell.improvement_percent(),
+            cell.baseline_plt_ms,
+            cell.treatment_plt_ms
+        );
+    }
+
+    #[test]
+    fn improvement_grows_with_latency() {
+        let sites = tiny_corpus();
+        let grid = ExperimentGrid::run(
+            &sites,
+            ClientKind::Baseline,
+            ClientKind::Catalyst,
+            &[60_000_000],
+            &[Duration::from_millis(10), Duration::from_millis(120)],
+            &[Duration::from_secs(3600)],
+        );
+        let low = grid.cells[0][0].improvement_percent();
+        let high = grid.cells[0][1].improvement_percent();
+        assert!(high > low, "low-lat {low}% vs high-lat {high}%");
+    }
+
+    #[test]
+    fn first_visit_times_are_spread() {
+        let sites = tiny_corpus();
+        let t: Vec<i64> = sites.iter().map(first_visit_time).collect();
+        assert_ne!(t[0], t[1]);
+        assert!(t.iter().all(|&x| x >= 30 * 86_400));
+    }
+}

@@ -1,0 +1,1060 @@
+//! The discrete-event page-load engine.
+//!
+//! Reproduces the browser behaviour that determines PLT: per-origin
+//! connection pools with handshakes and keep-alive, parse-driven
+//! dependency discovery (HTML → CSS/JS → images/fonts, JS-executed
+//! fetches), and the three serving paths — network, the classic HTTP
+//! cache, and the CacheCatalyst service worker. All transfers share
+//! the access link's fluid capacity, so parallel fetches slow each
+//! other down exactly as under browser throttling.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::time::Duration;
+
+use cachecatalyst_catalyst::{ServiceWorker, SwDecision};
+use cachecatalyst_httpcache::{HttpCache, Lookup};
+use cachecatalyst_httpwire::codec::encode_request;
+use cachecatalyst_httpwire::{
+    HeaderName, Request, Response, StatusCode, Url,
+};
+use cachecatalyst_netsim::{
+    FetchOutcome, FetchTrace, LinkId, LoadTrace, NetEvent, Network, NetworkConditions, SimTime,
+};
+use cachecatalyst_webmodel::extract::{extract_css_links, extract_html_links};
+use cachecatalyst_webmodel::ResourceKind;
+
+use crate::upstream::Upstream;
+
+/// Extension headers used by the proxy comparators (`cachecatalyst-
+/// proxies`). They model out-of-band channels real deployments have
+/// (HTTP/2 PUSH_PROMISE frames, RDR bundle manifests) inside our
+/// HTTP/1.1 wire format.
+pub mod ext {
+    /// Comma-separated paths the server pushed after this response.
+    pub const X_PUSHED: &str = "x-cc-pushed";
+    /// Comma-separated paths whose bodies are embedded in this
+    /// response (an RDR bundle).
+    pub const X_RDR_BUNDLE: &str = "x-cc-rdr-bundle";
+    /// Extra server-side delay in milliseconds (proxy resolution
+    /// time) charged before the response starts downloading.
+    pub const X_SERVER_DELAY_MS: &str = "x-cc-server-delay-ms";
+    /// Client's previous visit time in virtual seconds (a stand-in
+    /// for cache digests, used by push-if-changed).
+    pub const X_LAST_VISIT: &str = "x-cc-last-visit";
+    /// Marks engine-internal body fetches (push/bundle materation);
+    /// origins should not treat these as real client requests.
+    pub const X_INTERNAL: &str = "x-cc-internal";
+}
+
+/// Tunables of the page-load engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineConfig {
+    /// Parallel connections per origin (browsers use 6 for HTTP/1.1).
+    pub max_connections_per_origin: usize,
+    /// HTTP/2-style transport: one multiplexed connection per origin,
+    /// no per-request connection queueing.
+    pub http2: bool,
+    /// Charge one DNS lookup (costing `dns_cost × RTT`) for the first
+    /// connection to each host. Off by default to match the paper's
+    /// loopback-hosted methodology.
+    pub model_dns: bool,
+    /// Charge a TLS 1.3 handshake (one extra RTT) when establishing a
+    /// connection. Off by default (the paper's prototype serves plain
+    /// HTTP).
+    pub tls: bool,
+    /// Probability that a request/response exchange loses a packet and
+    /// pays one retransmission timeout (modeled as +2×RTT). Applied
+    /// per network fetch with a deterministic seeded stream.
+    pub loss_rate: f64,
+    /// Seed for the loss stream (same seed ⇒ same losses).
+    pub loss_seed: u64,
+    /// Honor RFC 5861 `stale-while-revalidate`: serve an eligible
+    /// stale entry immediately and revalidate in the background
+    /// (browsers implement this; on by default).
+    pub enable_swr: bool,
+    /// Prioritize render-blocking fetches (HTML/CSS/JS) over images
+    /// and other content when queueing for connections, as browsers
+    /// do. On by default.
+    pub prioritize_render_blocking: bool,
+    /// Server processing time charged per request.
+    pub server_think: Duration,
+    /// Local serving overhead of a service-worker cache hit.
+    pub sw_overhead: Duration,
+    /// Local serving overhead of an HTTP-cache hit.
+    pub cache_overhead: Duration,
+    /// Fixed + size-proportional cost of parsing HTML/CSS.
+    pub parse_base: Duration,
+    pub parse_bytes_per_sec: f64,
+    /// Fixed + size-proportional cost of executing JS.
+    pub exec_base: Duration,
+    pub exec_bytes_per_sec: f64,
+    /// Serve via the CacheCatalyst service worker (catalyst mode).
+    pub use_service_worker: bool,
+    /// Serve via the classic HTTP cache (baseline mode).
+    pub use_http_cache: bool,
+    /// `cc-session` cookie attached to every request (enables the
+    /// origin's session capture).
+    pub session: Option<String>,
+    /// Virtual time of the client's previous visit, announced via the
+    /// `x-cc-last-visit` request header (used by push-if-changed).
+    pub last_visit: Option<i64>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            max_connections_per_origin: 6,
+            http2: false,
+            model_dns: false,
+            tls: false,
+            loss_rate: 0.0,
+            loss_seed: 0,
+            enable_swr: true,
+            prioritize_render_blocking: true,
+            server_think: Duration::from_millis(1),
+            sw_overhead: Duration::from_micros(300),
+            cache_overhead: Duration::from_micros(150),
+            parse_base: Duration::from_millis(1),
+            parse_bytes_per_sec: 50e6,
+            exec_base: Duration::from_millis(2),
+            exec_bytes_per_sec: 10e6,
+            use_service_worker: false,
+            use_http_cache: true,
+            session: None,
+            last_visit: None,
+        }
+    }
+}
+
+/// The result of one page load.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    pub trace: LoadTrace,
+    /// Page load time (the `onLoad` moment).
+    pub plt: SimTime,
+    /// First-contentful-paint approximation: the base document and
+    /// every render-blocking resource it references (stylesheets and
+    /// synchronous scripts in the markup) are available. The paper
+    /// defers FCP/SI/TTI to future work; this is the FCP part.
+    pub fcp: SimTime,
+    pub full_transfers: usize,
+    pub not_modified: usize,
+    pub cache_hits: usize,
+    pub sw_hits: usize,
+    pub bytes_down: u64,
+    pub bytes_up: u64,
+    /// Resources delivered ahead of request (push / bundle).
+    pub pushed: usize,
+    /// Pushed resources the page never asked for (wasted).
+    pub pushed_unused: usize,
+    /// Bytes spent on pushes.
+    pub pushed_bytes: u64,
+    /// Bytes spent on pushes the page never used.
+    pub pushed_unused_bytes: u64,
+    /// Stale responses served under `stale-while-revalidate` (each one
+    /// also spawned a background revalidation).
+    pub swr_served: usize,
+}
+
+impl LoadReport {
+    pub fn plt_ms(&self) -> f64 {
+        self.plt.as_millis_f64()
+    }
+
+    pub fn fcp_ms(&self) -> f64 {
+        self.fcp.as_millis_f64()
+    }
+
+    /// Round trips that touched the network.
+    pub fn network_requests(&self) -> usize {
+        self.full_transfers + self.not_modified
+    }
+}
+
+type FetchId = usize;
+
+#[derive(Debug)]
+enum Pending {
+    DnsDone(String),
+    HandshakeDone(FetchId),
+    UploadDone(FetchId),
+    ServerTurn(FetchId),
+    ServerDelayed(FetchId),
+    DownloadDone(FetchId),
+    LastByte(FetchId),
+    Instant(FetchId),
+    Parse(FetchId),
+    Exec(FetchId),
+    PushDone(FetchId),
+}
+
+struct FetchState {
+    url: Url,
+    req: Request,
+    discovered: SimTime,
+    started: Option<SimTime>,
+    completed: Option<SimTime>,
+    conn: Option<usize>,
+    response: Option<Response>,
+    delivered: Option<Response>,
+    outcome: FetchOutcome,
+    bytes_up: u64,
+    bytes_down: u64,
+    is_navigation: bool,
+    is_push: bool,
+    push_used: bool,
+    /// Background revalidation: result updates the cache but does not
+    /// gate onLoad and produces no page-visible content processing.
+    is_background: bool,
+}
+
+struct ConnState {
+    established: bool,
+    busy: bool,
+}
+
+#[derive(Default)]
+struct Pool {
+    conns: Vec<ConnState>,
+    /// High-priority waiters (render-blocking: HTML/CSS/JS).
+    queue: VecDeque<FetchId>,
+    /// Low-priority waiters (images, fonts, data).
+    queue_low: VecDeque<FetchId>,
+    /// DNS resolution state for the host (None = not started,
+    /// Some(false) = in flight, Some(true) = resolved).
+    dns: Option<bool>,
+    /// Fetches parked on the DNS lookup.
+    dns_pending: Vec<FetchId>,
+}
+
+impl Pool {
+    fn pop_waiter(&mut self) -> Option<FetchId> {
+        self.queue.pop_front().or_else(|| self.queue_low.pop_front())
+    }
+}
+
+/// One page load in progress. Borrows the browser's persistent state
+/// (HTTP cache, service worker) for the duration of the load.
+pub struct Engine<'a> {
+    /// xorshift state for the seeded loss stream.
+    loss_state: u64,
+    up: &'a dyn Upstream,
+    cond: NetworkConditions,
+    cfg: &'a EngineConfig,
+    cache: &'a mut HttpCache,
+    sw: &'a mut ServiceWorker,
+    t_secs: i64,
+    net: Network,
+    uplink: LinkId,
+    downlink: LinkId,
+    fetches: Vec<FetchState>,
+    pending: HashMap<u64, Pending>,
+    next_token: u64,
+    pools: HashMap<String, Pool>,
+    requested: HashSet<String>,
+    /// Responses already on the client (push / bundle), keyed by URL.
+    predelivered: HashMap<String, Response>,
+    /// Trace row of the push that delivered each URL.
+    push_rows: HashMap<String, FetchId>,
+    /// Pushes still in flight (PUSH_PROMISE semantics): a request for
+    /// a promised URL waits for the pushed stream instead of
+    /// refetching. url → (push row, waiting requester).
+    push_inflight: HashMap<String, (FetchId, Option<FetchId>)>,
+    /// Fetches that gate first paint: the navigation plus the CSS/JS
+    /// referenced directly by the base document's markup.
+    render_blocking: Vec<FetchId>,
+    /// The navigation URL, used as the Referer of subresource fetches.
+    navigation_url: Option<String>,
+}
+
+impl<'a> Engine<'a> {
+    pub fn new(
+        up: &'a dyn Upstream,
+        cond: NetworkConditions,
+        cfg: &'a EngineConfig,
+        cache: &'a mut HttpCache,
+        sw: &'a mut ServiceWorker,
+        t_secs: i64,
+    ) -> Engine<'a> {
+        let mut net = Network::new();
+        let downlink = net.add_link(cond.down_bps);
+        let uplink = net.add_link(cond.up_bps);
+        Engine {
+            loss_state: cfg.loss_seed | 1,
+            up,
+            cond,
+            cfg,
+            cache,
+            sw,
+            t_secs,
+            net,
+            uplink,
+            downlink,
+            fetches: Vec::new(),
+            pending: HashMap::new(),
+            next_token: 0,
+            pools: HashMap::new(),
+            requested: HashSet::new(),
+            predelivered: HashMap::new(),
+            push_rows: HashMap::new(),
+            push_inflight: HashMap::new(),
+            render_blocking: Vec::new(),
+            navigation_url: None,
+        }
+    }
+
+    /// Loads `base_url` to completion and reports.
+    pub fn load(mut self, base_url: &Url) -> LoadReport {
+        self.request_fetch(base_url.clone(), SimTime::ZERO, true);
+        while let Some((now, ev)) = self.net.next() {
+            let token = match ev {
+                NetEvent::Timer(t) => t,
+                NetEvent::FlowDone(_, t) => t,
+            };
+            let pending = self
+                .pending
+                .remove(&token)
+                .expect("unknown token fired");
+            self.dispatch(pending, now);
+        }
+        self.finalize()
+    }
+
+    fn token(&mut self, p: Pending) -> u64 {
+        let t = self.next_token;
+        self.next_token += 1;
+        self.pending.insert(t, p);
+        t
+    }
+
+    fn dispatch(&mut self, pending: Pending, now: SimTime) {
+        match pending {
+            Pending::DnsDone(host) => {
+                let pool = self.pools.get_mut(&host).expect("pool exists");
+                pool.dns = Some(true);
+                let parked = std::mem::take(&mut pool.dns_pending);
+                for f in parked {
+                    self.assign_conn(f, now);
+                }
+            }
+            Pending::HandshakeDone(f) => {
+                let host = self.fetches[f].url.host().to_owned();
+                let conn = self.fetches[f].conn.expect("handshaking on a conn");
+                let pool = self.pools.get_mut(&host).expect("pool exists");
+                pool.conns[conn].established = true;
+                if self.cfg.http2 {
+                    // Multiplexed: everything parked on the handshake
+                    // proceeds at once.
+                    let parked: Vec<FetchId> =
+                        std::iter::once(f).chain(pool.queue.drain(..)).collect();
+                    for w in parked {
+                        self.fetches[w].conn = Some(conn);
+                        self.start_upload(w, now);
+                    }
+                } else {
+                    self.start_upload(f, now);
+                }
+            }
+            Pending::UploadDone(f) => {
+                let tok = self.token(Pending::ServerTurn(f));
+                let dt = self.cond.one_way() + self.cfg.server_think + self.loss_penalty();
+                self.net.set_timer(dt, tok);
+            }
+            Pending::ServerTurn(f) => {
+                let resp = self.up.handle(
+                    self.fetches[f].url.host(),
+                    &self.fetches[f].req,
+                    self.t_secs,
+                );
+                let extra_delay = resp
+                    .headers
+                    .get(ext::X_SERVER_DELAY_MS)
+                    .and_then(|v| v.parse::<u64>().ok());
+                let bytes = resp.wire_len() as u64;
+                self.fetches[f].bytes_down = bytes;
+                self.fetches[f].response = Some(resp);
+                match extra_delay {
+                    Some(ms) if ms > 0 => {
+                        let tok = self.token(Pending::ServerDelayed(f));
+                        self.net.set_timer(Duration::from_millis(ms), tok);
+                    }
+                    _ => self.start_download(f),
+                }
+            }
+            Pending::ServerDelayed(f) => self.start_download(f),
+            Pending::DownloadDone(f) => {
+                let tok = self.token(Pending::LastByte(f));
+                self.net.set_timer(self.cond.one_way(), tok);
+            }
+            Pending::LastByte(f) => {
+                self.release_conn(f, now);
+                let resp = self.fetches[f].response.take().expect("response set");
+                self.deliver_network(f, resp, now);
+            }
+            Pending::Instant(f) => {
+                let resp = self.fetches[f].response.take().expect("local response");
+                self.complete(f, resp, now);
+            }
+            Pending::Parse(f) => self.on_parse(f, now),
+            Pending::Exec(f) => self.on_exec(f, now),
+            Pending::PushDone(f) => {
+                self.fetches[f].completed = Some(now);
+                let resp = self.fetches[f].response.take().expect("pushed body");
+                let url = self.fetches[f].url.to_string();
+                self.push_rows.insert(url.clone(), f);
+                let waiter = self
+                    .push_inflight
+                    .remove(&url)
+                    .and_then(|(_, waiter)| waiter);
+                match waiter {
+                    Some(w) => {
+                        // The page asked while the push was in flight:
+                        // the stream's completion answers the request.
+                        self.fetches[f].push_used = true;
+                        self.fetches[w].outcome = FetchOutcome::Pushed;
+                        self.fetches[w].started.get_or_insert(now);
+                        self.complete(w, resp, now);
+                    }
+                    None => {
+                        self.predelivered.insert(url, resp);
+                    }
+                }
+            }
+        }
+    }
+
+    fn start_download(&mut self, f: FetchId) {
+        let bytes = self.fetches[f].bytes_down;
+        let tok = self.token(Pending::DownloadDone(f));
+        self.net.start_flow_or_timer(self.downlink, tok, bytes, tok);
+    }
+
+    // ---- fetch initiation ----
+
+    fn request_fetch(&mut self, url: Url, now: SimTime, is_navigation: bool) {
+        let key = url.to_string();
+        if !self.requested.insert(key) {
+            return;
+        }
+        let path = url.path().to_owned();
+        let mut req = Request::get(&url.target().to_string())
+            .with_header(HeaderName::HOST, &url.authority())
+            .with_header(HeaderName::USER_AGENT, "cachecatalyst-browser/0.1");
+        if let Some(session) = &self.cfg.session {
+            req.headers.insert("cookie", &format!("cc-session={session}"));
+        }
+        if let Some(last) = self.cfg.last_visit {
+            req.headers.insert(ext::X_LAST_VISIT, &last.to_string());
+        }
+        if is_navigation {
+            self.navigation_url = Some(url.to_string());
+        } else if let Some(nav) = &self.navigation_url {
+            req.headers.insert("referer", nav);
+        }
+
+        let f = self.fetches.len();
+        self.fetches.push(FetchState {
+            url: url.clone(),
+            req,
+            discovered: now,
+            started: None,
+            completed: None,
+            conn: None,
+            response: None,
+            delivered: None,
+            outcome: FetchOutcome::FullTransfer,
+            bytes_up: 0,
+            bytes_down: 0,
+            is_navigation,
+            is_push: false,
+            push_used: false,
+            is_background: false,
+        });
+        if is_navigation {
+            self.render_blocking.push(f);
+        }
+
+        // --- the serving decision ---
+        if self.cfg.use_service_worker {
+            if is_navigation {
+                // Navigations always go upstream; attach the SW's
+                // stored validator so an unchanged page costs a 304.
+                if let Some(tag) = self.sw.cached_etag(&url.to_string()) {
+                    let tag = tag.to_string();
+                    self.fetches[f]
+                        .req
+                        .headers
+                        .insert(HeaderName::IF_NONE_MATCH, &tag);
+                }
+            } else {
+                match self.sw.intercept(&url.to_string(), &path) {
+                    SwDecision::ServeLocal(resp) => {
+                        self.fetches[f].outcome = FetchOutcome::ServiceWorkerHit;
+                        self.fetches[f].response = Some(resp);
+                        let tok = self.token(Pending::Instant(f));
+                        self.net.set_timer(self.cfg.sw_overhead, tok);
+                        return;
+                    }
+                    SwDecision::Forward { if_none_match } => {
+                        if let Some(tag) = if_none_match {
+                            self.fetches[f]
+                                .req
+                                .headers
+                                .insert(HeaderName::IF_NONE_MATCH, &tag.to_string());
+                        }
+                    }
+                }
+            }
+        } else if self.cfg.use_http_cache {
+            let lookup = {
+                let req = &self.fetches[f].req;
+                self.cache.lookup_for(&url.to_string(), req, self.t_secs)
+            };
+            match lookup {
+                Lookup::Fresh(resp) => {
+                    self.fetches[f].outcome = FetchOutcome::CacheHit;
+                    self.fetches[f].response = Some(resp);
+                    let tok = self.token(Pending::Instant(f));
+                    self.net.set_timer(self.cfg.cache_overhead, tok);
+                    return;
+                }
+                Lookup::Stale {
+                    response,
+                    etag,
+                    last_modified,
+                    swr_usable,
+                } => {
+                    if swr_usable && self.cfg.enable_swr {
+                        // RFC 5861: serve the stale copy now, refresh
+                        // in the background.
+                        self.fetches[f].outcome = FetchOutcome::CacheHit;
+                        self.fetches[f].response = Some(response);
+                        let tok = self.token(Pending::Instant(f));
+                        self.net.set_timer(self.cfg.cache_overhead, tok);
+                        self.spawn_background_revalidation(
+                            url.clone(),
+                            etag,
+                            last_modified,
+                            now,
+                        );
+                        return;
+                    }
+                    if let Some(tag) = etag {
+                        self.fetches[f]
+                            .req
+                            .headers
+                            .insert(HeaderName::IF_NONE_MATCH, &tag);
+                    } else if let Some(lm) = last_modified {
+                        self.fetches[f]
+                            .req
+                            .headers
+                            .insert(HeaderName::IF_MODIFIED_SINCE, &lm);
+                    }
+                }
+                Lookup::Miss => {}
+            }
+        }
+        // Pushed / bundled bodies that arrived ahead of the request are
+        // used before going to the network (but never shadow a fresh
+        // cache or SW hit, matching browsers' push-cache precedence).
+        if self.try_predelivered(f) {
+            return;
+        }
+        self.assign_to_pool(f, now);
+    }
+
+    /// Issues a conditional request that refreshes the cache without
+    /// gating onLoad (the revalidation half of stale-while-revalidate).
+    fn spawn_background_revalidation(
+        &mut self,
+        url: Url,
+        etag: Option<String>,
+        last_modified: Option<String>,
+        now: SimTime,
+    ) {
+        let mut req = Request::get(&url.target().to_string())
+            .with_header(HeaderName::HOST, &url.authority())
+            .with_header(HeaderName::USER_AGENT, "cachecatalyst-browser/0.1");
+        if let Some(tag) = etag {
+            req.headers.insert(HeaderName::IF_NONE_MATCH, &tag);
+        } else if let Some(lm) = last_modified {
+            req.headers.insert(HeaderName::IF_MODIFIED_SINCE, &lm);
+        }
+        let f = self.fetches.len();
+        self.fetches.push(FetchState {
+            url,
+            req,
+            discovered: now,
+            started: None,
+            completed: None,
+            conn: None,
+            response: None,
+            delivered: None,
+            outcome: FetchOutcome::NotModified,
+            bytes_up: 0,
+            bytes_down: 0,
+            is_navigation: false,
+            is_push: false,
+            push_used: false,
+            is_background: true,
+        });
+        self.assign_to_pool(f, now);
+    }
+
+    /// Serves `f` from the predelivered set (or parks it on an
+    /// in-flight push promise) if possible.
+    fn try_predelivered(&mut self, f: FetchId) -> bool {
+        let key = self.fetches[f].url.to_string();
+        if let Some(resp) = self.predelivered.remove(&key) {
+            if let Some(&pf) = self.push_rows.get(&key) {
+                self.fetches[pf].push_used = true;
+            }
+            self.fetches[f].outcome = FetchOutcome::Pushed;
+            self.fetches[f].response = Some(resp);
+            let tok = self.token(Pending::Instant(f));
+            self.net.set_timer(self.cfg.cache_overhead, tok);
+            return true;
+        }
+        if let Some(entry) = self.push_inflight.get_mut(&key) {
+            debug_assert!(entry.1.is_none(), "one requester per URL");
+            entry.1 = Some(f);
+            return true;
+        }
+        false
+    }
+
+    // ---- connection pool ----
+
+    fn assign_to_pool(&mut self, f: FetchId, now: SimTime) {
+        if self.cfg.model_dns {
+            let host = self.fetches[f].url.host().to_owned();
+            let pool = self.pools.entry(host.clone()).or_default();
+            match pool.dns {
+                Some(true) => {}
+                Some(false) => {
+                    pool.dns_pending.push(f);
+                    return;
+                }
+                None => {
+                    pool.dns = Some(false);
+                    pool.dns_pending.push(f);
+                    let tok = self.token(Pending::DnsDone(host));
+                    self.net.set_timer(self.cond.rtt, tok);
+                    return;
+                }
+            }
+        }
+        self.assign_conn(f, now);
+    }
+
+    fn assign_conn(&mut self, f: FetchId, now: SimTime) {
+        let host = self.fetches[f].url.host().to_owned();
+        let max = self.cfg.max_connections_per_origin;
+        if self.cfg.http2 {
+            let pool = self.pools.entry(host).or_default();
+            match pool.conns.first() {
+                None => {
+                    pool.conns.push(ConnState {
+                        established: false,
+                        busy: true,
+                    });
+                    self.fetches[f].conn = Some(0);
+                    let tok = self.token(Pending::HandshakeDone(f));
+                    let dt = self.handshake_time();
+                    self.net.set_timer(dt, tok);
+                }
+                Some(c) if !c.established => pool.queue.push_back(f),
+                Some(_) => {
+                    self.fetches[f].conn = Some(0);
+                    self.start_upload(f, now);
+                }
+            }
+            return;
+        }
+        let pool = self.pools.entry(host).or_default();
+        // Prefer an idle, established connection.
+        if let Some(idx) = pool
+            .conns
+            .iter()
+            .position(|c| !c.busy && c.established)
+        {
+            pool.conns[idx].busy = true;
+            self.fetches[f].conn = Some(idx);
+            self.start_upload(f, now);
+            return;
+        }
+        if pool.conns.len() < max {
+            pool.conns.push(ConnState {
+                established: false,
+                busy: true,
+            });
+            let idx = pool.conns.len() - 1;
+            self.fetches[f].conn = Some(idx);
+            let tok = self.token(Pending::HandshakeDone(f));
+            let dt = self.handshake_time();
+            self.net.set_timer(dt, tok);
+            return;
+        }
+        let high = !self.cfg.prioritize_render_blocking
+            || matches!(
+                ResourceKind::from_path(self.fetches[f].url.path()),
+                ResourceKind::Html | ResourceKind::Css | ResourceKind::Js
+            );
+        let host = self.fetches[f].url.host().to_owned();
+        let pool = self.pools.get_mut(&host).expect("pool");
+        if high {
+            pool.queue.push_back(f);
+        } else {
+            pool.queue_low.push_back(f);
+        }
+    }
+
+    /// TCP (+ optional TLS 1.3) connection establishment time.
+    fn handshake_time(&mut self) -> Duration {
+        let mut dt = self.cond.rtt;
+        if self.cfg.tls {
+            dt += self.cond.rtt;
+        }
+        dt + self.loss_penalty()
+    }
+
+    /// Draws from the seeded loss stream: with probability
+    /// `loss_rate`, one retransmission timeout (+2×RTT).
+    fn loss_penalty(&mut self) -> Duration {
+        if self.cfg.loss_rate <= 0.0 {
+            return Duration::ZERO;
+        }
+        // xorshift64*: deterministic, decoupled from workload seeds.
+        let mut x = self.loss_state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.loss_state = x;
+        let u = (x >> 11) as f64 / (1u64 << 53) as f64;
+        if u < self.cfg.loss_rate {
+            self.cond.rtt * 2
+        } else {
+            Duration::ZERO
+        }
+    }
+
+    fn release_conn(&mut self, f: FetchId, now: SimTime) {
+        if self.cfg.http2 {
+            return; // streams do not occupy the connection
+        }
+        let host = self.fetches[f].url.host().to_owned();
+        let Some(idx) = self.fetches[f].conn.take() else {
+            return;
+        };
+        let pool = self.pools.get_mut(&host).expect("pool exists");
+        pool.conns[idx].busy = false;
+        if let Some(next) = pool.pop_waiter() {
+            pool.conns[idx].busy = true;
+            self.fetches[next].conn = Some(idx);
+            self.start_upload(next, now);
+        }
+    }
+
+    fn start_upload(&mut self, f: FetchId, now: SimTime) {
+        if self.fetches[f].started.is_none() {
+            self.fetches[f].started = Some(now);
+        }
+        let bytes = encode_request(&self.fetches[f].req).len() as u64;
+        self.fetches[f].bytes_up = bytes;
+        let tok = self.token(Pending::UploadDone(f));
+        self.net.start_flow_or_timer(self.uplink, tok, bytes, tok);
+    }
+
+    // ---- delivery ----
+
+    fn deliver_network(&mut self, f: FetchId, resp: Response, now: SimTime) {
+        let url = self.fetches[f].url.to_string();
+        if self.fetches[f].is_background {
+            self.fetches[f].completed = Some(now);
+            self.fetches[f].outcome = if resp.status == StatusCode::NOT_MODIFIED {
+                FetchOutcome::NotModified
+            } else {
+                FetchOutcome::FullTransfer
+            };
+            if resp.status == StatusCode::NOT_MODIFIED {
+                let _ = self
+                    .cache
+                    .update_with_304(&url, &resp, self.t_secs, self.t_secs);
+            } else {
+                self.cache
+                    .store(&url, &self.fetches[f].req, &resp, self.t_secs, self.t_secs);
+            }
+            return;
+        }
+        let is_nav = self.fetches[f].is_navigation;
+        let delivered;
+        if self.cfg.use_service_worker {
+            if is_nav {
+                // The navigation response (200 or 304) carries the
+                // fresh X-Etag-Config; install it, then resolve the
+                // body through the SW cache.
+                self.sw.on_navigation(&resp);
+            }
+            self.fetches[f].outcome = if resp.status == StatusCode::NOT_MODIFIED {
+                FetchOutcome::NotModified
+            } else {
+                FetchOutcome::FullTransfer
+            };
+            delivered = self.sw.on_response(&url, &resp);
+        } else if self.cfg.use_http_cache {
+            if resp.status == StatusCode::NOT_MODIFIED {
+                self.fetches[f].outcome = FetchOutcome::NotModified;
+                delivered = self
+                    .cache
+                    .update_with_304(&url, &resp, self.t_secs, self.t_secs)
+                    .unwrap_or(resp);
+            } else {
+                self.fetches[f].outcome = FetchOutcome::FullTransfer;
+                self.cache
+                    .store(&url, &self.fetches[f].req, &resp, self.t_secs, self.t_secs);
+                delivered = resp;
+            }
+        } else {
+            self.fetches[f].outcome = FetchOutcome::FullTransfer;
+            delivered = resp;
+        }
+        self.complete(f, delivered, now);
+    }
+
+    /// A response is now available to the page: record it and schedule
+    /// content processing (parse / execute).
+    fn complete(&mut self, f: FetchId, delivered: Response, now: SimTime) {
+        self.fetches[f].completed = Some(now);
+        // Pushed/bundled responses enter the regular caches, exactly
+        // as browsers admit pushed streams into the HTTP cache.
+        if self.fetches[f].outcome == FetchOutcome::Pushed {
+            let url = self.fetches[f].url.to_string();
+            if self.cfg.use_service_worker {
+                let _ = self.sw.on_response(&url, &delivered);
+            } else if self.cfg.use_http_cache {
+                self.cache.store(
+                    &url,
+                    &self.fetches[f].req,
+                    &delivered,
+                    self.t_secs,
+                    self.t_secs,
+                );
+            }
+        }
+        if !delivered.status.is_success() {
+            self.fetches[f].delivered = Some(delivered);
+            return;
+        }
+        let kind = ResourceKind::from_path(self.fetches[f].url.path());
+        let len = delivered.body.len() as f64;
+        match kind {
+            ResourceKind::Html | ResourceKind::Css => {
+                let dt = self.cfg.parse_base
+                    + Duration::from_secs_f64(len / self.cfg.parse_bytes_per_sec);
+                let tok = self.token(Pending::Parse(f));
+                self.net.set_timer(dt, tok);
+            }
+            ResourceKind::Js => {
+                let dt = self.cfg.exec_base
+                    + Duration::from_secs_f64(len / self.cfg.exec_bytes_per_sec);
+                let tok = self.token(Pending::Exec(f));
+                self.net.set_timer(dt, tok);
+            }
+            _ => {}
+        }
+        let is_nav = self.fetches[f].is_navigation;
+        self.fetches[f].delivered = Some(delivered);
+        if is_nav {
+            self.handle_predelivery(f, now);
+        }
+    }
+
+    /// Materializes server-push and RDR-bundle announcements carried
+    /// on the navigation response.
+    fn handle_predelivery(&mut self, f: FetchId, now: SimTime) {
+        let delivered = self.fetches[f].delivered.clone().expect("just set");
+        let base = self.fetches[f].url.clone();
+        // RDR bundle: bodies already arrived inside the bundle body;
+        // make them instantly available.
+        if let Some(list) = delivered.headers.get_combined(ext::X_RDR_BUNDLE) {
+            for path in list.split(',').filter(|p| !p.trim().is_empty()) {
+                let Ok(url) = base.join(path.trim()) else { continue };
+                let req = Request::get(&url.target().to_string())
+                    .with_header(HeaderName::HOST, &url.authority())
+                    .with_header(ext::X_INTERNAL, "bundle");
+                let resp = self.up.handle(url.host(), &req, self.t_secs);
+                if resp.status.is_success() {
+                    self.predelivered.insert(url.to_string(), resp);
+                }
+            }
+        }
+        // Server push: bodies stream down after the navigation
+        // response, sharing the downlink with everything else.
+        if let Some(list) = delivered.headers.get_combined(ext::X_PUSHED) {
+            for path in list.split(',').filter(|p| !p.trim().is_empty()) {
+                let Ok(url) = base.join(path.trim()) else { continue };
+                let key = url.to_string();
+                if self.requested.contains(&key) || self.predelivered.contains_key(&key) {
+                    continue;
+                }
+                let req = Request::get(&url.target().to_string())
+                    .with_header(HeaderName::HOST, &url.authority())
+                    .with_header(ext::X_INTERNAL, "push");
+                let resp = self.up.handle(url.host(), &req, self.t_secs);
+                if !resp.status.is_success() {
+                    continue;
+                }
+                let bytes = resp.wire_len() as u64;
+                let pf = self.fetches.len();
+                self.fetches.push(FetchState {
+                    url,
+                    req,
+                    discovered: now,
+                    started: Some(now),
+                    completed: None,
+                    conn: None,
+                    response: Some(resp),
+                    delivered: None,
+                    outcome: FetchOutcome::Pushed,
+                    bytes_up: 0,
+                    bytes_down: bytes,
+                    is_navigation: false,
+                    is_push: true,
+                    push_used: false,
+                    is_background: false,
+                });
+                self.push_inflight.insert(key, (pf, None));
+                let tok = self.token(Pending::PushDone(pf));
+                self.net.start_flow_or_timer(self.downlink, tok, bytes, tok);
+            }
+        }
+    }
+
+    fn on_parse(&mut self, f: FetchId, now: SimTime) {
+        let Some(delivered) = self.fetches[f].delivered.clone() else {
+            return;
+        };
+        let Ok(text) = std::str::from_utf8(&delivered.body) else {
+            return;
+        };
+        let kind = ResourceKind::from_path(self.fetches[f].url.path());
+        let links: Vec<String> = match kind {
+            ResourceKind::Html => extract_html_links(text)
+                .into_iter()
+                .map(|l| l.href)
+                .collect(),
+            _ => extract_css_links(text).into_iter().map(|l| l.href).collect(),
+        };
+        let base = self.fetches[f].url.clone();
+        let from_navigation = self.fetches[f].is_navigation;
+        for href in links {
+            if href == cachecatalyst_catalyst::SW_SCRIPT_PATH {
+                continue; // SW registration is out-of-band, not a subresource
+            }
+            if let Ok(url) = base.join(&href) {
+                let next_id = self.fetches.len();
+                let before = self.requested.len();
+                self.request_fetch(url.clone(), now, false);
+                let created = self.requested.len() > before;
+                // Stylesheets and scripts referenced by the base
+                // document's markup block first paint.
+                if created
+                    && from_navigation
+                    && matches!(
+                        ResourceKind::from_path(url.path()),
+                        ResourceKind::Css | ResourceKind::Js
+                    )
+                {
+                    self.render_blocking.push(next_id);
+                }
+            }
+        }
+    }
+
+    fn on_exec(&mut self, f: FetchId, now: SimTime) {
+        let Some(delivered) = self.fetches[f].delivered.clone() else {
+            return;
+        };
+        let Ok(text) = std::str::from_utf8(&delivered.body) else {
+            return;
+        };
+        let base = self.fetches[f].url.clone();
+        for href in cachecatalyst_webmodel::jsdialect::evaluate(text) {
+            if let Ok(url) = base.join(&href) {
+                self.request_fetch(url, now, false);
+            }
+        }
+    }
+
+    fn finalize(self) -> LoadReport {
+        let mut trace = LoadTrace::default();
+        let mut full = 0;
+        let mut nm = 0;
+        let mut cache_hits = 0;
+        let mut sw_hits = 0;
+        let mut pushed = 0;
+        let mut pushed_unused = 0;
+        let mut pushed_bytes = 0u64;
+        let mut pushed_unused_bytes = 0u64;
+        let mut background = 0;
+        let mut plt = SimTime::ZERO;
+        for f in &self.fetches {
+            let completed = f.completed.unwrap_or(f.discovered);
+            if f.is_background {
+                background += 1;
+            } else if f.is_push {
+                pushed += 1;
+                pushed_bytes += f.bytes_down;
+                if !f.push_used {
+                    pushed_unused += 1;
+                    pushed_unused_bytes += f.bytes_down;
+                }
+            } else {
+                // onLoad waits for requested resources, not for
+                // speculative pushes the page never asked for.
+                plt = plt.max(completed);
+                match f.outcome {
+                    FetchOutcome::FullTransfer => full += 1,
+                    FetchOutcome::NotModified => nm += 1,
+                    FetchOutcome::CacheHit => cache_hits += 1,
+                    FetchOutcome::ServiceWorkerHit => sw_hits += 1,
+                    FetchOutcome::Pushed => {}
+                }
+            }
+            trace.fetches.push(FetchTrace {
+                url: f.url.to_string(),
+                discovered: f.discovered,
+                started: f.started.unwrap_or(f.discovered),
+                completed,
+                outcome: f.outcome,
+                bytes_down: f.bytes_down,
+                bytes_up: f.bytes_up,
+            });
+        }
+        let bytes_down = trace.bytes_down();
+        let bytes_up = trace.bytes_up();
+        let fcp = self
+            .render_blocking
+            .iter()
+            .filter_map(|&f| self.fetches[f].completed)
+            .max()
+            .unwrap_or(plt);
+        LoadReport {
+            trace,
+            plt,
+            fcp,
+            full_transfers: full,
+            not_modified: nm,
+            cache_hits,
+            sw_hits,
+            bytes_down,
+            bytes_up,
+            pushed,
+            pushed_unused,
+            pushed_bytes,
+            pushed_unused_bytes,
+            // One background revalidation per SWR-served response.
+            swr_served: background,
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! HAR (HTTP Archive) export of load traces.
+//!
+//! Emits a minimal but valid HAR 1.2 document so waterfalls from the
+//! simulator can be opened in standard tooling (Chrome DevTools'
+//! "Import HAR", WebPageTest viewers, `har-analyzer`, …). Hand-rolled
+//! JSON: the only string content is URLs and fixed enums, so a small
+//! escaper suffices.
+
+use cachecatalyst_netsim::{FetchOutcome, SimTime};
+
+use crate::engine::LoadReport;
+
+/// Renders a [`LoadReport`] as a HAR 1.2 JSON document.
+///
+/// Virtual time zero is mapped onto `epoch` (an RFC3339 timestamp
+/// string, e.g. `"2026-07-06T00:00:00.000Z"`), since the simulation
+/// has no wall clock of its own.
+pub fn to_har(report: &LoadReport, epoch: &str) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str("{\"log\":{\"version\":\"1.2\",");
+    out.push_str("\"creator\":{\"name\":\"cachecatalyst\",\"version\":\"0.1.0\"},");
+    out.push_str(&format!(
+        "\"pages\":[{{\"startedDateTime\":{},\"id\":\"page_1\",\"title\":{},\
+         \"pageTimings\":{{\"onContentLoad\":{:.3},\"onLoad\":{:.3}}}}}],",
+        json_string(epoch),
+        json_string(
+            report
+                .trace
+                .fetches
+                .first()
+                .map(|f| f.url.as_str())
+                .unwrap_or("about:blank")
+        ),
+        report.fcp.as_millis_f64(),
+        report.plt.as_millis_f64(),
+    ));
+    out.push_str("\"entries\":[");
+    for (i, f) in report.trace.fetches.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let blocked = ms(f.started, f.discovered);
+        let duration = ms(f.completed, f.started);
+        let (status, status_text) = match f.outcome {
+            FetchOutcome::NotModified => (304, "Not Modified"),
+            _ => (200, "OK"),
+        };
+        let served_from_cache = !f.outcome.used_network();
+        out.push_str(&format!(
+            "{{\"pageref\":\"page_1\",\"startedDateTime\":{},\
+             \"time\":{:.3},\
+             \"request\":{{\"method\":\"GET\",\"url\":{},\"httpVersion\":\"HTTP/1.1\",\
+             \"headers\":[],\"queryString\":[],\"cookies\":[],\
+             \"headersSize\":-1,\"bodySize\":0}},\
+             \"response\":{{\"status\":{status},\"statusText\":{},\
+             \"httpVersion\":\"HTTP/1.1\",\"headers\":[],\"cookies\":[],\
+             \"content\":{{\"size\":{},\"mimeType\":\"\"}},\
+             \"redirectURL\":\"\",\"headersSize\":-1,\"bodySize\":{}}},\
+             \"cache\":{{}},\
+             \"timings\":{{\"blocked\":{blocked:.3},\"dns\":-1,\"connect\":-1,\
+             \"send\":0,\"wait\":{duration:.3},\"receive\":0,\"ssl\":-1}},\
+             \"comment\":{}}}",
+            json_string(epoch),
+            ms(f.completed, f.discovered),
+            json_string(&f.url),
+            json_string(status_text),
+            f.bytes_down,
+            f.bytes_down,
+            json_string(&format!(
+                "outcome={}; servedFromCache={served_from_cache}; t+{:.3}ms",
+                f.outcome.tag().trim(),
+                f.discovered.as_millis_f64()
+            )),
+        ));
+    }
+    out.push_str("]}}");
+    out
+}
+
+fn ms(later: SimTime, earlier: SimTime) -> f64 {
+    later.since(earlier).as_secs_f64() * 1000.0
+}
+
+/// Escapes a string for JSON.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::upstream::SingleOrigin;
+    use cachecatalyst_httpwire::Url;
+    use cachecatalyst_netsim::NetworkConditions;
+    use cachecatalyst_origin::{HeaderMode, OriginServer};
+    use cachecatalyst_webmodel::example_site;
+    use std::sync::Arc;
+
+    fn report() -> LoadReport {
+        let origin = Arc::new(OriginServer::new(example_site(), HeaderMode::Baseline));
+        let up = SingleOrigin(origin);
+        crate::Browser::baseline().load(
+            &up,
+            NetworkConditions::five_g_median(),
+            &Url::parse("http://example.org/index.html").unwrap(),
+            0,
+        )
+    }
+
+    #[test]
+    fn har_contains_all_entries_and_timings() {
+        let r = report();
+        let har = to_har(&r, "2026-07-06T00:00:00.000Z");
+        assert!(har.starts_with("{\"log\":"));
+        for p in ["index.html", "a.css", "b.js", "c.js", "d.jpg"] {
+            assert!(har.contains(p), "{p} missing");
+        }
+        assert_eq!(har.matches("\"pageref\":\"page_1\"").count(), 5);
+        assert!(har.contains(&format!("\"onLoad\":{:.3}", r.plt.as_millis_f64())));
+    }
+
+    #[test]
+    fn har_is_structurally_balanced_json() {
+        let har = to_har(&report(), "2026-07-06T00:00:00.000Z");
+        // Cheap structural validation: balanced braces/brackets and
+        // an even number of unescaped quotes.
+        let mut depth: i64 = 0;
+        let mut brackets: i64 = 0;
+        let mut in_str = false;
+        let mut prev = ' ';
+        for c in har.chars() {
+            if in_str {
+                if c == '"' && prev != '\\' {
+                    in_str = false;
+                }
+            } else {
+                match c {
+                    '"' => in_str = true,
+                    '{' => depth += 1,
+                    '}' => depth -= 1,
+                    '[' => brackets += 1,
+                    ']' => brackets -= 1,
+                    _ => {}
+                }
+            }
+            prev = if prev == '\\' && c == '\\' { ' ' } else { c };
+        }
+        assert_eq!(depth, 0);
+        assert_eq!(brackets, 0);
+        assert!(!in_str);
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_string("a\"b"), "\"a\\\"b\"");
+        assert_eq!(json_string("a\\b"), "\"a\\\\b\"");
+        assert_eq!(json_string("a\nb"), "\"a\\nb\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+}

@@ -1,0 +1,357 @@
+//! Live page loads over real byte streams (feature `aio`).
+//!
+//! The same browser semantics as the discrete-event engine — per-host
+//! connection pools of six, parse-driven discovery, JS-executed
+//! fetches, HTTP-cache or service-worker serving — but executed in
+//! wall-clock time over any tokio transport: loopback TCP, the
+//! emulated access link from `cachecatalyst_netsim::emu`, or anything
+//! a [`Dialer`] produces. Used by the end-to-end tests and by the
+//! sim-vs-live cross-validation experiment (E15): the simulator's PLT
+//! prediction is checked against an actual protocol execution.
+
+use std::collections::HashMap;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use cachecatalyst_catalyst::{ServiceWorker, SwDecision};
+use cachecatalyst_httpcache::{HttpCache, Lookup};
+use cachecatalyst_httpwire::aio::ClientConn;
+use cachecatalyst_httpwire::{HeaderName, Request, Response, StatusCode, Url};
+use cachecatalyst_netsim::{FetchOutcome, FetchTrace, LoadTrace, SimTime};
+use cachecatalyst_webmodel::extract::{extract_css_links, extract_html_links};
+use cachecatalyst_webmodel::{jsdialect, ResourceKind};
+use tokio::io::{AsyncRead, AsyncWrite};
+use tokio::sync::{Mutex, Semaphore};
+use tokio::task::JoinSet;
+
+/// Anything a connection can run over.
+pub trait ByteStream: AsyncRead + AsyncWrite + Unpin + Send {}
+impl<T: AsyncRead + AsyncWrite + Unpin + Send> ByteStream for T {}
+
+/// Opens a byte stream to `host`. Implementations decide what that
+/// means: TCP dial, an emulated link to an in-process origin, …
+pub type Dialer = Arc<
+    dyn Fn(String) -> Pin<Box<dyn Future<Output = std::io::Result<Box<dyn ByteStream>>> + Send>>
+        + Send
+        + Sync,
+>;
+
+/// Serving mode of the live browser.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LiveMode {
+    /// Classic HTTP cache.
+    Baseline,
+    /// CacheCatalyst service worker.
+    Catalyst,
+    /// No reuse.
+    Uncached,
+}
+
+/// The result of one live page load.
+#[derive(Debug, Clone)]
+pub struct LiveReport {
+    pub trace: LoadTrace,
+    pub plt: Duration,
+    pub network_requests: usize,
+    pub sw_hits: usize,
+    pub cache_hits: usize,
+}
+
+struct PoolState {
+    idle: Vec<ClientConn<Box<dyn ByteStream>>>,
+}
+
+/// A live browser profile. State persists across loads, like
+/// [`crate::Browser`].
+pub struct LiveBrowser {
+    dialer: Dialer,
+    mode: LiveMode,
+    cache: Arc<Mutex<HttpCache>>,
+    sw: Arc<Mutex<ServiceWorker>>,
+    pools: Arc<Mutex<HashMap<String, Arc<HostPool>>>>,
+    /// Virtual seconds used for cache freshness decisions.
+    pub now_secs: i64,
+    /// Parse/exec pacing, matching the simulator's defaults.
+    pub parse_base: Duration,
+    pub exec_base: Duration,
+}
+
+struct HostPool {
+    permits: Semaphore,
+    state: Mutex<PoolState>,
+}
+
+impl LiveBrowser {
+    pub fn new(dialer: Dialer, mode: LiveMode) -> LiveBrowser {
+        LiveBrowser {
+            dialer,
+            mode,
+            cache: Arc::new(Mutex::new(HttpCache::unbounded())),
+            sw: Arc::new(Mutex::new(ServiceWorker::new())),
+            pools: Arc::new(Mutex::new(HashMap::new())),
+            now_secs: 0,
+            parse_base: Duration::from_millis(1),
+            exec_base: Duration::from_millis(2),
+        }
+    }
+
+    /// Replaces the dialer (e.g. to reconnect with a different link or
+    /// server clock), keeping cache and service-worker state but
+    /// dropping pooled connections — idle sockets would not survive
+    /// the pause between visits anyway.
+    pub fn with_dialer(self, dialer: Dialer) -> LiveBrowser {
+        LiveBrowser {
+            dialer,
+            pools: Arc::new(Mutex::new(HashMap::new())),
+            ..self
+        }
+    }
+
+    /// Loads `base_url` to completion, returning wall-clock timings.
+    pub async fn load(&mut self, base_url: &Url) -> std::io::Result<LiveReport> {
+        let t0 = Instant::now();
+        let mut trace = LoadTrace::default();
+        let mut requested: std::collections::HashSet<String> =
+            std::collections::HashSet::new();
+        let mut join: JoinSet<std::io::Result<FetchDone>> = JoinSet::new();
+
+        requested.insert(base_url.to_string());
+        join.spawn(self.fetch_task(base_url.clone(), true, t0));
+
+        let mut network_requests = 0;
+        let mut sw_hits = 0;
+        let mut cache_hits = 0;
+        while let Some(res) = join.join_next().await {
+            let done = res.map_err(|e| std::io::Error::other(e.to_string()))??;
+            match done.outcome {
+                FetchOutcome::ServiceWorkerHit => sw_hits += 1,
+                FetchOutcome::CacheHit => cache_hits += 1,
+                _ => network_requests += 1,
+            }
+            trace.fetches.push(FetchTrace {
+                url: done.url.to_string(),
+                discovered: SimTime::from_nanos(done.discovered.as_nanos() as u64),
+                started: SimTime::from_nanos(done.discovered.as_nanos() as u64),
+                completed: SimTime::from_nanos(done.completed.as_nanos() as u64),
+                outcome: done.outcome,
+                bytes_down: done.bytes_down,
+                bytes_up: done.bytes_up,
+            });
+            for link in done.links {
+                if requested.insert(link.to_string()) {
+                    join.spawn(self.fetch_task(link, false, t0));
+                }
+            }
+        }
+
+        let plt = trace
+            .fetches
+            .iter()
+            .map(|f| f.completed)
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        Ok(LiveReport {
+            plt: Duration::from_nanos(plt.as_nanos()),
+            trace,
+            network_requests,
+            sw_hits,
+            cache_hits,
+        })
+    }
+
+    fn fetch_task(
+        &self,
+        url: Url,
+        is_navigation: bool,
+        t0: Instant,
+    ) -> impl Future<Output = std::io::Result<FetchDone>> + Send + 'static {
+        let dialer = Arc::clone(&self.dialer);
+        let mode = self.mode;
+        let cache = Arc::clone(&self.cache);
+        let sw = Arc::clone(&self.sw);
+        let pools = Arc::clone(&self.pools);
+        let now_secs = self.now_secs;
+        let parse_base = self.parse_base;
+        let exec_base = self.exec_base;
+        async move {
+            let discovered = t0.elapsed();
+            let path = url.path().to_owned();
+            let mut req = Request::get(&url.target().to_string())
+                .with_header(HeaderName::HOST, &url.authority())
+                .with_header(HeaderName::USER_AGENT, "cachecatalyst-live/0.1");
+
+            // --- serving decision (mirrors the simulator engine) ---
+            let mut outcome = FetchOutcome::FullTransfer;
+            let mut local: Option<Response> = None;
+            match mode {
+                LiveMode::Catalyst => {
+                    if is_navigation {
+                        let guard = sw.lock().await;
+                        if let Some(tag) = guard.cached_etag(&url.to_string()) {
+                            let tag = tag.to_string();
+                            drop(guard);
+                            req.headers.insert(HeaderName::IF_NONE_MATCH, &tag);
+                        }
+                    } else {
+                        match sw.lock().await.intercept(&url.to_string(), &path) {
+                            SwDecision::ServeLocal(resp) => {
+                                outcome = FetchOutcome::ServiceWorkerHit;
+                                local = Some(resp);
+                            }
+                            SwDecision::Forward { if_none_match } => {
+                                if let Some(tag) = if_none_match {
+                                    req.headers
+                                        .insert(HeaderName::IF_NONE_MATCH, &tag.to_string());
+                                }
+                            }
+                        }
+                    }
+                }
+                LiveMode::Baseline => {
+                    match cache.lock().await.lookup_for(&url.to_string(), &req, now_secs) {
+                        Lookup::Fresh(resp) => {
+                            outcome = FetchOutcome::CacheHit;
+                            local = Some(resp);
+                        }
+                        Lookup::Stale { etag, last_modified, .. } => {
+                            if let Some(tag) = etag {
+                                req.headers.insert(HeaderName::IF_NONE_MATCH, &tag);
+                            } else if let Some(lm) = last_modified {
+                                req.headers.insert(HeaderName::IF_MODIFIED_SINCE, &lm);
+                            }
+                        }
+                        Lookup::Miss => {}
+                    }
+                }
+                LiveMode::Uncached => {}
+            }
+
+            let delivered = match local {
+                Some(resp) => resp,
+                None => {
+                    // --- network fetch through the host pool ---
+                    let pool = {
+                        let mut pools = pools.lock().await;
+                        Arc::clone(pools.entry(url.host().to_owned()).or_insert_with(
+                            || {
+                                Arc::new(HostPool {
+                                    permits: Semaphore::new(6),
+                                    state: Mutex::new(PoolState { idle: Vec::new() }),
+                                })
+                            },
+                        ))
+                    };
+                    let _permit = pool
+                        .permits
+                        .acquire()
+                        .await
+                        .expect("semaphore not closed");
+                    let mut conn = {
+                        let mut state = pool.state.lock().await;
+                        state.idle.pop()
+                    };
+                    if conn.is_none() {
+                        let stream = (dialer)(url.host().to_owned()).await?;
+                        conn = Some(ClientConn::new(stream));
+                    }
+                    let mut conn = conn.expect("dialed");
+                    let resp = conn
+                        .round_trip(&req)
+                        .await
+                        .map_err(|e| std::io::Error::other(e.to_string()))?;
+                    pool.state.lock().await.idle.push(conn);
+
+                    // --- post-processing (store / refresh) ---
+                    match mode {
+                        LiveMode::Catalyst => {
+                            let mut guard = sw.lock().await;
+                            if is_navigation {
+                                guard.on_navigation(&resp);
+                            }
+                            if resp.status == StatusCode::NOT_MODIFIED {
+                                outcome = FetchOutcome::NotModified;
+                            }
+                            guard.on_response(&url.to_string(), &resp)
+                        }
+                        LiveMode::Baseline => {
+                            let mut guard = cache.lock().await;
+                            if resp.status == StatusCode::NOT_MODIFIED {
+                                outcome = FetchOutcome::NotModified;
+                                guard
+                                    .update_with_304(
+                                        &url.to_string(),
+                                        &resp,
+                                        now_secs,
+                                        now_secs,
+                                    )
+                                    .unwrap_or(resp)
+                            } else {
+                                guard.store(&url.to_string(), &req, &resp, now_secs, now_secs);
+                                resp
+                            }
+                        }
+                        LiveMode::Uncached => resp,
+                    }
+                }
+            };
+
+            // --- content processing: discover children ---
+            let mut links: Vec<Url> = Vec::new();
+            if delivered.status.is_success() {
+                let kind = ResourceKind::from_path(&path);
+                if let Ok(text) = std::str::from_utf8(&delivered.body) {
+                    let hrefs: Vec<String> = match kind {
+                        ResourceKind::Html => {
+                            tokio::time::sleep(parse_base).await;
+                            extract_html_links(text).into_iter().map(|l| l.href).collect()
+                        }
+                        ResourceKind::Css => {
+                            tokio::time::sleep(parse_base).await;
+                            extract_css_links(text).into_iter().map(|l| l.href).collect()
+                        }
+                        ResourceKind::Js => {
+                            tokio::time::sleep(exec_base).await;
+                            jsdialect::evaluate(text)
+                        }
+                        _ => Vec::new(),
+                    };
+                    for href in hrefs {
+                        if href == cachecatalyst_catalyst::SW_SCRIPT_PATH {
+                            continue;
+                        }
+                        if let Ok(u) = url.join(&href) {
+                            links.push(u);
+                        }
+                    }
+                }
+            }
+
+            let bytes_down = if outcome.used_network() {
+                delivered.body.len() as u64
+            } else {
+                0
+            };
+            Ok(FetchDone {
+                url,
+                discovered,
+                completed: t0.elapsed(),
+                outcome,
+                bytes_down,
+                bytes_up: 0,
+                links,
+            })
+        }
+    }
+}
+
+struct FetchDone {
+    url: Url,
+    discovered: Duration,
+    completed: Duration,
+    outcome: FetchOutcome,
+    bytes_down: u64,
+    bytes_up: u64,
+    links: Vec<Url>,
+}

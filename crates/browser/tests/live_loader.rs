@@ -1,0 +1,89 @@
+//! Unit-level coverage for the live (wall-clock) page loader, over
+//! plain in-process duplex pipes — no link emulation, just protocol
+//! correctness and state persistence.
+
+#![cfg(feature = "aio")]
+
+use std::sync::Arc;
+
+use cachecatalyst_browser::live::{ByteStream, Dialer, LiveBrowser, LiveMode};
+use cachecatalyst_httpwire::Url;
+use cachecatalyst_netsim::FetchOutcome;
+use cachecatalyst_origin::{fixed_clock, serve_stream, OriginServer};
+use cachecatalyst_webmodel::example_site;
+
+fn instant_dialer(origin: Arc<OriginServer>, t_secs: i64) -> Dialer {
+    Arc::new(move |_host| {
+        let origin = Arc::clone(&origin);
+        Box::pin(async move {
+            let (client_end, server_end) = tokio::io::duplex(64 * 1024);
+            tokio::spawn(async move {
+                let _ = serve_stream(server_end, origin, fixed_clock(t_secs)).await;
+            });
+            Ok(Box::new(client_end) as Box<dyn ByteStream>)
+        })
+    })
+}
+
+fn base() -> Url {
+    Url::parse("http://example.org/index.html").unwrap()
+}
+
+#[tokio::test(flavor = "multi_thread", worker_threads = 2)]
+async fn uncached_load_fetches_the_whole_tree() {
+    let origin = Arc::new(OriginServer::new(
+        example_site(),
+        cachecatalyst_origin::HeaderMode::Baseline,
+    ));
+    let mut browser = LiveBrowser::new(instant_dialer(origin, 0), LiveMode::Uncached);
+    let report = browser.load(&base()).await.unwrap();
+    assert_eq!(report.trace.fetches.len(), 5, "{:#?}", report.trace);
+    assert_eq!(report.network_requests, 5);
+    assert!(report
+        .trace
+        .fetches
+        .iter()
+        .all(|f| f.outcome == FetchOutcome::FullTransfer));
+}
+
+#[tokio::test(flavor = "multi_thread", worker_threads = 2)]
+async fn baseline_live_browser_caches_across_loads() {
+    let origin = Arc::new(OriginServer::new(
+        example_site(),
+        cachecatalyst_origin::HeaderMode::Baseline,
+    ));
+    let mut browser =
+        LiveBrowser::new(instant_dialer(Arc::clone(&origin), 0), LiveMode::Baseline);
+    browser.load(&base()).await.unwrap();
+
+    // Revisit one minute later (server time unchanged ⇒ 304s for the
+    // no-cache entries, fresh hits for the TTL'd ones).
+    let mut browser = browser.with_dialer(instant_dialer(origin, 60));
+    browser.now_secs = 60;
+    let warm = browser.load(&base()).await.unwrap();
+    assert!(warm.cache_hits > 0, "{warm:?}");
+    assert!(warm.network_requests < 5);
+}
+
+#[tokio::test(flavor = "multi_thread", worker_threads = 2)]
+async fn catalyst_live_browser_reaches_sw_hits() {
+    let origin = Arc::new(OriginServer::new(
+        example_site(),
+        cachecatalyst_origin::HeaderMode::Catalyst,
+    ));
+    let mut browser =
+        LiveBrowser::new(instant_dialer(Arc::clone(&origin), 0), LiveMode::Catalyst);
+    browser.load(&base()).await.unwrap();
+    let mut browser = browser.with_dialer(instant_dialer(origin, 60));
+    browser.now_secs = 60;
+    let warm = browser.load(&base()).await.unwrap();
+    assert!(warm.sw_hits >= 2, "{warm:?}");
+    // Unchanged at +60 s: the navigation and the unmapped JS chain are
+    // the only network round trips, all 304s.
+    assert!(warm
+        .trace
+        .fetches
+        .iter()
+        .filter(|f| f.outcome.used_network())
+        .all(|f| f.outcome == FetchOutcome::NotModified));
+}

@@ -1,0 +1,37 @@
+//! # cachecatalyst-catalyst
+//!
+//! The primary contribution of "Rethinking Web Caching" (HotNets '24):
+//! eliminate cache-revalidation round trips by delivering, with the
+//! base HTML response, the current validation tokens (ETags) of every
+//! subresource the page needs — so a client with an up-to-date cached
+//! copy uses it **without any network round trip**, and no `max-age`
+//! tuning is ever needed.
+//!
+//! * [`config`] — the `X-Etag-Config` map and its header codec.
+//! * [`extract`] — server-side map construction by walking the page's
+//!   HTML (and, transitively, CSS).
+//! * [`sw`] — the client-side service-worker interceptor (Figure 2).
+//! * [`inject`] — SW registration injection and the JS worker the
+//!   origin serves to real browsers.
+//! * [`capture`] — the session-capture alternative that also covers
+//!   JS-discovered resources (§3, future-work mode);
+//! * [`aggregate`] — the memory-bounded capture optimization §6 asks
+//!   for (per-page popularity counters instead of per-session lists);
+//! * [`compose`] — coexistence with a site's own service worker
+//!   (§6 issue 3): site worker first, catalyst for the rest.
+
+pub mod aggregate;
+pub mod capture;
+pub mod compose;
+pub mod config;
+pub mod extract;
+pub mod inject;
+pub mod sw;
+
+pub use aggregate::AggregateCapture;
+pub use compose::{AppShellWorker, ComposedDecision, ComposedWorker, SiteWorker};
+pub use capture::SessionCapture;
+pub use config::EtagConfig;
+pub use extract::{build_config, build_config_for_site, ExtractOptions, ExtractStats, ResourceProvider};
+pub use inject::{has_registration, inject_registration, REGISTRATION_SNIPPET, SW_SCRIPT, SW_SCRIPT_PATH};
+pub use sw::{ServiceWorker, SwDecision, SwMetrics};

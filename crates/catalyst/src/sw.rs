@@ -1,0 +1,345 @@
+//! The client-side CacheCatalyst service worker.
+//!
+//! A domain-scoped interceptor sitting between the page and the
+//! network (Figure 2). It keeps its own cache of responses and, on
+//! each navigation, installs the `X-Etag-Config` map carried by the
+//! base HTML response. Subsequent subresource fetches are answered
+//! locally — with **zero RTTs** — whenever the cached copy's ETag
+//! matches the map; everything else is forwarded upstream and
+//! re-stored with its new tag.
+
+use std::collections::HashMap;
+
+use cachecatalyst_httpwire::{EntityTag, HeaderName, Response, StatusCode};
+
+use crate::config::EtagConfig;
+
+/// One response held by the service worker.
+#[derive(Debug, Clone)]
+struct SwEntry {
+    etag: Option<EntityTag>,
+    response: Response,
+}
+
+/// Counters for the SW's behaviour.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SwMetrics {
+    /// Fetches answered from the SW cache (zero network).
+    pub served_locally: u64,
+    /// Fetches forwarded to the network.
+    pub forwarded: u64,
+    /// Responses stored into the SW cache.
+    pub stored: u64,
+    /// Navigations that installed a config.
+    pub config_installs: u64,
+}
+
+/// What the SW decided for an intercepted fetch.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SwDecision {
+    /// Serve this stored response; no network use.
+    ServeLocal(Response),
+    /// Go upstream. `if_none_match` carries the cached validator (the
+    /// forwarded request can still revalidate at the origin and be
+    /// answered from the SW cache on a 304).
+    Forward { if_none_match: Option<EntityTag> },
+}
+
+/// The service worker state for one origin.
+///
+/// ```
+/// use cachecatalyst_catalyst::{EtagConfig, ServiceWorker, SwDecision};
+/// use cachecatalyst_httpwire::{EntityTag, Response};
+///
+/// let mut sw = ServiceWorker::new();
+/// // A navigation response carrying the map…
+/// let mut config = EtagConfig::new();
+/// config.insert("/a.css", EntityTag::strong("v1").unwrap());
+/// let mut nav = Response::ok("<html>");
+/// config.apply_to(&mut nav, 4096);
+/// sw.on_navigation(&nav);
+/// // …a cached copy with the matching tag…
+/// sw.on_response(
+///     "http://s/a.css",
+///     &Response::ok("body").with_header("etag", "\"v1\""),
+/// );
+/// // …and the next fetch is served with zero round trips.
+/// assert!(matches!(
+///     sw.intercept("http://s/a.css", "/a.css"),
+///     SwDecision::ServeLocal(_)
+/// ));
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct ServiceWorker {
+    cache: HashMap<String, SwEntry>,
+    config: EtagConfig,
+    pub metrics: SwMetrics,
+}
+
+impl ServiceWorker {
+    pub fn new() -> ServiceWorker {
+        ServiceWorker::default()
+    }
+
+    /// Number of stored responses.
+    pub fn cached_responses(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// The currently installed config.
+    pub fn config(&self) -> &EtagConfig {
+        &self.config
+    }
+
+    /// Handles the navigation (base HTML) response: installs the
+    /// config from its `X-Etag-Config` headers. Unparsable configs are
+    /// discarded (failing open to plain forwarding, never breaking the
+    /// page).
+    pub fn on_navigation(&mut self, resp: &Response) {
+        match EtagConfig::from_response(resp) {
+            Ok(config) if !config.is_empty() => {
+                self.config = config;
+                self.metrics.config_installs += 1;
+            }
+            Ok(_) => {
+                // No config on this response: keep forwarding; stale
+                // maps must not serve outdated content, so clear.
+                self.config = EtagConfig::new();
+            }
+            Err(_) => {
+                self.config = EtagConfig::new();
+            }
+        }
+    }
+
+    /// Intercepts a subresource fetch for `path` (the cache key is the
+    /// absolute `url`).
+    pub fn intercept(&mut self, url: &str, path: &str) -> SwDecision {
+        let entry = self.cache.get(url);
+        // Same-origin entries are keyed by path; the cross-origin
+        // extension (paper §6, issue 2) keys third-party resources by
+        // their full URL.
+        let mapped = self.config.get(path).or_else(|| self.config.get(url));
+        if let (Some(entry), Some(current)) = (entry, mapped) {
+            if let Some(cached_tag) = &entry.etag {
+                // Strong comparison: the map is authoritative about the
+                // *exact* representation currently served.
+                if cached_tag.strong_eq(current) || cached_tag.weak_eq(current) {
+                    self.metrics.served_locally += 1;
+                    let mut resp = entry.response.clone();
+                    resp.headers
+                        .insert(HeaderName::X_SERVED_BY, "cachecatalyst-sw");
+                    return SwDecision::ServeLocal(resp);
+                }
+            }
+        }
+        self.metrics.forwarded += 1;
+        SwDecision::Forward {
+            if_none_match: self.cache.get(url).and_then(|e| e.etag.clone()),
+        }
+    }
+
+    /// Handles an upstream response for a forwarded fetch.
+    ///
+    /// * `200` → stored (unless `no-store`) with its ETag, and returned
+    ///   for delivery.
+    /// * `304` → the stored body is refreshed and returned.
+    ///
+    /// Returns the response to deliver to the page.
+    pub fn on_response(&mut self, url: &str, resp: &Response) -> Response {
+        if resp.status == StatusCode::NOT_MODIFIED {
+            if let Some(entry) = self.cache.get_mut(url) {
+                // Adopt any new validators/metadata from the 304.
+                for (name, value) in resp.headers.iter() {
+                    let n = name.as_str();
+                    if n == HeaderName::CONTENT_LENGTH || n == HeaderName::TRANSFER_ENCODING
+                    {
+                        continue;
+                    }
+                    entry.response.headers.insert(n, value.as_str());
+                }
+                if let Some(tag) = resp.etag() {
+                    entry.etag = Some(tag);
+                }
+                return entry.response.clone();
+            }
+            // A 304 with nothing cached is a protocol anomaly; pass it
+            // through — the page will refetch.
+            return resp.clone();
+        }
+        if resp.status.is_success() && !resp.cache_control().no_store {
+            self.cache.insert(
+                url.to_owned(),
+                SwEntry {
+                    etag: resp.etag(),
+                    response: resp.clone(),
+                },
+            );
+            self.metrics.stored += 1;
+        }
+        resp.clone()
+    }
+
+    /// The ETag of the stored response for `url`, if any.
+    pub fn cached_etag(&self, url: &str) -> Option<&EntityTag> {
+        self.cache.get(url).and_then(|e| e.etag.as_ref())
+    }
+
+    /// Drops all state (a new browser profile).
+    pub fn clear(&mut self) {
+        self.cache.clear();
+        self.config = EtagConfig::new();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tag(s: &str) -> EntityTag {
+        EntityTag::strong(s).unwrap()
+    }
+
+    fn resp_with_etag(body: &str, etag: &str) -> Response {
+        Response::ok(body.to_owned()).with_header("etag", &tag(etag).to_string())
+    }
+
+    fn navigation_with_config(entries: &[(&str, &str)]) -> Response {
+        let mut config = EtagConfig::new();
+        for (p, e) in entries {
+            config.insert(p, tag(e));
+        }
+        let mut resp = Response::ok("<html>");
+        config.apply_to(&mut resp, 4096);
+        resp
+    }
+
+    #[test]
+    fn cold_cache_forwards() {
+        let mut sw = ServiceWorker::new();
+        sw.on_navigation(&navigation_with_config(&[("/a.css", "v1")]));
+        match sw.intercept("http://s/a.css", "/a.css") {
+            SwDecision::Forward { if_none_match } => assert!(if_none_match.is_none()),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn matching_etag_served_locally() {
+        let mut sw = ServiceWorker::new();
+        sw.on_navigation(&navigation_with_config(&[("/a.css", "v1")]));
+        sw.on_response("http://s/a.css", &resp_with_etag("body-v1", "v1"));
+
+        // Next visit: same config, cached copy matches.
+        sw.on_navigation(&navigation_with_config(&[("/a.css", "v1")]));
+        match sw.intercept("http://s/a.css", "/a.css") {
+            SwDecision::ServeLocal(resp) => {
+                assert_eq!(&resp.body[..], b"body-v1");
+                assert_eq!(resp.headers.get("x-served-by"), Some("cachecatalyst-sw"));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(sw.metrics.served_locally, 1);
+    }
+
+    #[test]
+    fn changed_etag_forwards_with_validator() {
+        let mut sw = ServiceWorker::new();
+        sw.on_navigation(&navigation_with_config(&[("/a.css", "v1")]));
+        sw.on_response("http://s/a.css", &resp_with_etag("body-v1", "v1"));
+
+        // The resource changed server-side: map now says v2.
+        sw.on_navigation(&navigation_with_config(&[("/a.css", "v2")]));
+        match sw.intercept("http://s/a.css", "/a.css") {
+            SwDecision::Forward { if_none_match } => {
+                assert_eq!(if_none_match.unwrap(), tag("v1"));
+            }
+            other => panic!("{other:?}"),
+        }
+        // New body arrives and is stored under the new tag.
+        sw.on_response("http://s/a.css", &resp_with_etag("body-v2", "v2"));
+        sw.on_navigation(&navigation_with_config(&[("/a.css", "v2")]));
+        assert!(matches!(
+            sw.intercept("http://s/a.css", "/a.css"),
+            SwDecision::ServeLocal(_)
+        ));
+    }
+
+    #[test]
+    fn unmapped_path_forwards() {
+        let mut sw = ServiceWorker::new();
+        sw.on_navigation(&navigation_with_config(&[("/a.css", "v1")]));
+        sw.on_response("http://s/x.js", &resp_with_etag("x", "xv"));
+        assert!(matches!(
+            sw.intercept("http://s/x.js", "/x.js"),
+            SwDecision::Forward { .. }
+        ));
+    }
+
+    #[test]
+    fn response_without_config_clears_map() {
+        let mut sw = ServiceWorker::new();
+        sw.on_navigation(&navigation_with_config(&[("/a.css", "v1")]));
+        sw.on_response("http://s/a.css", &resp_with_etag("b", "v1"));
+        // A later navigation without any map must not keep serving
+        // from a stale map.
+        sw.on_navigation(&Response::ok("<html>"));
+        assert!(matches!(
+            sw.intercept("http://s/a.css", "/a.css"),
+            SwDecision::Forward { .. }
+        ));
+    }
+
+    #[test]
+    fn no_store_responses_are_not_kept() {
+        let mut sw = ServiceWorker::new();
+        sw.on_navigation(&navigation_with_config(&[("/secret", "v1")]));
+        let resp = resp_with_etag("secret", "v1").with_header("cache-control", "no-store");
+        sw.on_response("http://s/secret", &resp);
+        assert_eq!(sw.cached_responses(), 0);
+        assert!(matches!(
+            sw.intercept("http://s/secret", "/secret"),
+            SwDecision::Forward { .. }
+        ));
+    }
+
+    #[test]
+    fn not_modified_refreshes_stored_body() {
+        let mut sw = ServiceWorker::new();
+        sw.on_navigation(&navigation_with_config(&[("/a.css", "v1")]));
+        sw.on_response("http://s/a.css", &resp_with_etag("body", "v1"));
+        let delivered = sw.on_response(
+            "http://s/a.css",
+            &Response::not_modified(Some(&tag("v1"))),
+        );
+        assert_eq!(&delivered.body[..], b"body");
+        assert_eq!(delivered.status, StatusCode::OK);
+    }
+
+    #[test]
+    fn weak_tags_match_weakly() {
+        let mut sw = ServiceWorker::new();
+        let mut config = EtagConfig::new();
+        config.insert("/w", EntityTag::weak("w1").unwrap());
+        let mut nav = Response::ok("html");
+        config.apply_to(&mut nav, 4096);
+        sw.on_navigation(&nav);
+        let stored = Response::ok("wbody").with_header("etag", "W/\"w1\"");
+        sw.on_response("http://s/w", &stored);
+        sw.on_navigation(&nav);
+        assert!(matches!(
+            sw.intercept("http://s/w", "/w"),
+            SwDecision::ServeLocal(_)
+        ));
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut sw = ServiceWorker::new();
+        sw.on_navigation(&navigation_with_config(&[("/a", "v")]));
+        sw.on_response("http://s/a", &resp_with_etag("b", "v"));
+        sw.clear();
+        assert_eq!(sw.cached_responses(), 0);
+        assert!(sw.config().is_empty());
+    }
+}

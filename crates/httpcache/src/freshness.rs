@@ -1,0 +1,201 @@
+//! Freshness lifetime and age calculation (RFC 9111 §4.2).
+
+use std::time::Duration;
+
+use cachecatalyst_httpwire::{HeaderName, HttpDate, Response};
+
+/// Computes the freshness lifetime of a stored response for a private
+/// (browser) cache: explicit `max-age`, else `Expires − Date`, else a
+/// heuristic of 10% of `Date − Last-Modified` (capped at one day).
+pub fn freshness_lifetime(resp: &Response) -> Duration {
+    let cc = resp.cache_control();
+    if let Some(max_age) = cc.max_age {
+        return max_age;
+    }
+    if let (Some(expires), Some(date)) = (
+        resp.headers
+            .get(HeaderName::EXPIRES)
+            .and_then(|v| HttpDate::parse_imf_fixdate(v).ok()),
+        resp.date(),
+    ) {
+        return Duration::from_secs((expires.as_secs() - date.as_secs()).max(0) as u64);
+    }
+    // Heuristic freshness (§4.2.2) applies only to statuses that are
+    // cacheable by default and only when a validator-era is known.
+    if resp.status.is_heuristically_cacheable() {
+        if let (Some(lm), Some(date)) = (resp.last_modified(), resp.date()) {
+            let era = date.as_secs().saturating_sub(lm.as_secs()).max(0) as u64;
+            return Duration::from_secs((era / 10).min(86_400));
+        }
+    }
+    Duration::ZERO
+}
+
+/// Current age of a stored response (RFC 9111 §4.2.3, simplified to a
+/// single-hop private cache with a virtual clock).
+///
+/// * `request_time` / `response_time`: virtual seconds when the request
+///   was sent and the response received.
+/// * `now`: current virtual seconds.
+pub fn current_age(resp: &Response, request_time: i64, response_time: i64, now: i64) -> Duration {
+    let age_header = resp.age().unwrap_or(0);
+    let apparent_age = match resp.date() {
+        Some(date) => (response_time - date.as_secs()).max(0) as u64,
+        None => 0,
+    };
+    let response_delay = (response_time - request_time).max(0) as u64;
+    let corrected_age_value = age_header + response_delay;
+    let corrected_initial_age = apparent_age.max(corrected_age_value);
+    let resident_time = (now - response_time).max(0) as u64;
+    Duration::from_secs(corrected_initial_age + resident_time)
+}
+
+/// Whether a stored response is fresh at `now`.
+pub fn is_fresh(resp: &Response, request_time: i64, response_time: i64, now: i64) -> bool {
+    // `no-cache` means: stored, but never served without revalidation.
+    if resp.cache_control().no_cache {
+        return false;
+    }
+    current_age(resp, request_time, response_time, now) < freshness_lifetime(resp)
+}
+
+/// Whether a *stale* response may still be served while a background
+/// revalidation runs (RFC 5861 `stale-while-revalidate`).
+pub fn swr_usable(resp: &Response, request_time: i64, response_time: i64, now: i64) -> bool {
+    let cc = resp.cache_control();
+    if cc.no_cache || cc.no_store || cc.must_revalidate {
+        return false;
+    }
+    let Some(window) = cc.stale_while_revalidate else {
+        return false;
+    };
+    let age = current_age(resp, request_time, response_time, now);
+    age < freshness_lifetime(resp) + window
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cachecatalyst_httpwire::Response;
+
+    fn resp_with(headers: &[(&str, &str)]) -> Response {
+        let mut r = Response::ok("body");
+        for (n, v) in headers {
+            r.headers.insert(n, v);
+        }
+        r
+    }
+
+    #[test]
+    fn max_age_wins() {
+        let r = resp_with(&[
+            ("cache-control", "max-age=60"),
+            ("expires", &HttpDate(1_000_000).to_imf_fixdate()),
+            ("date", &HttpDate(0).to_imf_fixdate()),
+        ]);
+        assert_eq!(freshness_lifetime(&r), Duration::from_secs(60));
+    }
+
+    #[test]
+    fn expires_minus_date() {
+        let r = resp_with(&[
+            ("date", &HttpDate(1000).to_imf_fixdate()),
+            ("expires", &HttpDate(4600).to_imf_fixdate()),
+        ]);
+        assert_eq!(freshness_lifetime(&r), Duration::from_secs(3600));
+    }
+
+    #[test]
+    fn expired_expires_is_zero() {
+        let r = resp_with(&[
+            ("date", &HttpDate(5000).to_imf_fixdate()),
+            ("expires", &HttpDate(1000).to_imf_fixdate()),
+        ]);
+        assert_eq!(freshness_lifetime(&r), Duration::ZERO);
+    }
+
+    #[test]
+    fn heuristic_is_ten_percent_of_era() {
+        let r = resp_with(&[
+            ("date", &HttpDate(100_000).to_imf_fixdate()),
+            ("last-modified", &HttpDate(0).to_imf_fixdate()),
+        ]);
+        assert_eq!(freshness_lifetime(&r), Duration::from_secs(10_000));
+    }
+
+    #[test]
+    fn heuristic_capped_at_one_day() {
+        let r = resp_with(&[
+            ("date", &HttpDate(10_000_000).to_imf_fixdate()),
+            ("last-modified", &HttpDate(0).to_imf_fixdate()),
+        ]);
+        assert_eq!(freshness_lifetime(&r), Duration::from_secs(86_400));
+    }
+
+    #[test]
+    fn no_validators_no_heuristic() {
+        let r = resp_with(&[]);
+        assert_eq!(freshness_lifetime(&r), Duration::ZERO);
+    }
+
+    #[test]
+    fn age_accumulates_residency() {
+        let r = resp_with(&[("date", &HttpDate(100).to_imf_fixdate())]);
+        // received at t=100 (no delay), now t=160 → age 60.
+        assert_eq!(current_age(&r, 100, 100, 160), Duration::from_secs(60));
+    }
+
+    #[test]
+    fn age_header_and_delay_are_counted() {
+        let r = resp_with(&[
+            ("date", &HttpDate(100).to_imf_fixdate()),
+            ("age", "30"),
+        ]);
+        // requested at 100, received at 110 (delay 10): corrected age
+        // = 30 + 10 = 40; at now=120, +10 residency → 50.
+        assert_eq!(current_age(&r, 100, 110, 120), Duration::from_secs(50));
+    }
+
+    #[test]
+    fn freshness_decision() {
+        let r = resp_with(&[
+            ("cache-control", "max-age=100"),
+            ("date", &HttpDate(0).to_imf_fixdate()),
+        ]);
+        assert!(is_fresh(&r, 0, 0, 99));
+        assert!(!is_fresh(&r, 0, 0, 100));
+    }
+
+    #[test]
+    fn swr_window() {
+        let r = resp_with(&[
+            ("cache-control", "max-age=100, stale-while-revalidate=50"),
+            ("date", &HttpDate(0).to_imf_fixdate()),
+        ]);
+        assert!(is_fresh(&r, 0, 0, 99));
+        assert!(!is_fresh(&r, 0, 0, 120));
+        assert!(swr_usable(&r, 0, 0, 120), "within the SWR window");
+        assert!(!swr_usable(&r, 0, 0, 150), "window elapsed");
+        // Without the directive, never SWR-usable.
+        let plain = resp_with(&[
+            ("cache-control", "max-age=100"),
+            ("date", &HttpDate(0).to_imf_fixdate()),
+        ]);
+        assert!(!swr_usable(&plain, 0, 0, 120));
+        // must-revalidate forbids it (RFC 5861 §4).
+        let strict = resp_with(&[
+            ("cache-control", "max-age=100, stale-while-revalidate=50, must-revalidate"),
+            ("date", &HttpDate(0).to_imf_fixdate()),
+        ]);
+        assert!(!swr_usable(&strict, 0, 0, 120));
+    }
+
+    #[test]
+    fn no_cache_is_never_fresh() {
+        let r = resp_with(&[
+            ("cache-control", "no-cache, max-age=100"),
+            ("date", &HttpDate(0).to_imf_fixdate()),
+        ]);
+        assert!(!is_fresh(&r, 0, 0, 1));
+    }
+}

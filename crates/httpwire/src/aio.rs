@@ -1,0 +1,238 @@
+//! Async HTTP/1.1 connections over any tokio byte stream.
+//!
+//! [`ServerConn`] reads requests and writes responses; [`ClientConn`]
+//! writes requests and reads responses. Both are sans-IO wrappers over
+//! the incremental codec in [`crate::codec`] and work with any
+//! `AsyncRead + AsyncWrite` transport — a real `TcpStream`, a duplex
+//! pipe in tests, or a throttled wrapper.
+
+use bytes::BytesMut;
+use tokio::io::{AsyncRead, AsyncReadExt, AsyncWrite, AsyncWriteExt};
+
+use crate::codec::{self, Parsed, ParseLimits};
+use crate::error::WireError;
+use crate::message::{Request, Response};
+use crate::method::Method;
+
+/// IO or protocol failure on a connection.
+#[derive(Debug)]
+pub enum ConnError {
+    Io(std::io::Error),
+    Wire(WireError),
+    /// Clean EOF between messages (the peer closed the connection).
+    Closed,
+}
+
+impl std::fmt::Display for ConnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConnError::Io(e) => write!(f, "io error: {e}"),
+            ConnError::Wire(e) => write!(f, "protocol error: {e}"),
+            ConnError::Closed => write!(f, "connection closed"),
+        }
+    }
+}
+
+impl std::error::Error for ConnError {}
+
+impl From<std::io::Error> for ConnError {
+    fn from(e: std::io::Error) -> Self {
+        ConnError::Io(e)
+    }
+}
+
+impl From<WireError> for ConnError {
+    fn from(e: WireError) -> Self {
+        ConnError::Wire(e)
+    }
+}
+
+const READ_CHUNK: usize = 16 * 1024;
+
+/// Server side of an HTTP/1.1 connection.
+#[derive(Debug)]
+pub struct ServerConn<S> {
+    stream: S,
+    buf: BytesMut,
+    limits: ParseLimits,
+}
+
+impl<S: AsyncRead + AsyncWrite + Unpin> ServerConn<S> {
+    pub fn new(stream: S) -> Self {
+        Self::with_limits(stream, ParseLimits::default())
+    }
+
+    pub fn with_limits(stream: S, limits: ParseLimits) -> Self {
+        ServerConn {
+            stream,
+            buf: BytesMut::with_capacity(READ_CHUNK),
+            limits,
+        }
+    }
+
+    /// Reads the next request. Returns [`ConnError::Closed`] on a clean
+    /// EOF between messages.
+    pub async fn read_request(&mut self) -> Result<Request, ConnError> {
+        loop {
+            match codec::parse_request(&self.buf, &self.limits)? {
+                Parsed::Complete { message, consumed } => {
+                    let _ = self.buf.split_to(consumed);
+                    return Ok(message);
+                }
+                Parsed::Partial => {}
+            }
+            let n = self.stream.read_buf(&mut self.buf).await?;
+            if n == 0 {
+                return if self.buf.is_empty() {
+                    Err(ConnError::Closed)
+                } else {
+                    Err(ConnError::Wire(WireError::UnexpectedEof))
+                };
+            }
+        }
+    }
+
+    /// Writes a response and flushes it.
+    pub async fn write_response(&mut self, resp: &Response) -> Result<(), ConnError> {
+        let wire = codec::encode_response(resp);
+        self.stream.write_all(&wire).await?;
+        self.stream.flush().await?;
+        Ok(())
+    }
+
+    /// Consumes the connection, returning the underlying stream.
+    pub fn into_inner(self) -> S {
+        self.stream
+    }
+}
+
+/// Client side of an HTTP/1.1 connection.
+#[derive(Debug)]
+pub struct ClientConn<S> {
+    stream: S,
+    buf: BytesMut,
+    limits: ParseLimits,
+}
+
+impl<S: AsyncRead + AsyncWrite + Unpin> ClientConn<S> {
+    pub fn new(stream: S) -> Self {
+        Self::with_limits(stream, ParseLimits::default())
+    }
+
+    pub fn with_limits(stream: S, limits: ParseLimits) -> Self {
+        ClientConn {
+            stream,
+            buf: BytesMut::with_capacity(READ_CHUNK),
+            limits,
+        }
+    }
+
+    /// Writes a request and flushes it.
+    pub async fn write_request(&mut self, req: &Request) -> Result<(), ConnError> {
+        let wire = codec::encode_request(req);
+        self.stream.write_all(&wire).await?;
+        self.stream.flush().await?;
+        Ok(())
+    }
+
+    /// Reads the response to a request sent with `method`.
+    pub async fn read_response(&mut self, method: &Method) -> Result<Response, ConnError> {
+        loop {
+            match codec::parse_response(&self.buf, method, &self.limits)? {
+                Parsed::Complete { message, consumed } => {
+                    let _ = self.buf.split_to(consumed);
+                    return Ok(message);
+                }
+                Parsed::Partial => {}
+            }
+            let n = self.stream.read_buf(&mut self.buf).await?;
+            if n == 0 {
+                // Possibly an EOF-delimited body.
+                let resp = codec::parse_response_eof(&self.buf, method, &self.limits)?;
+                self.buf.clear();
+                return Ok(resp);
+            }
+        }
+    }
+
+    /// Sends a request and awaits its response.
+    pub async fn round_trip(&mut self, req: &Request) -> Result<Response, ConnError> {
+        self.write_request(req).await?;
+        self.read_response(&req.method).await
+    }
+
+    pub fn into_inner(self) -> S {
+        self.stream
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::Response;
+
+    #[tokio::test]
+    async fn request_response_over_duplex() {
+        let (client_io, server_io) = tokio::io::duplex(4096);
+        let mut client = ClientConn::new(client_io);
+        let mut server = ServerConn::new(server_io);
+
+        let server_task = tokio::spawn(async move {
+            let req = server.read_request().await.unwrap();
+            assert_eq!(req.target.path(), "/hello");
+            server
+                .write_response(&Response::ok("hi there"))
+                .await
+                .unwrap();
+        });
+
+        let resp = client
+            .round_trip(&Request::get("/hello").with_header("host", "test"))
+            .await
+            .unwrap();
+        assert_eq!(&resp.body[..], b"hi there");
+        server_task.await.unwrap();
+    }
+
+    #[tokio::test]
+    async fn keep_alive_multiple_requests() {
+        let (client_io, server_io) = tokio::io::duplex(4096);
+        let mut client = ClientConn::new(client_io);
+        let mut server = ServerConn::new(server_io);
+
+        let server_task = tokio::spawn(async move {
+            for _ in 0..3 {
+                let req = server.read_request().await.unwrap();
+                server
+                    .write_response(&Response::ok(req.target.path().to_owned()))
+                    .await
+                    .unwrap();
+            }
+            // Client closes; next read sees clean EOF.
+            assert!(matches!(
+                server.read_request().await,
+                Err(ConnError::Closed)
+            ));
+        });
+
+        for path in ["/a", "/b", "/c"] {
+            let resp = client.round_trip(&Request::get(path)).await.unwrap();
+            assert_eq!(std::str::from_utf8(&resp.body).unwrap(), path);
+        }
+        drop(client);
+        server_task.await.unwrap();
+    }
+
+    #[tokio::test]
+    async fn clean_eof_vs_truncated_request() {
+        let (client_io, server_io) = tokio::io::duplex(4096);
+        let mut server = ServerConn::new(server_io);
+        let mut raw = client_io;
+        raw.write_all(b"GET / HT").await.unwrap();
+        drop(raw);
+        assert!(matches!(
+            server.read_request().await,
+            Err(ConnError::Wire(WireError::UnexpectedEof))
+        ));
+    }
+}

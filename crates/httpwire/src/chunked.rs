@@ -1,0 +1,149 @@
+//! Chunked transfer coding (RFC 9112 §7.1).
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+use crate::error::{WireError, WireResult};
+
+/// Attempts to decode a complete chunked body from the front of `buf`.
+///
+/// Returns `Ok(Some((body, consumed)))` when the terminating zero chunk
+/// (and trailer section) has been seen, `Ok(None)` when more input is
+/// required, and an error on malformed framing.
+pub fn decode(buf: &[u8], max_body: usize) -> WireResult<Option<(Bytes, usize)>> {
+    let mut body = BytesMut::new();
+    let mut pos = 0usize;
+    loop {
+        // chunk-size [;ext] CRLF
+        let line_end = match find_crlf(&buf[pos..]) {
+            Some(i) => pos + i,
+            None => return Ok(None),
+        };
+        let line = std::str::from_utf8(&buf[pos..line_end])
+            .map_err(|_| WireError::InvalidChunkSize("non-utf8".to_owned()))?;
+        let size_str = line.split(';').next().unwrap_or("").trim();
+        let size = usize::from_str_radix(size_str, 16)
+            .map_err(|_| WireError::InvalidChunkSize(size_str.to_owned()))?;
+        pos = line_end + 2;
+        if size == 0 {
+            // Trailer section: zero or more header lines, then CRLF.
+            loop {
+                let t_end = match find_crlf(&buf[pos..]) {
+                    Some(i) => pos + i,
+                    None => return Ok(None),
+                };
+                let line_len = t_end - pos;
+                pos = t_end + 2;
+                if line_len == 0 {
+                    return Ok(Some((body.freeze(), pos)));
+                }
+            }
+        }
+        if body.len() + size > max_body {
+            return Err(WireError::BodyTooLarge { limit: max_body });
+        }
+        if buf.len() < pos + size + 2 {
+            return Ok(None);
+        }
+        body.put_slice(&buf[pos..pos + size]);
+        if &buf[pos + size..pos + size + 2] != b"\r\n" {
+            return Err(WireError::InvalidChunkFraming);
+        }
+        pos += size + 2;
+    }
+}
+
+/// Encodes `data` as a chunked body using chunks of at most
+/// `chunk_size` bytes, including the terminating zero chunk.
+pub fn encode(data: &[u8], chunk_size: usize) -> Bytes {
+    assert!(chunk_size > 0, "chunk size must be positive");
+    let mut out = BytesMut::with_capacity(data.len() + 64);
+    for chunk in data.chunks(chunk_size) {
+        out.put_slice(format!("{:x}\r\n", chunk.len()).as_bytes());
+        out.put_slice(chunk);
+        out.put_slice(b"\r\n");
+    }
+    out.put_slice(b"0\r\n\r\n");
+    out.freeze()
+}
+
+fn find_crlf(buf: &[u8]) -> Option<usize> {
+    buf.windows(2).position(|w| w == b"\r\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MAX: usize = 1 << 20;
+
+    #[test]
+    fn roundtrip() {
+        for chunk_size in [1, 3, 7, 1024] {
+            let data = b"The quick brown fox jumps over the lazy dog";
+            let encoded = encode(data, chunk_size);
+            let (decoded, consumed) = decode(&encoded, MAX).unwrap().unwrap();
+            assert_eq!(&decoded[..], data);
+            assert_eq!(consumed, encoded.len());
+        }
+    }
+
+    #[test]
+    fn empty_body() {
+        let encoded = encode(b"", 8);
+        assert_eq!(&encoded[..], b"0\r\n\r\n");
+        let (decoded, consumed) = decode(&encoded, MAX).unwrap().unwrap();
+        assert!(decoded.is_empty());
+        assert_eq!(consumed, 5);
+    }
+
+    #[test]
+    fn partial_input_returns_none() {
+        let encoded = encode(b"hello world", 4);
+        for cut in 0..encoded.len() {
+            assert_eq!(decode(&encoded[..cut], MAX).unwrap(), None, "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn chunk_extensions_are_ignored() {
+        let wire = b"5;ext=1\r\nhello\r\n0\r\n\r\n";
+        let (decoded, _) = decode(wire, MAX).unwrap().unwrap();
+        assert_eq!(&decoded[..], b"hello");
+    }
+
+    #[test]
+    fn trailers_are_skipped() {
+        let wire = b"5\r\nhello\r\n0\r\nx-checksum: abc\r\n\r\n";
+        let (decoded, consumed) = decode(wire, MAX).unwrap().unwrap();
+        assert_eq!(&decoded[..], b"hello");
+        assert_eq!(consumed, wire.len());
+    }
+
+    #[test]
+    fn rejects_bad_size() {
+        assert!(decode(b"zz\r\nhello\r\n0\r\n\r\n", MAX).is_err());
+    }
+
+    #[test]
+    fn rejects_missing_crlf_after_data() {
+        assert!(decode(b"5\r\nhelloXX0\r\n\r\n", MAX).is_err());
+    }
+
+    #[test]
+    fn enforces_body_limit() {
+        let encoded = encode(&[0u8; 100], 10);
+        assert!(matches!(
+            decode(&encoded, 50),
+            Err(WireError::BodyTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_left_for_next_message() {
+        let mut wire = encode(b"abc", 10).to_vec();
+        wire.extend_from_slice(b"NEXT");
+        let (decoded, consumed) = decode(&wire, MAX).unwrap().unwrap();
+        assert_eq!(&decoded[..], b"abc");
+        assert_eq!(&wire[consumed..], b"NEXT");
+    }
+}

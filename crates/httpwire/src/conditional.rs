@@ -1,0 +1,145 @@
+//! Server-side evaluation of conditional requests (RFC 9110 §13).
+
+use crate::date::HttpDate;
+use crate::etag::EntityTag;
+use crate::message::Request;
+
+/// The validators of the representation currently held by the server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Validators {
+    pub etag: Option<EntityTag>,
+    pub last_modified: Option<HttpDate>,
+}
+
+impl Validators {
+    pub fn new(etag: Option<EntityTag>, last_modified: Option<HttpDate>) -> Validators {
+        Validators {
+            etag,
+            last_modified,
+        }
+    }
+}
+
+/// What the server should do for a conditional GET/HEAD.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Disposition {
+    /// Send the full representation (precondition passed or absent).
+    Full,
+    /// Send `304 Not Modified`.
+    NotModified,
+}
+
+/// Evaluates `If-None-Match` / `If-Modified-Since` for a safe request
+/// against the current validators, in the precedence order of
+/// RFC 9110 §13.2.2.
+pub fn evaluate(req: &Request, current: &Validators) -> Disposition {
+    if let Some(inm) = req.if_none_match() {
+        let matched = match &current.etag {
+            Some(tag) => inm.matches(tag),
+            // `If-None-Match: *` matches if *any* representation
+            // exists; a listed tag can only match if we have one.
+            None => matches!(inm, crate::etag::IfNoneMatch::Any),
+        };
+        return if matched {
+            Disposition::NotModified
+        } else {
+            Disposition::Full
+        };
+    }
+    if let (Some(ims), Some(lm)) = (req.if_modified_since(), current.last_modified) {
+        if lm.as_secs() <= ims.as_secs() {
+            return Disposition::NotModified;
+        }
+    }
+    Disposition::Full
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn validators(etag: &str, lm: i64) -> Validators {
+        Validators::new(
+            Some(EntityTag::strong(etag).unwrap()),
+            Some(HttpDate(lm)),
+        )
+    }
+
+    #[test]
+    fn matching_etag_yields_304() {
+        let req = Request::get("/x").with_header("if-none-match", "\"v1\"");
+        assert_eq!(
+            evaluate(&req, &validators("v1", 100)),
+            Disposition::NotModified
+        );
+    }
+
+    #[test]
+    fn non_matching_etag_yields_full() {
+        let req = Request::get("/x").with_header("if-none-match", "\"v1\"");
+        assert_eq!(evaluate(&req, &validators("v2", 100)), Disposition::Full);
+    }
+
+    #[test]
+    fn weak_comparison_is_used() {
+        let req = Request::get("/x").with_header("if-none-match", "W/\"v1\"");
+        assert_eq!(
+            evaluate(&req, &validators("v1", 100)),
+            Disposition::NotModified
+        );
+    }
+
+    #[test]
+    fn etag_takes_precedence_over_date() {
+        // ETag mismatches but date would match: must send full.
+        let req = Request::get("/x")
+            .with_header("if-none-match", "\"old\"")
+            .with_header("if-modified-since", &HttpDate(200).to_imf_fixdate());
+        assert_eq!(evaluate(&req, &validators("new", 100)), Disposition::Full);
+    }
+
+    #[test]
+    fn if_modified_since_not_modified() {
+        let req = Request::get("/x")
+            .with_header("if-modified-since", &HttpDate(150).to_imf_fixdate());
+        assert_eq!(
+            evaluate(&req, &validators("v", 100)),
+            Disposition::NotModified
+        );
+    }
+
+    #[test]
+    fn if_modified_since_modified() {
+        let req = Request::get("/x")
+            .with_header("if-modified-since", &HttpDate(50).to_imf_fixdate());
+        assert_eq!(evaluate(&req, &validators("v", 100)), Disposition::Full);
+    }
+
+    #[test]
+    fn unconditional_request_is_full() {
+        let req = Request::get("/x");
+        assert_eq!(evaluate(&req, &validators("v", 100)), Disposition::Full);
+    }
+
+    #[test]
+    fn star_matches_when_representation_exists() {
+        let req = Request::get("/x").with_header("if-none-match", "*");
+        assert_eq!(
+            evaluate(&req, &validators("v", 100)),
+            Disposition::NotModified
+        );
+        assert_eq!(
+            evaluate(&req, &Validators::new(None, None)),
+            Disposition::NotModified,
+        );
+    }
+
+    #[test]
+    fn listed_tag_with_no_current_etag_is_full() {
+        let req = Request::get("/x").with_header("if-none-match", "\"v1\"");
+        assert_eq!(
+            evaluate(&req, &Validators::new(None, Some(HttpDate(0)))),
+            Disposition::Full
+        );
+    }
+}

@@ -1,0 +1,222 @@
+//! HTTP dates (RFC 9110 §5.6.7): IMF-fixdate formatting and parsing.
+//!
+//! The reproduction runs on a *virtual* clock, so this module works in
+//! plain seconds-since-Unix-epoch rather than `SystemTime`, with the
+//! civil-date conversion implemented from first principles (Howard
+//! Hinnant's `days_from_civil` algorithm).
+
+use std::fmt;
+
+use crate::error::WireError;
+
+/// A timestamp in whole seconds since the Unix epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct HttpDate(pub i64);
+
+const MONTHS: [&str; 12] = [
+    "Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
+];
+const WEEKDAYS: [&str; 7] = ["Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun"];
+
+/// Civil date broken out of an epoch timestamp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Civil {
+    year: i64,
+    month: u32,  // 1..=12
+    day: u32,    // 1..=31
+    hour: u32,   // 0..=23
+    minute: u32, // 0..=59
+    second: u32, // 0..=59
+    /// 0 = Monday .. 6 = Sunday
+    weekday: u32,
+}
+
+/// Days since epoch for a civil date (proleptic Gregorian).
+fn days_from_civil(y: i64, m: u32, d: u32) -> i64 {
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400; // [0, 399]
+    let mp = (m as i64 + 9) % 12; // Mar=0 .. Feb=11
+    let doy = (153 * mp + 2) / 5 + d as i64 - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146097 + doe - 719468
+}
+
+/// Inverse of `days_from_civil`.
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719468;
+    let era = if z >= 0 { z } else { z - 146096 } / 146097;
+    let doe = z - era * 146097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32; // [1, 12]
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+impl HttpDate {
+    fn to_civil(self) -> Civil {
+        let secs = self.0;
+        let days = secs.div_euclid(86_400);
+        let sod = secs.rem_euclid(86_400);
+        let (year, month, day) = civil_from_days(days);
+        // 1970-01-01 was a Thursday (weekday index 3, Monday=0).
+        let weekday = (days + 3).rem_euclid(7) as u32;
+        Civil {
+            year,
+            month,
+            day,
+            hour: (sod / 3600) as u32,
+            minute: (sod % 3600 / 60) as u32,
+            second: (sod % 60) as u32,
+            weekday,
+        }
+    }
+
+    /// Formats as IMF-fixdate, e.g. `Sun, 06 Nov 1994 08:49:37 GMT`.
+    pub fn to_imf_fixdate(self) -> String {
+        let c = self.to_civil();
+        format!(
+            "{}, {:02} {} {:04} {:02}:{:02}:{:02} GMT",
+            WEEKDAYS[c.weekday as usize],
+            c.day,
+            MONTHS[(c.month - 1) as usize],
+            c.year,
+            c.hour,
+            c.minute,
+            c.second
+        )
+    }
+
+    /// Parses an IMF-fixdate string. (The obsolete RFC 850 and asctime
+    /// forms are intentionally not accepted by this implementation; the
+    /// origin server only ever emits IMF-fixdate.)
+    pub fn parse_imf_fixdate(s: &str) -> Result<HttpDate, WireError> {
+        let err = || WireError::InvalidDate(s.to_owned());
+        // "Sun, 06 Nov 1994 08:49:37 GMT"
+        let s = s.trim();
+        if !s.is_ascii() {
+            return Err(err());
+        }
+        let rest = s.get(5..).ok_or_else(err)?;
+        if s.len() != 29 || !s[..5].ends_with(", ") || !WEEKDAYS.contains(&&s[..3]) {
+            return Err(err());
+        }
+        let day: u32 = rest[0..2].parse().map_err(|_| err())?;
+        if &rest[2..3] != " " {
+            return Err(err());
+        }
+        let month = MONTHS
+            .iter()
+            .position(|m| *m == &rest[3..6])
+            .ok_or_else(err)? as u32
+            + 1;
+        if &rest[6..7] != " " {
+            return Err(err());
+        }
+        let year: i64 = rest[7..11].parse().map_err(|_| err())?;
+        if &rest[11..12] != " " {
+            return Err(err());
+        }
+        let hour: i64 = rest[12..14].parse().map_err(|_| err())?;
+        let minute: i64 = rest[15..17].parse().map_err(|_| err())?;
+        let second: i64 = rest[18..20].parse().map_err(|_| err())?;
+        if &rest[14..15] != ":" || &rest[17..18] != ":" || &rest[20..] != " GMT" {
+            return Err(err());
+        }
+        if day == 0 || day > 31 || hour > 23 || minute > 59 || second > 60 {
+            return Err(err());
+        }
+        let days = days_from_civil(year, month, day);
+        Ok(HttpDate(days * 86_400 + hour * 3600 + minute * 60 + second))
+    }
+
+    /// Seconds since the Unix epoch.
+    pub fn as_secs(self) -> i64 {
+        self.0
+    }
+}
+
+impl fmt::Display for HttpDate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_imf_fixdate())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_formats_correctly() {
+        assert_eq!(
+            HttpDate(0).to_imf_fixdate(),
+            "Thu, 01 Jan 1970 00:00:00 GMT"
+        );
+    }
+
+    #[test]
+    fn rfc_example() {
+        // The canonical example from RFC 9110.
+        let d = HttpDate::parse_imf_fixdate("Sun, 06 Nov 1994 08:49:37 GMT").unwrap();
+        assert_eq!(d.as_secs(), 784_111_777);
+        assert_eq!(d.to_imf_fixdate(), "Sun, 06 Nov 1994 08:49:37 GMT");
+    }
+
+    #[test]
+    fn roundtrip_across_range() {
+        // Sweep across leap years, month/year boundaries, far future.
+        for &secs in &[
+            0i64,
+            1,
+            86_399,
+            86_400,
+            951_782_400,   // 2000-02-29
+            1_709_164_800, // 2024-02-29
+            1_719_792_000, // 2024-07-01
+            4_102_444_800, // 2100-01-01
+        ] {
+            let d = HttpDate(secs);
+            let s = d.to_imf_fixdate();
+            assert_eq!(HttpDate::parse_imf_fixdate(&s).unwrap(), d, "{s}");
+        }
+    }
+
+    #[test]
+    fn weekday_is_correct() {
+        // 2024-02-29 was a Thursday.
+        assert!(HttpDate(1_709_164_800).to_imf_fixdate().starts_with("Thu,"));
+        // 2026-07-06 is a Monday.
+        assert!(HttpDate(1_783_296_000).to_imf_fixdate().starts_with("Mon,"));
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        for bad in [
+            "",
+            "Sun 06 Nov 1994 08:49:37 GMT",
+            "Sun, 06 Nov 1994 08:49:37 UTC",
+            "Sun, 6 Nov 1994 08:49:37 GMT",
+            "Xxx, 06 Nov 1994 08:49:37 GMT",
+            "Sun, 06 Zzz 1994 08:49:37 GMT",
+            "Sunday, 06-Nov-94 08:49:37 GMT",
+        ] {
+            assert!(HttpDate::parse_imf_fixdate(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn civil_conversion_agrees_with_known_dates() {
+        assert_eq!(days_from_civil(1970, 1, 1), 0);
+        assert_eq!(days_from_civil(2000, 3, 1), 11017);
+        assert_eq!(civil_from_days(0), (1970, 1, 1));
+        assert_eq!(civil_from_days(11017), (2000, 3, 1));
+        // Exhaustive inverse check over ~3 years around a leap year.
+        for day in 19_000..20_100 {
+            let (y, m, d) = civil_from_days(day);
+            assert_eq!(days_from_civil(y, m, d), day);
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Error types for the wire protocol.
+
+use std::fmt;
+
+/// Errors produced while parsing or framing HTTP/1.1 messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The start line (request line or status line) is malformed.
+    InvalidStartLine(String),
+    /// An unknown or unsupported HTTP version token.
+    InvalidVersion(String),
+    /// A header line is syntactically invalid.
+    InvalidHeader(String),
+    /// A header name contains characters outside RFC 9110 `token`.
+    InvalidHeaderName(String),
+    /// A header value contains forbidden octets (CR, LF, NUL).
+    InvalidHeaderValue(String),
+    /// `Content-Length` is not a valid decimal number, or conflicting
+    /// lengths were supplied.
+    InvalidContentLength(String),
+    /// A chunk size line in a chunked body could not be parsed.
+    InvalidChunkSize(String),
+    /// Chunked framing was violated (missing CRLF after chunk data, …).
+    InvalidChunkFraming,
+    /// A status code outside `100..=599`.
+    InvalidStatus(u16),
+    /// The message head exceeds the configured size limit.
+    HeadTooLarge { limit: usize },
+    /// A body exceeds the configured size limit.
+    BodyTooLarge { limit: usize },
+    /// The peer closed the connection before a complete message arrived.
+    UnexpectedEof,
+    /// An entity tag string is malformed.
+    InvalidEtag(String),
+    /// An HTTP-date string is malformed.
+    InvalidDate(String),
+    /// A URI / request target is malformed.
+    InvalidTarget(String),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::InvalidStartLine(l) => write!(f, "invalid start line: {l:?}"),
+            WireError::InvalidVersion(v) => write!(f, "invalid HTTP version: {v:?}"),
+            WireError::InvalidHeader(h) => write!(f, "invalid header line: {h:?}"),
+            WireError::InvalidHeaderName(n) => write!(f, "invalid header name: {n:?}"),
+            WireError::InvalidHeaderValue(v) => write!(f, "invalid header value: {v:?}"),
+            WireError::InvalidContentLength(v) => write!(f, "invalid content-length: {v:?}"),
+            WireError::InvalidChunkSize(v) => write!(f, "invalid chunk size: {v:?}"),
+            WireError::InvalidChunkFraming => write!(f, "invalid chunked framing"),
+            WireError::InvalidStatus(c) => write!(f, "invalid status code: {c}"),
+            WireError::HeadTooLarge { limit } => {
+                write!(f, "message head exceeds limit of {limit} bytes")
+            }
+            WireError::BodyTooLarge { limit } => {
+                write!(f, "message body exceeds limit of {limit} bytes")
+            }
+            WireError::UnexpectedEof => write!(f, "unexpected end of stream"),
+            WireError::InvalidEtag(e) => write!(f, "invalid entity tag: {e:?}"),
+            WireError::InvalidDate(d) => write!(f, "invalid HTTP date: {d:?}"),
+            WireError::InvalidTarget(t) => write!(f, "invalid request target: {t:?}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Convenience result alias used throughout the crate.
+pub type WireResult<T> = Result<T, WireError>;

@@ -1,0 +1,389 @@
+//! Header names, values and an order-preserving multi-map.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::error::WireError;
+use crate::method::is_token;
+
+/// A case-insensitive header field name, stored lowercased.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct HeaderName(Box<str>);
+
+macro_rules! std_headers {
+    ($($(#[$meta:meta])* $konst:ident => $name:literal;)*) => {
+        impl HeaderName {
+            $($(#[$meta])* pub const $konst: &'static str = $name;)*
+        }
+    };
+}
+
+std_headers! {
+    HOST => "host";
+    CONNECTION => "connection";
+    CONTENT_LENGTH => "content-length";
+    CONTENT_TYPE => "content-type";
+    TRANSFER_ENCODING => "transfer-encoding";
+    CACHE_CONTROL => "cache-control";
+    ETAG => "etag";
+    IF_NONE_MATCH => "if-none-match";
+    IF_MODIFIED_SINCE => "if-modified-since";
+    LAST_MODIFIED => "last-modified";
+    DATE => "date";
+    AGE => "age";
+    EXPIRES => "expires";
+    VARY => "vary";
+    LOCATION => "location";
+    SERVER => "server";
+    USER_AGENT => "user-agent";
+    ACCEPT => "accept";
+    PRAGMA => "pragma";
+    /// The CacheCatalyst map of subresource validation tokens (the
+    /// paper's proposed header).
+    X_ETAG_CONFIG => "x-etag-config";
+    /// Marks a response as having been served by the client-side
+    /// service worker without touching the network (diagnostics only).
+    X_SERVED_BY => "x-served-by";
+}
+
+impl HeaderName {
+    /// Parses and normalizes a header name. The name must be an
+    /// RFC 9110 `token`.
+    pub fn new(name: &str) -> Result<HeaderName, WireError> {
+        if !is_token(name) {
+            return Err(WireError::InvalidHeaderName(name.to_owned()));
+        }
+        Ok(HeaderName(name.to_ascii_lowercase().into_boxed_str()))
+    }
+
+    /// The lowercased name.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl FromStr for HeaderName {
+    type Err = WireError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        HeaderName::new(s)
+    }
+}
+
+impl fmt::Display for HeaderName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl PartialEq<&str> for HeaderName {
+    fn eq(&self, other: &&str) -> bool {
+        self.0.as_ref().eq_ignore_ascii_case(other)
+    }
+}
+
+/// A header field value.
+///
+/// Values are restricted to visible ASCII plus space and horizontal
+/// tab; CR, LF and NUL are rejected so a value can never break message
+/// framing (header injection).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct HeaderValue(Box<str>);
+
+impl HeaderValue {
+    /// Validates and stores a header value (leading/trailing whitespace
+    /// is trimmed, as RFC 9112 requires on parse).
+    pub fn new(value: &str) -> Result<HeaderValue, WireError> {
+        let trimmed = value.trim_matches([' ', '\t']);
+        if !trimmed
+            .bytes()
+            .all(|b| b == b'\t' || (b' '..=b'~').contains(&b) || b >= 0x80)
+        {
+            return Err(WireError::InvalidHeaderValue(value.to_owned()));
+        }
+        Ok(HeaderValue(trimmed.to_owned().into_boxed_str()))
+    }
+
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for HeaderValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl FromStr for HeaderValue {
+    type Err = WireError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        HeaderValue::new(s)
+    }
+}
+
+/// An insertion-order-preserving multi-map of header fields.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HeaderMap {
+    entries: Vec<(HeaderName, HeaderValue)>,
+}
+
+impl HeaderMap {
+    pub fn new() -> HeaderMap {
+        HeaderMap::default()
+    }
+
+    /// Number of field lines.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The first value for `name`, if any.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.entries
+            .iter()
+            .find(|(n, _)| n.as_str().eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// All values for `name`, in insertion order.
+    pub fn get_all<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a str> + 'a {
+        self.entries
+            .iter()
+            .filter(move |(n, _)| n.as_str().eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// All values for `name` joined as a single comma-separated list
+    /// (the RFC 9110 list-combination rule). `None` when absent.
+    pub fn get_combined(&self, name: &str) -> Option<String> {
+        let mut out: Option<String> = None;
+        for v in self.get_all(name) {
+            match &mut out {
+                None => out = Some(v.to_owned()),
+                Some(s) => {
+                    s.push_str(", ");
+                    s.push_str(v);
+                }
+            }
+        }
+        out
+    }
+
+    pub fn contains(&self, name: &str) -> bool {
+        self.get(name).is_some()
+    }
+
+    /// Replaces all values of `name` with a single value.
+    ///
+    /// # Panics
+    /// Panics if the name or value is invalid; use [`HeaderMap::try_insert`]
+    /// for fallible insertion of untrusted data.
+    pub fn insert(&mut self, name: &str, value: &str) {
+        self.try_insert(name, value).expect("invalid header");
+    }
+
+    /// Replaces all values of `name` with a single value.
+    pub fn try_insert(&mut self, name: &str, value: &str) -> Result<(), WireError> {
+        let name = HeaderName::new(name)?;
+        let value = HeaderValue::new(value)?;
+        self.entries.retain(|(n, _)| *n != name);
+        self.entries.push((name, value));
+        Ok(())
+    }
+
+    /// Appends a value without disturbing existing ones.
+    ///
+    /// # Panics
+    /// Panics if the name or value is invalid; use [`HeaderMap::try_append`]
+    /// for untrusted data.
+    pub fn append(&mut self, name: &str, value: &str) {
+        self.try_append(name, value).expect("invalid header");
+    }
+
+    /// Appends a value without disturbing existing ones.
+    pub fn try_append(&mut self, name: &str, value: &str) -> Result<(), WireError> {
+        let name = HeaderName::new(name)?;
+        let value = HeaderValue::new(value)?;
+        self.entries.push((name, value));
+        Ok(())
+    }
+
+    /// Removes all values for `name`, returning how many were removed.
+    pub fn remove(&mut self, name: &str) -> usize {
+        let before = self.entries.len();
+        self.entries
+            .retain(|(n, _)| !n.as_str().eq_ignore_ascii_case(name));
+        before - self.entries.len()
+    }
+
+    /// Iterates over `(name, value)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&HeaderName, &HeaderValue)> {
+        self.entries.iter().map(|(n, v)| (n, v))
+    }
+
+    // ---- typed accessors used by the caching layers ----
+
+    /// Parses `Content-Length`. Multiple identical values are tolerated
+    /// (RFC 9112 §6.3); conflicting values are an error.
+    pub fn content_length(&self) -> Result<Option<u64>, WireError> {
+        let mut seen: Option<u64> = None;
+        for v in self.get_all(HeaderName::CONTENT_LENGTH) {
+            // A value may itself be a comma-joined list.
+            for part in v.split(',') {
+                let part = part.trim();
+                let n: u64 = part
+                    .parse()
+                    .map_err(|_| WireError::InvalidContentLength(part.to_owned()))?;
+                match seen {
+                    None => seen = Some(n),
+                    Some(prev) if prev == n => {}
+                    Some(_) => {
+                        return Err(WireError::InvalidContentLength(v.to_owned()));
+                    }
+                }
+            }
+        }
+        Ok(seen)
+    }
+
+    /// Whether the final `Transfer-Encoding` coding is `chunked`.
+    pub fn is_chunked(&self) -> bool {
+        self.get_combined(HeaderName::TRANSFER_ENCODING)
+            .map(|v| {
+                v.split(',')
+                    .next_back()
+                    .map(|c| c.trim().eq_ignore_ascii_case("chunked"))
+                    .unwrap_or(false)
+            })
+            .unwrap_or(false)
+    }
+
+    /// Whether `Connection: close` was requested.
+    pub fn wants_close(&self) -> bool {
+        self.get_all(HeaderName::CONNECTION)
+            .flat_map(|v| v.split(','))
+            .any(|t| t.trim().eq_ignore_ascii_case("close"))
+    }
+}
+
+impl<'a> IntoIterator for &'a HeaderMap {
+    type Item = (&'a HeaderName, &'a HeaderValue);
+    type IntoIter = std::iter::Map<
+        std::slice::Iter<'a, (HeaderName, HeaderValue)>,
+        fn(&'a (HeaderName, HeaderValue)) -> (&'a HeaderName, &'a HeaderValue),
+    >;
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.iter().map(|(n, v)| (n, v))
+    }
+}
+
+impl HeaderMap {
+    /// Builds a map from `(name, value)` pairs, panicking on invalid input.
+    pub fn from_pairs<'a, I: IntoIterator<Item = (&'a str, &'a str)>>(pairs: I) -> HeaderMap {
+        let mut map = HeaderMap::new();
+        for (n, v) in pairs {
+            map.append(n, v);
+        }
+        map
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_case_insensitive() {
+        let mut h = HeaderMap::new();
+        h.insert("Content-Type", "text/html");
+        assert_eq!(h.get("content-type"), Some("text/html"));
+        assert_eq!(h.get("CONTENT-TYPE"), Some("text/html"));
+    }
+
+    #[test]
+    fn insert_replaces_append_preserves() {
+        let mut h = HeaderMap::new();
+        h.append("Vary", "accept");
+        h.append("Vary", "user-agent");
+        assert_eq!(h.get_all("vary").count(), 2);
+        assert_eq!(
+            h.get_combined("vary").as_deref(),
+            Some("accept, user-agent")
+        );
+        h.insert("Vary", "*");
+        assert_eq!(h.get_all("vary").count(), 1);
+        assert_eq!(h.get("vary"), Some("*"));
+    }
+
+    #[test]
+    fn remove_returns_count() {
+        let mut h = HeaderMap::new();
+        h.append("a", "1");
+        h.append("A", "2");
+        h.append("b", "3");
+        assert_eq!(h.remove("a"), 2);
+        assert_eq!(h.len(), 1);
+        assert_eq!(h.remove("zz"), 0);
+    }
+
+    #[test]
+    fn rejects_header_injection() {
+        let mut h = HeaderMap::new();
+        assert!(h.try_insert("x", "evil\r\nset-cookie: a=b").is_err());
+        assert!(h.try_insert("bad name", "v").is_err());
+        assert!(h.try_insert("", "v").is_err());
+    }
+
+    #[test]
+    fn value_whitespace_is_trimmed() {
+        let v = HeaderValue::new("  text/html \t").unwrap();
+        assert_eq!(v.as_str(), "text/html");
+    }
+
+    #[test]
+    fn content_length_parsing() {
+        let mut h = HeaderMap::new();
+        h.insert("content-length", "42");
+        assert_eq!(h.content_length().unwrap(), Some(42));
+
+        let mut h = HeaderMap::new();
+        h.append("content-length", "42");
+        h.append("content-length", "42");
+        assert_eq!(h.content_length().unwrap(), Some(42));
+
+        let mut h = HeaderMap::new();
+        h.append("content-length", "42");
+        h.append("content-length", "43");
+        assert!(h.content_length().is_err());
+
+        let mut h = HeaderMap::new();
+        h.insert("content-length", "nope");
+        assert!(h.content_length().is_err());
+
+        assert_eq!(HeaderMap::new().content_length().unwrap(), None);
+    }
+
+    #[test]
+    fn chunked_detection() {
+        let mut h = HeaderMap::new();
+        h.insert("transfer-encoding", "gzip, chunked");
+        assert!(h.is_chunked());
+        let mut h = HeaderMap::new();
+        h.insert("transfer-encoding", "chunked, gzip");
+        assert!(!h.is_chunked());
+    }
+
+    #[test]
+    fn connection_close() {
+        let mut h = HeaderMap::new();
+        h.insert("connection", "keep-alive, Close");
+        assert!(h.wants_close());
+        let mut h = HeaderMap::new();
+        h.insert("connection", "keep-alive");
+        assert!(!h.wants_close());
+    }
+}

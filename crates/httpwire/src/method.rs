@@ -1,0 +1,156 @@
+//! HTTP request methods.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::error::WireError;
+
+/// An HTTP request method (RFC 9110 §9).
+///
+/// The standard methods are represented as dedicated variants so that
+/// matching is cheap; any other RFC-9110 `token` is preserved in
+/// [`Method::Extension`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Method {
+    Get,
+    Head,
+    Post,
+    Put,
+    Delete,
+    Connect,
+    Options,
+    Trace,
+    Patch,
+    /// A non-standard method token.
+    Extension(String),
+}
+
+impl Method {
+    /// Returns the canonical textual form, e.g. `"GET"`.
+    pub fn as_str(&self) -> &str {
+        match self {
+            Method::Get => "GET",
+            Method::Head => "HEAD",
+            Method::Post => "POST",
+            Method::Put => "PUT",
+            Method::Delete => "DELETE",
+            Method::Connect => "CONNECT",
+            Method::Options => "OPTIONS",
+            Method::Trace => "TRACE",
+            Method::Patch => "PATCH",
+            Method::Extension(s) => s,
+        }
+    }
+
+    /// Whether the method is *safe* (read-only semantics, RFC 9110 §9.2.1).
+    pub fn is_safe(&self) -> bool {
+        matches!(
+            self,
+            Method::Get | Method::Head | Method::Options | Method::Trace
+        )
+    }
+
+    /// Whether the method is idempotent (RFC 9110 §9.2.2).
+    pub fn is_idempotent(&self) -> bool {
+        self.is_safe() || matches!(self, Method::Put | Method::Delete)
+    }
+
+    /// Whether responses to this method are cacheable by default
+    /// (RFC 9111 §3: only GET and HEAD in practice).
+    pub fn is_cacheable(&self) -> bool {
+        matches!(self, Method::Get | Method::Head)
+    }
+}
+
+/// Returns true if `s` is a valid RFC 9110 `token`.
+pub(crate) fn is_token(s: &str) -> bool {
+    !s.is_empty() && s.bytes().all(is_tchar)
+}
+
+pub(crate) fn is_tchar(b: u8) -> bool {
+    matches!(b,
+        b'!' | b'#' | b'$' | b'%' | b'&' | b'\'' | b'*' | b'+' | b'-' | b'.' |
+        b'^' | b'_' | b'`' | b'|' | b'~')
+        || b.is_ascii_alphanumeric()
+}
+
+impl FromStr for Method {
+    type Err = WireError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "GET" => Ok(Method::Get),
+            "HEAD" => Ok(Method::Head),
+            "POST" => Ok(Method::Post),
+            "PUT" => Ok(Method::Put),
+            "DELETE" => Ok(Method::Delete),
+            "CONNECT" => Ok(Method::Connect),
+            "OPTIONS" => Ok(Method::Options),
+            "TRACE" => Ok(Method::Trace),
+            "PATCH" => Ok(Method::Patch),
+            other if is_token(other) => Ok(Method::Extension(other.to_owned())),
+            other => Err(WireError::InvalidStartLine(other.to_owned())),
+        }
+    }
+}
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_standard_methods() {
+        for (s, m) in [
+            ("GET", Method::Get),
+            ("HEAD", Method::Head),
+            ("POST", Method::Post),
+            ("PUT", Method::Put),
+            ("DELETE", Method::Delete),
+            ("CONNECT", Method::Connect),
+            ("OPTIONS", Method::Options),
+            ("TRACE", Method::Trace),
+            ("PATCH", Method::Patch),
+        ] {
+            assert_eq!(s.parse::<Method>().unwrap(), m);
+            assert_eq!(m.as_str(), s);
+        }
+    }
+
+    #[test]
+    fn extension_methods_must_be_tokens() {
+        assert_eq!(
+            "PURGE".parse::<Method>().unwrap(),
+            Method::Extension("PURGE".into())
+        );
+        assert!("GE T".parse::<Method>().is_err());
+        assert!("".parse::<Method>().is_err());
+        assert!("GET\r".parse::<Method>().is_err());
+    }
+
+    #[test]
+    fn method_is_case_sensitive() {
+        // `get` is a valid token but not the GET method.
+        assert_eq!(
+            "get".parse::<Method>().unwrap(),
+            Method::Extension("get".into())
+        );
+    }
+
+    #[test]
+    fn safety_and_idempotence() {
+        assert!(Method::Get.is_safe());
+        assert!(Method::Head.is_safe());
+        assert!(!Method::Post.is_safe());
+        assert!(Method::Put.is_idempotent());
+        assert!(Method::Delete.is_idempotent());
+        assert!(!Method::Post.is_idempotent());
+        assert!(Method::Get.is_cacheable());
+        assert!(!Method::Post.is_cacheable());
+    }
+}

@@ -1,0 +1,187 @@
+//! HTTP status codes.
+
+use std::fmt;
+
+use crate::error::WireError;
+
+/// An HTTP status code (RFC 9110 §15).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StatusCode(u16);
+
+impl StatusCode {
+    pub const CONTINUE: StatusCode = StatusCode(100);
+    pub const OK: StatusCode = StatusCode(200);
+    pub const CREATED: StatusCode = StatusCode(201);
+    pub const NO_CONTENT: StatusCode = StatusCode(204);
+    pub const PARTIAL_CONTENT: StatusCode = StatusCode(206);
+    pub const MOVED_PERMANENTLY: StatusCode = StatusCode(301);
+    pub const FOUND: StatusCode = StatusCode(302);
+    pub const NOT_MODIFIED: StatusCode = StatusCode(304);
+    pub const TEMPORARY_REDIRECT: StatusCode = StatusCode(307);
+    pub const PERMANENT_REDIRECT: StatusCode = StatusCode(308);
+    pub const BAD_REQUEST: StatusCode = StatusCode(400);
+    pub const UNAUTHORIZED: StatusCode = StatusCode(401);
+    pub const FORBIDDEN: StatusCode = StatusCode(403);
+    pub const NOT_FOUND: StatusCode = StatusCode(404);
+    pub const METHOD_NOT_ALLOWED: StatusCode = StatusCode(405);
+    pub const PRECONDITION_FAILED: StatusCode = StatusCode(412);
+    pub const PAYLOAD_TOO_LARGE: StatusCode = StatusCode(413);
+    pub const URI_TOO_LONG: StatusCode = StatusCode(414);
+    pub const INTERNAL_SERVER_ERROR: StatusCode = StatusCode(500);
+    pub const NOT_IMPLEMENTED: StatusCode = StatusCode(501);
+    pub const BAD_GATEWAY: StatusCode = StatusCode(502);
+    pub const SERVICE_UNAVAILABLE: StatusCode = StatusCode(503);
+    pub const GATEWAY_TIMEOUT: StatusCode = StatusCode(504);
+
+    /// Creates a status code, rejecting values outside `100..=599`.
+    pub fn new(code: u16) -> Result<StatusCode, WireError> {
+        if (100..=599).contains(&code) {
+            Ok(StatusCode(code))
+        } else {
+            Err(WireError::InvalidStatus(code))
+        }
+    }
+
+    /// The numeric value.
+    pub fn as_u16(self) -> u16 {
+        self.0
+    }
+
+    /// `1xx`
+    pub fn is_informational(self) -> bool {
+        (100..200).contains(&self.0)
+    }
+
+    /// `2xx`
+    pub fn is_success(self) -> bool {
+        (200..300).contains(&self.0)
+    }
+
+    /// `3xx`
+    pub fn is_redirection(self) -> bool {
+        (300..400).contains(&self.0)
+    }
+
+    /// `4xx`
+    pub fn is_client_error(self) -> bool {
+        (400..500).contains(&self.0)
+    }
+
+    /// `5xx`
+    pub fn is_server_error(self) -> bool {
+        (500..600).contains(&self.0)
+    }
+
+    /// Whether a response with this status never carries a body
+    /// (RFC 9112 §6.3: 1xx, 204, 304).
+    pub fn is_bodyless(self) -> bool {
+        self.is_informational() || self.0 == 204 || self.0 == 304
+    }
+
+    /// Whether this status is heuristically cacheable (RFC 9111 §4.2.2).
+    pub fn is_heuristically_cacheable(self) -> bool {
+        matches!(
+            self.0,
+            200 | 203 | 204 | 206 | 300 | 301 | 308 | 404 | 405 | 410 | 414 | 501
+        )
+    }
+
+    /// The canonical reason phrase for well-known codes.
+    pub fn canonical_reason(self) -> &'static str {
+        match self.0 {
+            100 => "Continue",
+            101 => "Switching Protocols",
+            200 => "OK",
+            201 => "Created",
+            202 => "Accepted",
+            203 => "Non-Authoritative Information",
+            204 => "No Content",
+            206 => "Partial Content",
+            300 => "Multiple Choices",
+            301 => "Moved Permanently",
+            302 => "Found",
+            303 => "See Other",
+            304 => "Not Modified",
+            307 => "Temporary Redirect",
+            308 => "Permanent Redirect",
+            400 => "Bad Request",
+            401 => "Unauthorized",
+            403 => "Forbidden",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            406 => "Not Acceptable",
+            408 => "Request Timeout",
+            410 => "Gone",
+            412 => "Precondition Failed",
+            413 => "Payload Too Large",
+            414 => "URI Too Long",
+            429 => "Too Many Requests",
+            500 => "Internal Server Error",
+            501 => "Not Implemented",
+            502 => "Bad Gateway",
+            503 => "Service Unavailable",
+            504 => "Gateway Timeout",
+            505 => "HTTP Version Not Supported",
+            _ => "Unknown",
+        }
+    }
+}
+
+impl fmt::Display for StatusCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl TryFrom<u16> for StatusCode {
+    type Error = WireError;
+
+    fn try_from(code: u16) -> Result<Self, Self::Error> {
+        StatusCode::new(code)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_validation() {
+        assert!(StatusCode::new(99).is_err());
+        assert!(StatusCode::new(600).is_err());
+        assert!(StatusCode::new(100).is_ok());
+        assert!(StatusCode::new(599).is_ok());
+    }
+
+    #[test]
+    fn classification() {
+        assert!(StatusCode::OK.is_success());
+        assert!(StatusCode::NOT_MODIFIED.is_redirection());
+        assert!(StatusCode::NOT_FOUND.is_client_error());
+        assert!(StatusCode::BAD_GATEWAY.is_server_error());
+        assert!(StatusCode::CONTINUE.is_informational());
+    }
+
+    #[test]
+    fn bodyless_statuses() {
+        assert!(StatusCode::NOT_MODIFIED.is_bodyless());
+        assert!(StatusCode::NO_CONTENT.is_bodyless());
+        assert!(StatusCode::CONTINUE.is_bodyless());
+        assert!(!StatusCode::OK.is_bodyless());
+        assert!(!StatusCode::NOT_FOUND.is_bodyless());
+    }
+
+    #[test]
+    fn reason_phrases() {
+        assert_eq!(StatusCode::OK.canonical_reason(), "OK");
+        assert_eq!(StatusCode::NOT_MODIFIED.canonical_reason(), "Not Modified");
+        assert_eq!(StatusCode::new(299).unwrap().canonical_reason(), "Unknown");
+    }
+
+    #[test]
+    fn heuristic_cacheability() {
+        assert!(StatusCode::OK.is_heuristically_cacheable());
+        assert!(StatusCode::NOT_FOUND.is_heuristically_cacheable());
+        assert!(!StatusCode::FOUND.is_heuristically_cacheable());
+    }
+}

@@ -1,0 +1,212 @@
+//! Property-based tests for the HTTP/1.1 codec and header semantics.
+
+use bytes::Bytes;
+use cachecatalyst_httpwire::codec::{
+    encode_request, encode_response, parse_request, parse_response, ParseLimits, Parsed,
+};
+use cachecatalyst_httpwire::{
+    CacheControl, EntityTag, HeaderMap, HttpDate, Method, Request, Response, StatusCode,
+};
+use proptest::prelude::*;
+
+fn arb_token() -> impl Strategy<Value = String> {
+    "[a-zA-Z][a-zA-Z0-9\\-]{0,15}".prop_map(|s| s)
+}
+
+fn arb_header_value() -> impl Strategy<Value = String> {
+    // Visible ASCII without leading/trailing whitespace.
+    "[!-~]([ -~]{0,30}[!-~])?".prop_map(|s| s)
+}
+
+fn arb_headers() -> impl Strategy<Value = Vec<(String, String)>> {
+    prop::collection::vec((arb_token(), arb_header_value()), 0..8).prop_map(|pairs| {
+        // Avoid names that change framing semantics; those are
+        // exercised deterministically in unit tests.
+        pairs
+            .into_iter()
+            .filter(|(n, _)| {
+                let n = n.to_ascii_lowercase();
+                n != "content-length" && n != "transfer-encoding"
+            })
+            .collect()
+    })
+}
+
+fn arb_path() -> impl Strategy<Value = String> {
+    "(/[a-z0-9._\\-]{1,12}){1,4}(\\?[a-z0-9=&]{1,20})?".prop_map(|s| s)
+}
+
+fn arb_body() -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(any::<u8>(), 0..2048)
+}
+
+proptest! {
+    /// encode → parse is the identity for requests.
+    #[test]
+    fn request_roundtrips(path in arb_path(), headers in arb_headers(), body in arb_body()) {
+        let mut req = Request::get(&path);
+        for (n, v) in &headers {
+            req.headers.append(n, v);
+        }
+        if !body.is_empty() {
+            req.method = Method::Post;
+            req.headers.insert("content-length", &body.len().to_string());
+            req.body = Bytes::from(body);
+        }
+        let wire = encode_request(&req);
+        let parsed = parse_request(&wire, &ParseLimits::default()).unwrap();
+        match parsed {
+            Parsed::Complete { message, consumed } => {
+                prop_assert_eq!(message, req);
+                prop_assert_eq!(consumed, wire.len());
+            }
+            Parsed::Partial => prop_assert!(false, "complete message parsed as partial"),
+        }
+    }
+
+    /// encode → parse is the identity for responses.
+    #[test]
+    fn response_roundtrips(code in 200u16..=599, headers in arb_headers(), body in arb_body()) {
+        let status = StatusCode::new(code).unwrap();
+        let mut resp = if status.is_bodyless() {
+            Response::empty(status)
+        } else {
+            let mut r = Response::ok(body.clone());
+            r.status = status;
+            r
+        };
+        for (n, v) in &headers {
+            resp.headers.append(n, v);
+        }
+        let wire = encode_response(&resp);
+        let parsed = parse_response(&wire, &Method::Get, &ParseLimits::default()).unwrap();
+        match parsed {
+            Parsed::Complete { message, consumed } => {
+                prop_assert_eq!(message, resp);
+                prop_assert_eq!(consumed, wire.len());
+            }
+            Parsed::Partial => prop_assert!(false, "complete message parsed as partial"),
+        }
+    }
+
+    /// Every strict prefix of an encoded message parses as Partial —
+    /// the parser never commits early or errors on valid prefixes.
+    #[test]
+    fn prefixes_are_partial(path in arb_path(), body in arb_body()) {
+        let mut resp = Response::ok(body);
+        resp.headers.insert("x-path", &path.replace('?', "-"));
+        let wire = encode_response(&resp);
+        // Sample a handful of cut points rather than all (perf).
+        for cut in [0, 1, wire.len() / 3, wire.len() / 2, wire.len().saturating_sub(1)] {
+            let r = parse_response(&wire[..cut], &Method::Get, &ParseLimits::default()).unwrap();
+            prop_assert_eq!(r, Parsed::Partial);
+        }
+    }
+
+    /// Chunked encode → decode is the identity regardless of chunk size.
+    #[test]
+    fn chunked_roundtrips(body in arb_body(), chunk in 1usize..512) {
+        let encoded = cachecatalyst_httpwire::chunked::encode(&body, chunk);
+        let (decoded, consumed) =
+            cachecatalyst_httpwire::chunked::decode(&encoded, 1 << 20).unwrap().unwrap();
+        prop_assert_eq!(&decoded[..], &body[..]);
+        prop_assert_eq!(consumed, encoded.len());
+    }
+
+    /// HTTP dates roundtrip for any timestamp within 1970..=2199.
+    #[test]
+    fn dates_roundtrip(secs in 0i64..7_258_118_400) {
+        let d = HttpDate(secs);
+        let s = d.to_imf_fixdate();
+        prop_assert_eq!(HttpDate::parse_imf_fixdate(&s).unwrap(), d);
+    }
+
+    /// Cache-Control parse → display → parse is a fixed point.
+    #[test]
+    fn cache_control_fixed_point(
+        no_store: bool, no_cache: bool, public: bool, immutable: bool,
+        max_age in prop::option::of(0u64..10_000_000),
+    ) {
+        let mut cc = CacheControl::new();
+        cc.no_store = no_store;
+        cc.no_cache = no_cache;
+        cc.public = public;
+        cc.immutable = immutable;
+        cc.max_age = max_age.map(std::time::Duration::from_secs);
+        let rendered = cc.to_string();
+        prop_assert_eq!(CacheControl::parse(&rendered), cc);
+    }
+
+    /// Entity tags roundtrip and comparison is reflexive/symmetric.
+    #[test]
+    fn etag_roundtrip(opaque in "[a-zA-Z0-9+/=._\\-]{1,32}", weak: bool) {
+        let tag = if weak {
+            EntityTag::weak(opaque.clone()).unwrap()
+        } else {
+            EntityTag::strong(opaque.clone()).unwrap()
+        };
+        let parsed: EntityTag = tag.to_string().parse().unwrap();
+        prop_assert_eq!(&parsed, &tag);
+        prop_assert!(tag.weak_eq(&parsed));
+        prop_assert_eq!(tag.strong_eq(&parsed), !weak);
+    }
+
+    /// HeaderMap get/insert/remove behave like a case-insensitive map.
+    #[test]
+    fn header_map_model(ops in prop::collection::vec(
+        (arb_token(), arb_header_value(), any::<bool>()), 1..24)
+    ) {
+        let mut map = HeaderMap::new();
+        let mut model: Vec<(String, String)> = Vec::new();
+        for (name, value, is_insert) in ops {
+            let lname = name.to_ascii_lowercase();
+            if is_insert {
+                map.insert(&name, &value);
+                model.retain(|(n, _)| *n != lname);
+                model.push((lname.clone(), value.clone()));
+            } else {
+                map.append(&name, &value);
+                model.push((lname.clone(), value.clone()));
+            }
+            prop_assert_eq!(map.len(), model.len());
+            let expect_first = model.iter().find(|(n, _)| *n == lname).map(|(_, v)| v.as_str());
+            prop_assert_eq!(map.get(&lname), expect_first);
+        }
+    }
+}
+
+proptest! {
+    /// The request parser never panics on arbitrary bytes: any input is
+    /// either a complete message, a valid prefix, or a clean error.
+    #[test]
+    fn parse_request_never_panics(input in prop::collection::vec(any::<u8>(), 0..2048)) {
+        let _ = parse_request(&input, &ParseLimits::default());
+    }
+
+    /// Same for the response parser (under every request method shape).
+    #[test]
+    fn parse_response_never_panics(input in prop::collection::vec(any::<u8>(), 0..2048), head: bool) {
+        let method = if head { Method::Head } else { Method::Get };
+        let _ = parse_response(&input, &method, &ParseLimits::default());
+    }
+
+    /// Near-valid inputs (a real message with bytes mutated) also never
+    /// panic — exercising deeper parser states than pure noise does.
+    #[test]
+    fn mutated_messages_never_panic(
+        body in prop::collection::vec(any::<u8>(), 0..256),
+        flips in prop::collection::vec((0usize..4096, any::<u8>()), 1..8),
+    ) {
+        let resp = Response::ok(body).with_header("etag", "\"x\"");
+        let mut wire = encode_response(&resp).to_vec();
+        for (pos, byte) in flips {
+            let idx = pos % wire.len().max(1);
+            if idx < wire.len() {
+                wire[idx] = byte;
+            }
+        }
+        let _ = parse_response(&wire, &Method::Get, &ParseLimits::default());
+        let _ = parse_request(&wire, &ParseLimits::default());
+        let _ = cachecatalyst_httpwire::chunked::decode(&wire, 1 << 16);
+    }
+}

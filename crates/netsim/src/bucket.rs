@@ -1,0 +1,145 @@
+//! A token-bucket shaper.
+//!
+//! The fluid link ([`crate::link`]) spreads capacity continuously;
+//! real throttles (including Chrome DevTools' network emulation, which
+//! the paper's evaluation used) are token buckets: traffic may burst
+//! up to the bucket depth, then drains at the refill rate. This
+//! primitive models that in virtual time, for studies of burst
+//! sensitivity and for the wall-clock emulator.
+
+use std::time::Duration;
+
+use crate::time::SimTime;
+
+/// A deterministic token bucket over virtual time.
+#[derive(Debug, Clone)]
+pub struct TokenBucket {
+    /// Refill rate in bytes per second.
+    rate_bps: f64,
+    /// Maximum accumulated burst, in bytes.
+    depth_bytes: f64,
+    /// Tokens available at `updated`.
+    tokens: f64,
+    updated: SimTime,
+}
+
+impl TokenBucket {
+    /// Creates a bucket that refills at `rate_bits_per_sec` with a
+    /// burst depth of `depth_bytes`, starting full.
+    pub fn new(rate_bits_per_sec: u64, depth_bytes: u64) -> TokenBucket {
+        assert!(rate_bits_per_sec > 0, "rate must be positive");
+        TokenBucket {
+            rate_bps: rate_bits_per_sec as f64 / 8.0,
+            depth_bytes: depth_bytes as f64,
+            tokens: depth_bytes as f64,
+            updated: SimTime::ZERO,
+        }
+    }
+
+    fn refill(&mut self, now: SimTime) {
+        debug_assert!(now >= self.updated, "time went backwards");
+        let dt = (now - self.updated).as_secs_f64();
+        self.tokens = (self.tokens + dt * self.rate_bps).min(self.depth_bytes);
+        self.updated = now;
+    }
+
+    /// Tokens (bytes) available at `now`.
+    pub fn available(&mut self, now: SimTime) -> u64 {
+        self.refill(now);
+        self.tokens as u64
+    }
+
+    /// Consumes `bytes` at `now`, returning the delay until the last
+    /// byte may leave the shaper (zero when the burst absorbs it).
+    pub fn consume(&mut self, now: SimTime, bytes: u64) -> Duration {
+        self.refill(now);
+        self.tokens -= bytes as f64;
+        if self.tokens >= 0.0 {
+            Duration::ZERO
+        } else {
+            // Deficit drains at the refill rate.
+            let secs = -self.tokens / self.rate_bps;
+            Duration::from_nanos((secs * 1e9).ceil() as u64)
+        }
+    }
+
+    /// When `bytes` could next be sent without delay.
+    pub fn ready_at(&mut self, now: SimTime, bytes: u64) -> SimTime {
+        self.refill(now);
+        if self.tokens >= bytes as f64 {
+            now
+        } else {
+            let deficit = bytes as f64 - self.tokens;
+            let secs = deficit / self.rate_bps;
+            now + Duration::from_nanos((secs * 1e9).ceil() as u64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn burst_is_free() {
+        // 1 Mbit/s with a 64 KB bucket: the first 64 KB go out at once.
+        let mut b = TokenBucket::new(1_000_000, 64_000);
+        assert_eq!(b.consume(at(0), 64_000), Duration::ZERO);
+    }
+
+    #[test]
+    fn beyond_burst_drains_at_rate() {
+        // 8 Mbit/s = 1 MB/s, 10 KB bucket. Sending 510 KB at t=0:
+        // 10 KB burst + 500 KB at 1 MB/s → 0.5 s of deficit.
+        let mut b = TokenBucket::new(8_000_000, 10_000);
+        let delay = b.consume(at(0), 510_000);
+        assert_eq!(delay, Duration::from_millis(500));
+    }
+
+    #[test]
+    fn refills_up_to_depth() {
+        let mut b = TokenBucket::new(8_000_000, 10_000); // 1 MB/s
+        assert_eq!(b.consume(at(0), 10_000), Duration::ZERO);
+        // After 5 ms, 5 KB refilled.
+        assert_eq!(b.available(at(5)), 5_000);
+        // After a long idle period, capped at depth.
+        assert_eq!(b.available(at(10_000)), 10_000);
+    }
+
+    #[test]
+    fn ready_at_accounts_for_deficit() {
+        let mut b = TokenBucket::new(8_000_000, 10_000); // 1 MB/s
+        b.consume(at(0), 10_000); // empty
+        // 2 KB needs 2 ms of refill.
+        assert_eq!(b.ready_at(at(0), 2_000), at(2));
+        // Already refilled by t=5ms.
+        assert_eq!(b.ready_at(at(5), 2_000), at(5));
+    }
+
+    #[test]
+    fn long_run_rate_matches_nominal() {
+        // Whatever the chunking, N bytes take ≈ N/rate once past the
+        // initial burst.
+        let mut b = TokenBucket::new(8_000_000, 10_000);
+        let mut now = SimTime::ZERO;
+        let mut sent = 0u64;
+        for _ in 0..100 {
+            let d = b.consume(now, 10_000);
+            now += d;
+            sent += 10_000;
+        }
+        // 1 MB total minus the 10 KB initial burst at 1 MB/s ≈ 0.99 s.
+        let expect = (sent - 10_000) as f64 / 1_000_000.0;
+        assert!((now.as_secs_f64() - expect).abs() < 1e-3, "{now}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_rate_panics() {
+        TokenBucket::new(0, 1);
+    }
+}

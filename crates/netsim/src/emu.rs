@@ -1,0 +1,141 @@
+//! Real-time network emulation for the tokio transport path.
+//!
+//! [`emulated_link`] returns two byte-stream endpoints joined by pump
+//! tasks that impose one-way propagation delay and serialize bytes at
+//! the configured bandwidth — the wall-clock analogue of the
+//! discrete-event model, used by end-to-end tests and the live demo.
+
+use std::time::Duration;
+
+use tokio::io::{AsyncReadExt, AsyncWriteExt, DuplexStream};
+use tokio::time::Instant;
+
+use crate::conditions::NetworkConditions;
+use crate::time::transmission_time;
+
+/// Creates an emulated client↔server link with the given conditions.
+///
+/// Returns `(client_end, server_end)`. Bytes written on the client end
+/// arrive at the server end after `rtt/2` plus upstream serialization,
+/// and vice versa with downstream parameters. The pump tasks live on
+/// the current tokio runtime and exit when either side closes.
+pub fn emulated_link(cond: NetworkConditions) -> (DuplexStream, DuplexStream) {
+    let (client_end, client_inner) = tokio::io::duplex(256 * 1024);
+    let (server_end, server_inner) = tokio::io::duplex(256 * 1024);
+
+    let (client_read, client_write) = tokio::io::split(client_inner);
+    let (server_read, server_write) = tokio::io::split(server_inner);
+
+    let one_way = cond.rtt / 2;
+    // Upstream: client → server.
+    tokio::spawn(pump(client_read, server_write, one_way, cond.up_bps));
+    // Downstream: server → client.
+    tokio::spawn(pump(server_read, client_write, one_way, cond.down_bps));
+
+    (client_end, server_end)
+}
+
+async fn pump<R, W>(mut from: R, mut to: W, one_way: Duration, bps: u64)
+where
+    R: tokio::io::AsyncRead + Unpin + Send + 'static,
+    W: tokio::io::AsyncWrite + Unpin + Send + 'static,
+{
+    // Reader and writer are decoupled so that waiting for a chunk's
+    // delivery instant never delays *serialization* of the next chunk
+    // — otherwise each chunk would wrongly pay its own propagation
+    // delay instead of pipelining behind the first.
+    let (tx_chan, mut rx_chan) = tokio::sync::mpsc::channel::<(Instant, Vec<u8>)>(64);
+    let reader = tokio::spawn(async move {
+        let mut buf = vec![0u8; 16 * 1024];
+        let mut busy_until = Instant::now();
+        loop {
+            let n = match from.read(&mut buf).await {
+                Ok(0) | Err(_) => break,
+                Ok(n) => n,
+            };
+            // Serialization: bytes occupy the link back to back.
+            let tx = transmission_time(n as u64, bps);
+            busy_until = busy_until.max(Instant::now()) + tx;
+            // Propagation: the last byte arrives one_way later.
+            if tx_chan
+                .send((busy_until + one_way, buf[..n].to_vec()))
+                .await
+                .is_err()
+            {
+                break;
+            }
+        }
+    });
+    while let Some((deliver_at, chunk)) = rx_chan.recv().await {
+        tokio::time::sleep_until(deliver_at).await;
+        if to.write_all(&chunk).await.is_err() {
+            break;
+        }
+        let _ = to.flush().await;
+    }
+    let _ = to.shutdown().await;
+    let _ = reader.await;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[tokio::test(start_paused = true)]
+    async fn latency_is_applied() {
+        let cond = NetworkConditions::new(Duration::from_millis(100), 1_000_000_000);
+        let (mut client, mut server) = emulated_link(cond);
+        let start = Instant::now();
+        client.write_all(b"ping").await.unwrap();
+        let mut buf = [0u8; 4];
+        server.read_exact(&mut buf).await.unwrap();
+        let elapsed = start.elapsed();
+        assert!(
+            elapsed >= Duration::from_millis(50),
+            "one-way delay not applied: {elapsed:?}"
+        );
+        assert!(elapsed < Duration::from_millis(80), "{elapsed:?}");
+    }
+
+    #[tokio::test(start_paused = true)]
+    async fn bandwidth_is_applied() {
+        // 1 Mbit/s, 125 KB payload → ≥1 s serialization.
+        let cond = NetworkConditions {
+            rtt: Duration::ZERO,
+            down_bps: 1_000_000,
+            up_bps: 1_000_000,
+        };
+        let (mut client, mut server) = emulated_link(cond);
+        let payload = vec![7u8; 125_000];
+        let start = Instant::now();
+        let writer = tokio::spawn(async move {
+            client.write_all(&payload).await.unwrap();
+            client.flush().await.unwrap();
+            client // keep alive until reader is done
+        });
+        let mut got = vec![0u8; 125_000];
+        server.read_exact(&mut got).await.unwrap();
+        let elapsed = start.elapsed();
+        assert!(elapsed >= Duration::from_millis(990), "{elapsed:?}");
+        drop(writer);
+    }
+
+    #[tokio::test(start_paused = true)]
+    async fn roundtrip_through_both_directions() {
+        let cond = NetworkConditions::new(Duration::from_millis(40), 10_000_000);
+        let (mut client, mut server) = emulated_link(cond);
+        let echo = tokio::spawn(async move {
+            let mut buf = [0u8; 5];
+            server.read_exact(&mut buf).await.unwrap();
+            server.write_all(&buf).await.unwrap();
+        });
+        let start = Instant::now();
+        client.write_all(b"hello").await.unwrap();
+        let mut buf = [0u8; 5];
+        client.read_exact(&mut buf).await.unwrap();
+        assert_eq!(&buf, b"hello");
+        // Full round trip ≥ RTT.
+        assert!(start.elapsed() >= Duration::from_millis(40));
+        echo.await.unwrap();
+    }
+}

@@ -1,0 +1,100 @@
+//! Analytic (unshared) fetch-time model.
+//!
+//! For a single fetch on an otherwise idle link, the timeline is
+//! closed-form. The page-load engine uses the event-driven
+//! [`crate::network::Network`] (which captures bandwidth sharing); this
+//! module provides the closed-form reference used in unit tests,
+//! sanity checks and back-of-envelope analyses — including the paper's
+//! own Figure-1 arithmetic, where each fetch costs
+//! `RTT + transmission`.
+
+use std::time::Duration;
+
+use crate::conditions::NetworkConditions;
+use crate::time::transmission_time;
+
+/// The phases of one HTTP fetch over an idle network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FetchPlan {
+    /// Connection establishment (0 if the connection is reused).
+    pub setup: Duration,
+    /// Serialization of the request onto the uplink.
+    pub request_tx: Duration,
+    /// Request propagation + server think + response propagation.
+    pub server_turnaround: Duration,
+    /// Serialization of the response onto the downlink.
+    pub response_tx: Duration,
+}
+
+impl FetchPlan {
+    /// Plans a fetch of `resp_bytes` (with a `req_bytes` request) under
+    /// `cond`. `new_connection` charges one RTT of TCP handshake;
+    /// `think` is server processing time.
+    pub fn new(
+        cond: &NetworkConditions,
+        req_bytes: u64,
+        resp_bytes: u64,
+        new_connection: bool,
+        think: Duration,
+    ) -> FetchPlan {
+        FetchPlan {
+            setup: if new_connection { cond.rtt } else { Duration::ZERO },
+            request_tx: transmission_time(req_bytes, cond.up_bps),
+            server_turnaround: cond.rtt + think,
+            response_tx: transmission_time(resp_bytes, cond.down_bps),
+        }
+    }
+
+    /// Total wall-clock duration of the fetch.
+    pub fn total(&self) -> Duration {
+        self.setup + self.request_tx + self.server_turnaround + self.response_tx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reused_connection_costs_one_rtt_plus_tx() {
+        let cond = NetworkConditions::new(Duration::from_millis(40), 60_000_000);
+        // 15 KB resource: tx = 2 ms at 60 Mbps.
+        let plan = FetchPlan::new(&cond, 0, 15_000, false, Duration::ZERO);
+        assert_eq!(plan.total(), Duration::from_millis(42));
+    }
+
+    #[test]
+    fn new_connection_adds_a_handshake_rtt() {
+        let cond = NetworkConditions::new(Duration::from_millis(40), 60_000_000);
+        let reused = FetchPlan::new(&cond, 0, 15_000, false, Duration::ZERO);
+        let fresh = FetchPlan::new(&cond, 0, 15_000, true, Duration::ZERO);
+        assert_eq!(fresh.total() - reused.total(), cond.rtt);
+    }
+
+    #[test]
+    fn revalidation_rtt_vs_transfer_crossover() {
+        // The paper's core observation: at high throughput, a
+        // revalidation (tiny 304) costs about the same as a small full
+        // transfer — the RTT dominates both.
+        let fast = NetworkConditions::new(Duration::from_millis(40), 60_000_000);
+        let revalidate = FetchPlan::new(&fast, 200, 300, false, Duration::ZERO);
+        let full = FetchPlan::new(&fast, 200, 10_000, false, Duration::ZERO);
+        let ratio = full.total().as_secs_f64() / revalidate.total().as_secs_f64();
+        assert!(ratio < 1.05, "at 60 Mbps a 10 KB fetch ≈ a 304 ({ratio})");
+
+        // At low throughput the transfer dominates and revalidation pays.
+        let slow = NetworkConditions::new(Duration::from_millis(40), 2_000_000);
+        let revalidate = FetchPlan::new(&slow, 200, 300, false, Duration::ZERO);
+        let full = FetchPlan::new(&slow, 200, 100_000, false, Duration::ZERO);
+        let ratio = full.total().as_secs_f64() / revalidate.total().as_secs_f64();
+        assert!(ratio > 5.0, "at 2 Mbps a 100 KB fetch ≫ a 304 ({ratio})");
+    }
+
+    #[test]
+    fn think_time_is_additive() {
+        let cond = NetworkConditions::new(Duration::from_millis(10), 8_000_000);
+        let a = FetchPlan::new(&cond, 100, 1000, false, Duration::ZERO);
+        let b = FetchPlan::new(&cond, 100, 1000, false, Duration::from_millis(5));
+        assert_eq!(b.total() - a.total(), Duration::from_millis(5));
+    }
+}

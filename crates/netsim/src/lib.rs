@@ -1,0 +1,45 @@
+//! # cachecatalyst-netsim
+//!
+//! A deterministic discrete-event network simulator, standing in for
+//! the browser throttling the paper's evaluation used (Chrome DevTools
+//! network emulation): a configurable round-trip time plus downstream/
+//! upstream bandwidth caps on the access link.
+//!
+//! * [`time`] — virtual clock ([`SimTime`]) and transmission-time math.
+//! * [`queue`] — deterministic time-ordered event queue.
+//! * [`link`] — fluid, egalitarian processor-sharing link: concurrent
+//!   transfers share capacity the way parallel browser connections do.
+//! * [`bucket`] — a token-bucket shaper (the burst-capable model real
+//!   browser throttles use).
+//! * [`network`] — the engine combining clock, timers and links;
+//!   page-load drivers consume [`network::NetEvent`]s from it.
+//! * [`conditions`] — the latency × throughput grid of the evaluation
+//!   (Figure 3) and the 5G-median headline condition.
+//! * [`fetch`] — closed-form single-fetch timings for cross-checks.
+//! * [`trace`] — waterfall traces (Figure-1-style timelines).
+//! * [`emu`] (feature `aio`) — wall-clock emulation of the same link
+//!   model over tokio byte streams, for end-to-end runs.
+//!
+//! Everything is deterministic: same inputs, same event order, same
+//! timings — down to the nanosecond.
+
+pub mod bucket;
+pub mod conditions;
+pub mod fetch;
+pub mod link;
+pub mod network;
+pub mod queue;
+pub mod time;
+pub mod trace;
+
+#[cfg(feature = "aio")]
+pub mod emu;
+
+pub use bucket::TokenBucket;
+pub use conditions::NetworkConditions;
+pub use fetch::FetchPlan;
+pub use link::{FlowToken, FluidLink};
+pub use network::{LinkId, NetEvent, Network};
+pub use queue::EventQueue;
+pub use time::{transmission_time, SimTime};
+pub use trace::{FetchOutcome, FetchTrace, LoadTrace};

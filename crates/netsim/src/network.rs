@@ -1,0 +1,244 @@
+//! The discrete-event network engine.
+//!
+//! [`Network`] owns virtual time, timers, and a set of fluid links.
+//! A driver (the page-load engine) starts flows and timers tagged with
+//! opaque tokens, then repeatedly calls [`Network::next`] to advance
+//! the simulation and learn which token fired. All scheduling is
+//! deterministic: ties resolve timers-before-flows, then FIFO.
+
+use std::time::Duration;
+
+use crate::link::{FluidLink, FlowToken};
+use crate::queue::EventQueue;
+use crate::time::SimTime;
+
+/// Identifies a link within a [`Network`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LinkId(usize);
+
+/// What woke the simulation up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetEvent {
+    /// A timer set with [`Network::set_timer`] fired.
+    Timer(u64),
+    /// A flow started with [`Network::start_flow`] delivered its last
+    /// byte (transmission only; propagation is the driver's timer).
+    FlowDone(LinkId, FlowToken),
+}
+
+/// Deterministic discrete-event network: virtual clock + timers +
+/// fluid links.
+///
+/// ```
+/// use cachecatalyst_netsim::{NetEvent, Network};
+/// use std::time::Duration;
+///
+/// let mut net = Network::new();
+/// let link = net.add_link(8_000_000); // 1 MB/s
+/// net.start_flow(link, 1, 500_000);   // 0.5 MB
+/// net.set_timer(Duration::from_millis(100), 42);
+/// let events = net.drain();
+/// assert_eq!(events[0].1, NetEvent::Timer(42));
+/// assert_eq!(events[1].1, NetEvent::FlowDone(link, 1));
+/// assert_eq!(events[1].0.as_millis_f64(), 500.0);
+/// ```
+#[derive(Debug, Default)]
+pub struct Network {
+    now: SimTime,
+    links: Vec<FluidLink>,
+    timers: EventQueue<u64>,
+}
+
+impl Network {
+    pub fn new() -> Network {
+        Network::default()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Adds a fluid link with the given capacity (bits/second).
+    pub fn add_link(&mut self, capacity_bps: u64) -> LinkId {
+        self.links.push(FluidLink::new(capacity_bps));
+        LinkId(self.links.len() - 1)
+    }
+
+    /// Schedules a timer `after` the current time.
+    pub fn set_timer(&mut self, after: Duration, token: u64) {
+        self.timers.push(self.now + after, token);
+    }
+
+    /// Schedules a timer at an absolute virtual time (must not be in
+    /// the past).
+    pub fn set_timer_at(&mut self, at: SimTime, token: u64) {
+        assert!(at >= self.now, "timer in the past");
+        self.timers.push(at, token);
+    }
+
+    /// Starts a transfer of `bytes` on `link`. Returns `false` when the
+    /// flow was empty and completed instantly — in that case no
+    /// `FlowDone` event will fire and the caller must handle
+    /// completion itself (or use [`Network::start_flow_or_timer`]).
+    pub fn start_flow(&mut self, link: LinkId, token: FlowToken, bytes: u64) -> bool {
+        self.links[link.0].start_flow(self.now, token, bytes)
+    }
+
+    /// Starts a flow, falling back to an immediate timer for zero-byte
+    /// transfers so the driver always gets exactly one wake-up.
+    /// The timer carries `timer_token`.
+    pub fn start_flow_or_timer(
+        &mut self,
+        link: LinkId,
+        token: FlowToken,
+        bytes: u64,
+        timer_token: u64,
+    ) {
+        if !self.start_flow(link, token, bytes) {
+            self.set_timer(Duration::ZERO, timer_token);
+        }
+    }
+
+    /// Number of active flows on a link.
+    pub fn active_flows(&self, link: LinkId) -> usize {
+        self.links[link.0].active_flows()
+    }
+
+    /// Advances to the next event and returns it, or `None` when the
+    /// simulation has quiesced.
+    #[allow(clippy::should_implement_trait)] // deliberate: not an Iterator
+    pub fn next(&mut self) -> Option<(SimTime, NetEvent)> {
+        // Earliest candidate among the timer queue and every link.
+        let timer_t = self.timers.peek_time();
+        let mut flow_best: Option<(SimTime, usize, FlowToken)> = None;
+        for (i, link) in self.links.iter().enumerate() {
+            if let Some((t, tok)) = link.next_completion() {
+                let better = match &flow_best {
+                    None => true,
+                    Some((bt, _, _)) => t < *bt,
+                };
+                if better {
+                    flow_best = Some((t, i, tok));
+                }
+            }
+        }
+        match (timer_t, flow_best) {
+            (None, None) => None,
+            (Some(tt), Some((ft, _, _))) if tt <= ft => {
+                let (t, token) = self.timers.pop().expect("peeked");
+                self.now = t;
+                Some((t, NetEvent::Timer(token)))
+            }
+            (Some(_), Some((ft, li, tok))) | (None, Some((ft, li, tok))) => {
+                self.now = ft;
+                self.links[li].end_flow(ft, tok);
+                Some((ft, NetEvent::FlowDone(LinkId(li), tok)))
+            }
+            (Some(_), None) => {
+                let (t, token) = self.timers.pop().expect("peeked");
+                self.now = t;
+                Some((t, NetEvent::Timer(token)))
+            }
+        }
+    }
+
+    /// Runs until quiescent, collecting events (testing helper).
+    pub fn drain(&mut self) -> Vec<(SimTime, NetEvent)> {
+        let mut out = Vec::new();
+        while let Some(ev) = self.next() {
+            out.push(ev);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timers_fire_in_order() {
+        let mut net = Network::new();
+        net.set_timer(Duration::from_millis(20), 2);
+        net.set_timer(Duration::from_millis(10), 1);
+        let evs = net.drain();
+        assert_eq!(
+            evs,
+            vec![
+                (SimTime::from_millis(10), NetEvent::Timer(1)),
+                (SimTime::from_millis(20), NetEvent::Timer(2)),
+            ]
+        );
+    }
+
+    #[test]
+    fn flows_and_timers_interleave() {
+        let mut net = Network::new();
+        let down = net.add_link(8_000_000); // 1 MB/s
+        net.start_flow(down, 42, 100_000); // done at 100 ms
+        net.set_timer(Duration::from_millis(50), 7);
+        let evs = net.drain();
+        assert_eq!(evs[0], (SimTime::from_millis(50), NetEvent::Timer(7)));
+        assert_eq!(
+            evs[1],
+            (SimTime::from_millis(100), NetEvent::FlowDone(down, 42))
+        );
+    }
+
+    #[test]
+    fn timer_wins_ties() {
+        let mut net = Network::new();
+        let down = net.add_link(8_000_000);
+        net.start_flow(down, 1, 100_000); // completes at 100ms
+        net.set_timer(Duration::from_millis(100), 9);
+        let evs = net.drain();
+        assert_eq!(evs[0].1, NetEvent::Timer(9));
+        assert_eq!(evs[1].1, NetEvent::FlowDone(down, 1));
+    }
+
+    #[test]
+    fn sharing_visible_through_engine() {
+        let mut net = Network::new();
+        let down = net.add_link(8_000_000); // 1 MB/s
+        net.start_flow(down, 1, 500_000);
+        net.start_flow(down, 2, 500_000);
+        let evs = net.drain();
+        // Both ~1s (shared), not 0.5s.
+        assert_eq!(evs.len(), 2);
+        assert!(evs[0].0 >= SimTime::from_millis(999));
+    }
+
+    #[test]
+    fn zero_byte_flow_uses_timer_fallback() {
+        let mut net = Network::new();
+        let down = net.add_link(1_000_000);
+        net.start_flow_or_timer(down, 1, 0, 99);
+        let evs = net.drain();
+        assert_eq!(evs, vec![(SimTime::ZERO, NetEvent::Timer(99))]);
+    }
+
+    #[test]
+    fn time_is_monotonic() {
+        let mut net = Network::new();
+        let l = net.add_link(1_000_000);
+        net.set_timer(Duration::from_millis(5), 1);
+        net.start_flow(l, 2, 10_000);
+        net.set_timer(Duration::from_millis(500), 3);
+        let mut last = SimTime::ZERO;
+        while let Some((t, _)) = net.next() {
+            assert!(t >= last);
+            last = t;
+            assert_eq!(net.now(), t);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn past_timer_panics() {
+        let mut net = Network::new();
+        net.set_timer(Duration::from_millis(5), 1);
+        net.next();
+        net.set_timer_at(SimTime::ZERO, 2);
+    }
+}

@@ -1,0 +1,139 @@
+//! Virtual time for the discrete-event simulation.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+use std::time::Duration;
+
+/// A point in virtual time, in nanoseconds since simulation start.
+///
+/// Nanosecond resolution keeps every arithmetic step exact for the
+/// magnitudes we simulate (seconds to weeks), which in turn keeps the
+/// whole evaluation bit-for-bit reproducible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    pub const ZERO: SimTime = SimTime(0);
+
+    pub fn from_nanos(nanos: u64) -> SimTime {
+        SimTime(nanos)
+    }
+
+    pub fn from_micros(micros: u64) -> SimTime {
+        SimTime(micros * 1_000)
+    }
+
+    pub fn from_millis(millis: u64) -> SimTime {
+        SimTime(millis * 1_000_000)
+    }
+
+    pub fn from_secs(secs: u64) -> SimTime {
+        SimTime(secs * 1_000_000_000)
+    }
+
+    pub fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Duration since an earlier instant. Saturates at zero rather than
+    /// panicking so callers can be sloppy about event ordering at the
+    /// same timestamp.
+    pub fn since(self, earlier: SimTime) -> Duration {
+        Duration::from_nanos(self.0.saturating_sub(earlier.0))
+    }
+
+    pub fn checked_sub(self, d: Duration) -> Option<SimTime> {
+        self.0.checked_sub(d.as_nanos() as u64).map(SimTime)
+    }
+}
+
+impl Add<Duration> for SimTime {
+    type Output = SimTime;
+    fn add(self, d: Duration) -> SimTime {
+        SimTime(self.0 + d.as_nanos() as u64)
+    }
+}
+
+impl AddAssign<Duration> for SimTime {
+    fn add_assign(&mut self, d: Duration) {
+        self.0 += d.as_nanos() as u64;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = Duration;
+    fn sub(self, other: SimTime) -> Duration {
+        self.since(other)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.as_millis_f64())
+    }
+}
+
+/// Computes the transmission time of `bytes` at `bits_per_sec`,
+/// rounded up to the next nanosecond (never zero for nonzero sizes).
+pub fn transmission_time(bytes: u64, bits_per_sec: u64) -> Duration {
+    assert!(bits_per_sec > 0, "bandwidth must be positive");
+    let bits = bytes as u128 * 8;
+    let nanos = (bits * 1_000_000_000).div_ceil(bits_per_sec as u128);
+    Duration::from_nanos(nanos as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_millis(40);
+        let t2 = t + Duration::from_millis(10);
+        assert_eq!(t2.as_nanos(), 50_000_000);
+        assert_eq!(t2 - t, Duration::from_millis(10));
+        assert_eq!(t - t2, Duration::ZERO); // saturating
+    }
+
+    #[test]
+    fn transmission_times() {
+        // 1 MB at 8 Mbit/s = 1 second.
+        assert_eq!(
+            transmission_time(1_000_000, 8_000_000),
+            Duration::from_secs(1)
+        );
+        // 60 Mbit/s: 7.5 MB/s; 15 KB takes 2 ms.
+        assert_eq!(
+            transmission_time(15_000, 60_000_000),
+            Duration::from_millis(2)
+        );
+        // Zero bytes take zero time.
+        assert_eq!(transmission_time(0, 1_000_000), Duration::ZERO);
+        // Rounding is up: 1 byte at 1 Gbps is 8 ns exactly.
+        assert_eq!(transmission_time(1, 1_000_000_000), Duration::from_nanos(8));
+        // 1 byte at 3 bps = 8/3 s rounded up in nanos.
+        assert_eq!(
+            transmission_time(1, 3),
+            Duration::from_nanos(2_666_666_667)
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_bandwidth_panics() {
+        transmission_time(1, 0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(SimTime::from_millis(1234).to_string(), "1234.000ms");
+    }
+}

@@ -1,0 +1,244 @@
+//! Timeline traces of simulated fetches, for rendering Figure-1-style
+//! waterfalls.
+
+use crate::time::SimTime;
+
+/// How one resource was satisfied during a page load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FetchOutcome {
+    /// Full body transferred from the origin (200).
+    FullTransfer,
+    /// Conditional request answered `304 Not Modified`.
+    NotModified,
+    /// Served from the browser's HTTP cache without any request.
+    CacheHit,
+    /// Served by the CacheCatalyst service worker without any request.
+    ServiceWorkerHit,
+    /// Delivered ahead of the request (HTTP/2-style server push or an
+    /// RDR bundle); bytes crossed the network without a round trip.
+    Pushed,
+}
+
+impl FetchOutcome {
+    /// Whether the network was touched at all.
+    pub fn used_network(self) -> bool {
+        matches!(
+            self,
+            FetchOutcome::FullTransfer | FetchOutcome::NotModified | FetchOutcome::Pushed
+        )
+    }
+
+    /// Short tag used in waterfall rendering.
+    pub fn tag(self) -> &'static str {
+        match self {
+            FetchOutcome::FullTransfer => "GET ",
+            FetchOutcome::NotModified => "304 ",
+            FetchOutcome::CacheHit => "hit ",
+            FetchOutcome::ServiceWorkerHit => "sw  ",
+            FetchOutcome::Pushed => "push",
+        }
+    }
+}
+
+/// One row of a page-load waterfall.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FetchTrace {
+    /// Resource URL (absolute).
+    pub url: String,
+    /// When the browser decided it needed the resource.
+    pub discovered: SimTime,
+    /// When the fetch actually started (after queueing for a
+    /// connection). Equal to `discovered` for cache hits.
+    pub started: SimTime,
+    /// When the resource was fully available.
+    pub completed: SimTime,
+    pub outcome: FetchOutcome,
+    /// Bytes that crossed the network downstream (0 for cache hits).
+    pub bytes_down: u64,
+    /// Bytes that crossed the network upstream.
+    pub bytes_up: u64,
+}
+
+impl FetchTrace {
+    /// Wall-clock time from discovery to completion.
+    pub fn elapsed(&self) -> std::time::Duration {
+        self.completed - self.discovered
+    }
+}
+
+/// A full page-load trace.
+#[derive(Debug, Clone, Default)]
+pub struct LoadTrace {
+    pub fetches: Vec<FetchTrace>,
+}
+
+impl LoadTrace {
+    /// Page load time: completion of the last resource (the `onLoad`
+    /// moment in the evaluation).
+    pub fn plt(&self) -> SimTime {
+        self.fetches
+            .iter()
+            .map(|f| f.completed)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// Total bytes transferred downstream.
+    pub fn bytes_down(&self) -> u64 {
+        self.fetches.iter().map(|f| f.bytes_down).sum()
+    }
+
+    /// Total bytes transferred upstream.
+    pub fn bytes_up(&self) -> u64 {
+        self.fetches.iter().map(|f| f.bytes_up).sum()
+    }
+
+    /// Number of request/response round trips that touched the network.
+    pub fn network_requests(&self) -> usize {
+        self.fetches
+            .iter()
+            .filter(|f| f.outcome.used_network())
+            .count()
+    }
+
+    /// Exports the trace as CSV (`url,outcome,discovered_ms,started_ms,
+    /// completed_ms,bytes_down,bytes_up`), ready for any plotting tool.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "url,outcome,discovered_ms,started_ms,completed_ms,bytes_down,bytes_up\n",
+        );
+        for f in &self.fetches {
+            out.push_str(&format!(
+                "{},{},{:.3},{:.3},{:.3},{},{}\n",
+                f.url.replace(',', "%2C"),
+                f.outcome.tag().trim(),
+                f.discovered.as_millis_f64(),
+                f.started.as_millis_f64(),
+                f.completed.as_millis_f64(),
+                f.bytes_down,
+                f.bytes_up
+            ));
+        }
+        out
+    }
+
+    /// Renders an ASCII waterfall, one row per resource, `width`
+    /// columns spanning the full load.
+    pub fn render_waterfall(&self, width: usize) -> String {
+        let plt = self.plt().as_nanos().max(1);
+        let mut out = String::new();
+        let url_w = self
+            .fetches
+            .iter()
+            .map(|f| f.url.len())
+            .max()
+            .unwrap_or(0)
+            .min(48);
+        for f in &self.fetches {
+            let s = (f.started.as_nanos() as u128 * width as u128 / plt as u128) as usize;
+            let e = (f.completed.as_nanos() as u128 * width as u128 / plt as u128) as usize;
+            let e = e.max(s + 1).min(width);
+            let mut bar = String::new();
+            bar.push_str(&" ".repeat(s));
+            bar.push_str(&"█".repeat(e - s));
+            let url_short: String = f.url.chars().rev().take(url_w).collect::<Vec<_>>()
+                .into_iter().rev().collect();
+            out.push_str(&format!(
+                "{:>w$} {} |{}| {:>9.2}ms\n",
+                url_short,
+                f.outcome.tag(),
+                bar,
+                f.completed.as_millis_f64(),
+                w = url_w
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    fn trace() -> LoadTrace {
+        LoadTrace {
+            fetches: vec![
+                FetchTrace {
+                    url: "http://s/index.html".into(),
+                    discovered: t(0),
+                    started: t(0),
+                    completed: t(50),
+                    outcome: FetchOutcome::FullTransfer,
+                    bytes_down: 10_000,
+                    bytes_up: 200,
+                },
+                FetchTrace {
+                    url: "http://s/a.css".into(),
+                    discovered: t(50),
+                    started: t(50),
+                    completed: t(90),
+                    outcome: FetchOutcome::NotModified,
+                    bytes_down: 120,
+                    bytes_up: 230,
+                },
+                FetchTrace {
+                    url: "http://s/b.js".into(),
+                    discovered: t(50),
+                    started: t(50),
+                    completed: t(50),
+                    outcome: FetchOutcome::ServiceWorkerHit,
+                    bytes_down: 0,
+                    bytes_up: 0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn plt_is_last_completion() {
+        assert_eq!(trace().plt(), t(90));
+        assert_eq!(LoadTrace::default().plt(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn byte_accounting() {
+        let tr = trace();
+        assert_eq!(tr.bytes_down(), 10_120);
+        assert_eq!(tr.bytes_up(), 430);
+        assert_eq!(tr.network_requests(), 2);
+    }
+
+    #[test]
+    fn outcome_network_classification() {
+        assert!(FetchOutcome::FullTransfer.used_network());
+        assert!(FetchOutcome::NotModified.used_network());
+        assert!(!FetchOutcome::CacheHit.used_network());
+        assert!(!FetchOutcome::ServiceWorkerHit.used_network());
+    }
+
+    #[test]
+    fn csv_export_has_header_and_rows() {
+        let csv = trace().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("url,outcome"));
+        assert!(lines[1].contains("index.html"));
+        // Every row has exactly 7 fields.
+        for l in &lines {
+            assert_eq!(l.split(',').count(), 7, "{l}");
+        }
+    }
+
+    #[test]
+    fn waterfall_renders_every_fetch() {
+        let rendered = trace().render_waterfall(40);
+        assert_eq!(rendered.lines().count(), 3);
+        assert!(rendered.contains("index.html"));
+        assert!(rendered.contains("304"));
+        assert!(rendered.contains("sw"));
+    }
+}

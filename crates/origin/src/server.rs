@@ -1,0 +1,572 @@
+//! The origin server's request handler (transport-agnostic).
+//!
+//! This is the reproduction's counterpart of the paper's modified
+//! Caddy: it serves a generated [`Site`], always attaches validators,
+//! answers conditional requests with `304`, and — in CacheCatalyst
+//! mode — walks the DOM of every HTML response to attach the
+//! `X-Etag-Config` map and the service-worker registration (§3).
+//!
+//! The handler is sans-IO: `handle(request, t_secs)` → response. The
+//! discrete-event transport calls it with virtual time; the tokio TCP
+//! front end (see [`crate::tcp`]) calls it with wall time.
+
+use std::collections::HashMap;
+
+use cachecatalyst_catalyst::{
+    build_config_for_site, inject_registration, AggregateCapture, EtagConfig, ExtractOptions,
+    SessionCapture, SW_SCRIPT, SW_SCRIPT_PATH,
+};
+use cachecatalyst_httpwire::conditional::{evaluate, Disposition, Validators};
+use cachecatalyst_httpwire::{
+    HeaderName, HttpDate, Method, Request, Response, StatusCode,
+};
+use cachecatalyst_webmodel::{ChangeModel, HeaderPolicy, ResourceKind, Site};
+use parking_lot::Mutex;
+
+/// How the origin sets caching headers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeaderMode {
+    /// Status quo: the developer-assigned policy from the workload
+    /// model (`no-store` / `no-cache` / conservative `max-age`).
+    Baseline,
+    /// The paper's mechanism: no TTLs at all; HTML responses carry
+    /// `X-Etag-Config` built by static extraction, plus SW
+    /// registration. Subresources are served `no-cache` so non-SW
+    /// clients remain correct.
+    Catalyst,
+    /// Catalyst plus session capture: the map for a returning session
+    /// also covers resources recorded on its first visit (covers
+    /// JS-discovered resources).
+    CatalystWithCapture,
+    /// Catalyst plus *aggregate* capture: the map covers resources
+    /// popular across all visitors of the page (our answer to §6's
+    /// memory-footprint problem; memory independent of traffic).
+    CatalystAggregate,
+    /// Everything `no-store` (a lower bound used in ablations).
+    NoStore,
+}
+
+impl HeaderMode {
+    /// Whether this mode attaches `X-Etag-Config` to HTML.
+    pub fn is_catalyst(self) -> bool {
+        matches!(
+            self,
+            HeaderMode::Catalyst
+                | HeaderMode::CatalystWithCapture
+                | HeaderMode::CatalystAggregate
+        )
+    }
+}
+
+/// Counters for served traffic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OriginMetrics {
+    pub requests: u64,
+    pub full_responses: u64,
+    pub not_modified: u64,
+    pub not_found: u64,
+    pub bytes_sent: u64,
+    pub configs_built: u64,
+    pub config_cache_hits: u64,
+}
+
+/// The origin server for one site.
+pub struct OriginServer {
+    site: Site,
+    mode: HeaderMode,
+    extract_opts: ExtractOptions,
+    /// Cache of built configs keyed by (page, virtual time). Page
+    /// loads hit the same `t`, so this avoids re-walking the DOM per
+    /// subresource-bearing revisit (the paper flags server compute as
+    /// a concern; this is the obvious mitigation).
+    config_cache: Mutex<HashMap<(String, i64), EtagConfig>>,
+    capture: Mutex<SessionCapture>,
+    aggregate: Mutex<AggregateCapture>,
+    metrics: Mutex<OriginMetrics>,
+    /// Maximum bytes per X-Etag-Config header value before splitting.
+    pub max_header_len: usize,
+    /// Express baseline TTLs via `Expires` (absolute date) instead of
+    /// `Cache-Control: max-age` — the HTTP/1.0-era form many CMSes
+    /// still emit. Exercises the cache's Expires path end to end.
+    pub use_expires_header: bool,
+}
+
+impl OriginServer {
+    pub fn new(site: Site, mode: HeaderMode) -> OriginServer {
+        OriginServer {
+            site,
+            mode,
+            extract_opts: ExtractOptions::default(),
+            config_cache: Mutex::new(HashMap::new()),
+            capture: Mutex::new(SessionCapture::new(10_000)),
+            aggregate: Mutex::new(AggregateCapture::default()),
+            metrics: Mutex::new(OriginMetrics::default()),
+            max_header_len: 6 * 1024,
+            use_expires_header: false,
+        }
+    }
+
+    /// Enables the cross-origin extension (paper §6, issue 2): the
+    /// origin resolves third-party references itself and includes
+    /// their tokens in the map, keyed by full URL.
+    pub fn with_cross_origin(mut self) -> OriginServer {
+        self.extract_opts.include_cross_origin = true;
+        self
+    }
+
+    pub fn site(&self) -> &Site {
+        &self.site
+    }
+
+    pub fn mode(&self) -> HeaderMode {
+        self.mode
+    }
+
+    pub fn metrics(&self) -> OriginMetrics {
+        *self.metrics.lock()
+    }
+
+    /// Handles one request at virtual time `t_secs`.
+    pub fn handle(&self, req: &Request, t_secs: i64) -> Response {
+        let mut m = self.metrics.lock();
+        m.requests += 1;
+        drop(m);
+
+        if req.method != Method::Get && req.method != Method::Head {
+            return Response::empty(StatusCode::METHOD_NOT_ALLOWED);
+        }
+        let path = req.target.path().to_owned();
+
+        // The service-worker script itself.
+        if path == SW_SCRIPT_PATH {
+            let resp = Response::ok(SW_SCRIPT)
+                .with_header(HeaderName::CONTENT_TYPE, "application/javascript")
+                .with_header(HeaderName::CACHE_CONTROL, "max-age=86400")
+                .with_header(HeaderName::DATE, &HttpDate(t_secs).to_imf_fixdate());
+            return self.finish(resp, req);
+        }
+
+        let Some(resource) = self.site.get(&path) else {
+            self.metrics.lock().not_found += 1;
+            return Response::empty(StatusCode::NOT_FOUND)
+                .with_header(HeaderName::DATE, &HttpDate(t_secs).to_imf_fixdate());
+        };
+
+        let etag = self
+            .site
+            .etag_at(&path, t_secs)
+            .expect("resource exists, etag exists");
+        let last_modified = last_change_time(&resource.spec.change, t_secs);
+
+        // Record for session capture (subresources only), keyed by the
+        // page that referenced the resource (Referer header; fall back
+        // to the home page).
+        if self.mode == HeaderMode::CatalystWithCapture {
+            if let Some(session) = session_of(req) {
+                let page = page_of(req).unwrap_or_else(|| self.site.base_path().to_owned());
+                self.capture.lock().record(&session, &page, &path);
+            }
+        }
+        if self.mode == HeaderMode::CatalystAggregate {
+            let mut agg = self.aggregate.lock();
+            if resource.spec.kind == ResourceKind::Html {
+                agg.record_visit(&path);
+            } else {
+                let page = page_of(req).unwrap_or_else(|| self.site.base_path().to_owned());
+                agg.record(&page, &path);
+            }
+        }
+
+        // Conditional request?
+        let validators = Validators::new(Some(etag.clone()), Some(HttpDate(last_modified)));
+        if evaluate(req, &validators) == Disposition::NotModified {
+            self.metrics.lock().not_modified += 1;
+            let mut resp = Response::not_modified(Some(&etag))
+                .with_header(HeaderName::DATE, &HttpDate(t_secs).to_imf_fixdate());
+            // Even an unchanged base document must deliver the *fresh*
+            // token map: subresources may have changed independently.
+            if resource.spec.kind == ResourceKind::Html && self.mode.is_catalyst() {
+                let config = self.full_config(&path, req, t_secs);
+                config.apply_to(&mut resp, self.max_header_len);
+            }
+            let resp = self.apply_cache_headers(resp, &resource.policy, resource.spec.kind);
+            return self.finish(resp, req);
+        }
+
+        // Full response.
+        let body = self
+            .site
+            .body_at(&path, t_secs)
+            .expect("resource exists, body exists");
+        let is_html = resource.spec.kind == ResourceKind::Html;
+        let body = if is_html && self.mode.is_catalyst() {
+            let html = String::from_utf8_lossy(&body).into_owned();
+            bytes::Bytes::from(inject_registration(&html))
+        } else {
+            body
+        };
+
+        let mut resp = Response::ok(body)
+            .with_header(HeaderName::CONTENT_TYPE, resource.spec.kind.mime())
+            .with_header(HeaderName::DATE, &HttpDate(t_secs).to_imf_fixdate())
+            .with_header(
+                HeaderName::LAST_MODIFIED,
+                &HttpDate(last_modified).to_imf_fixdate(),
+            )
+            .with_header(HeaderName::ETAG, &etag.to_string());
+        if self.use_expires_header && self.mode == HeaderMode::Baseline {
+            if let HeaderPolicy::MaxAge(ttl) = &resource.policy {
+                resp.headers.insert(
+                    HeaderName::EXPIRES,
+                    &HttpDate(t_secs + ttl.as_secs() as i64).to_imf_fixdate(),
+                );
+                return self.finish(resp, req);
+            }
+        }
+        resp = self.apply_cache_headers(resp, &resource.policy, resource.spec.kind);
+
+        // CacheCatalyst: HTML responses carry the validation-token map.
+        if is_html && self.mode.is_catalyst() {
+            let config = self.full_config(&path, req, t_secs);
+            config.apply_to(&mut resp, self.max_header_len);
+        }
+
+        self.metrics.lock().full_responses += 1;
+        self.finish(resp, req)
+    }
+
+    /// The full config for a page request: static extraction plus any
+    /// session-captured paths.
+    fn full_config(&self, page: &str, req: &Request, t_secs: i64) -> EtagConfig {
+        let mut config = self.config_for(page, t_secs);
+        if self.mode == HeaderMode::CatalystWithCapture {
+            if let Some(session) = session_of(req) {
+                let extra = self.capture.lock().config_for(
+                    &session,
+                    page,
+                    &|p| self.site.etag_at(p, t_secs),
+                );
+                for (p, tag) in extra.iter() {
+                    config.insert(p, tag.clone());
+                }
+            }
+        }
+        if self.mode == HeaderMode::CatalystAggregate {
+            let extra = self
+                .aggregate
+                .lock()
+                .config_for(page, &|p| self.site.etag_at(p, t_secs));
+            for (p, tag) in extra.iter() {
+                config.insert(p, tag.clone());
+            }
+        }
+        config
+    }
+
+    /// The aggregate store's memory footprint (diagnostics, E11).
+    pub fn aggregate_footprint(&self) -> usize {
+        self.aggregate.lock().memory_footprint()
+    }
+
+    /// Builds (or reuses) the static-extraction config for a page.
+    fn config_for(&self, page: &str, t_secs: i64) -> EtagConfig {
+        let key = (page.to_owned(), t_secs);
+        if let Some(hit) = self.config_cache.lock().get(&key) {
+            self.metrics.lock().config_cache_hits += 1;
+            return hit.clone();
+        }
+        let (config, _stats) =
+            build_config_for_site(&self.site, page, t_secs, &self.extract_opts);
+        self.metrics.lock().configs_built += 1;
+        self.config_cache.lock().insert(key, config.clone());
+        config
+    }
+
+    fn apply_cache_headers(
+        &self,
+        resp: Response,
+        policy: &HeaderPolicy,
+        kind: ResourceKind,
+    ) -> Response {
+        let cc = match self.mode {
+            HeaderMode::Baseline => policy.to_cache_control().to_string(),
+            HeaderMode::NoStore => "no-store".to_owned(),
+            HeaderMode::Catalyst
+            | HeaderMode::CatalystWithCapture
+            | HeaderMode::CatalystAggregate => {
+                // No TTL guessing anywhere (§3: "there is no need to
+                // specify the TTL value or set max-age"). `no-cache`
+                // keeps clients without the SW correct; HTML is also
+                // always revalidated. `no-store` is preserved — the
+                // paper's SW only caches resources without it.
+                let _ = kind;
+                if matches!(policy, HeaderPolicy::NoStore) {
+                    "no-store".to_owned()
+                } else {
+                    "no-cache".to_owned()
+                }
+            }
+        };
+        resp.with_header(HeaderName::CACHE_CONTROL, &cc)
+    }
+
+    fn finish(&self, mut resp: Response, req: &Request) -> Response {
+        resp.headers.insert(HeaderName::SERVER, "cachecatalyst-origin");
+        if req.method == Method::Head {
+            resp.body = bytes::Bytes::new();
+        }
+        let mut m = self.metrics.lock();
+        m.bytes_sent += resp.wire_len() as u64;
+        resp
+    }
+}
+
+/// The instant `path`'s content last changed before `t`.
+fn last_change_time(change: &ChangeModel, t: i64) -> i64 {
+    match change {
+        ChangeModel::Immutable => 0,
+        ChangeModel::Periodic { period, phase } => {
+            let p = period.as_secs().max(1) as i64;
+            let ph = phase.as_secs() as i64;
+            (((t + ph).max(0) / p) * p - ph).max(0)
+        }
+    }
+}
+
+/// The page a subresource request belongs to, from its Referer.
+fn page_of(req: &Request) -> Option<String> {
+    let referer = req.headers.get("referer")?;
+    cachecatalyst_httpwire::Url::parse(referer)
+        .ok()
+        .map(|u| u.path().to_owned())
+}
+
+/// Extracts the `cc-session` cookie.
+fn session_of(req: &Request) -> Option<String> {
+    let cookies = req.headers.get("cookie")?;
+    for part in cookies.split(';') {
+        let part = part.trim();
+        if let Some(v) = part.strip_prefix("cc-session=") {
+            return Some(v.to_owned());
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cachecatalyst_webmodel::example_site;
+
+    fn server(mode: HeaderMode) -> OriginServer {
+        OriginServer::new(example_site(), mode)
+    }
+
+    #[test]
+    fn serves_resources_with_validators() {
+        let s = server(HeaderMode::Baseline);
+        let resp = s.handle(&Request::get("/a.css"), 1000);
+        assert_eq!(resp.status, StatusCode::OK);
+        assert!(resp.etag().is_some());
+        assert!(resp.last_modified().is_some());
+        assert_eq!(resp.headers.get("content-type"), Some("text/css"));
+        assert_eq!(resp.headers.get("cache-control"), Some("max-age=604800"));
+        assert_eq!(resp.date().unwrap().as_secs(), 1000);
+    }
+
+    #[test]
+    fn unknown_path_is_404() {
+        let s = server(HeaderMode::Baseline);
+        assert_eq!(
+            s.handle(&Request::get("/nope"), 0).status,
+            StatusCode::NOT_FOUND
+        );
+        assert_eq!(s.metrics().not_found, 1);
+    }
+
+    #[test]
+    fn conditional_get_hits_304() {
+        let s = server(HeaderMode::Baseline);
+        let first = s.handle(&Request::get("/a.css"), 0);
+        let tag = first.etag().unwrap();
+        let revalidate =
+            Request::get("/a.css").with_header("if-none-match", &tag.to_string());
+        let resp = s.handle(&revalidate, 100);
+        assert_eq!(resp.status, StatusCode::NOT_MODIFIED);
+        assert!(resp.body.is_empty());
+        assert_eq!(resp.etag().unwrap(), tag);
+        assert_eq!(s.metrics().not_modified, 1);
+    }
+
+    #[test]
+    fn conditional_get_after_change_sends_full() {
+        let s = server(HeaderMode::Baseline);
+        let first = s.handle(&Request::get("/d.jpg"), 0);
+        let tag = first.etag().unwrap();
+        // d.jpg changes every 100 minutes; at +2h it is different.
+        let revalidate =
+            Request::get("/d.jpg").with_header("if-none-match", &tag.to_string());
+        let resp = s.handle(&revalidate, 7200);
+        assert_eq!(resp.status, StatusCode::OK);
+        assert_ne!(resp.etag().unwrap(), tag);
+        assert!(!resp.body.is_empty());
+    }
+
+    #[test]
+    fn baseline_html_has_no_config() {
+        let s = server(HeaderMode::Baseline);
+        let resp = s.handle(&Request::get("/index.html"), 0);
+        assert!(resp.headers.get("x-etag-config").is_none());
+        assert!(!String::from_utf8_lossy(&resp.body).contains("serviceWorker"));
+    }
+
+    #[test]
+    fn catalyst_html_carries_config_and_registration() {
+        let s = server(HeaderMode::Catalyst);
+        let resp = s.handle(&Request::get("/index.html"), 0);
+        let config = EtagConfig::from_response(&resp).unwrap();
+        assert!(config.get("/a.css").is_some());
+        assert!(config.get("/b.js").is_some());
+        assert!(config.get("/c.js").is_none(), "JS-discovered not covered");
+        assert!(String::from_utf8_lossy(&resp.body).contains("serviceWorker"));
+        // Tags in the map match what the subresource responses carry.
+        let a = s.handle(&Request::get("/a.css"), 0);
+        assert_eq!(config.get("/a.css").unwrap(), &a.etag().unwrap());
+    }
+
+    #[test]
+    fn catalyst_subresources_have_no_ttl() {
+        let s = server(HeaderMode::Catalyst);
+        let resp = s.handle(&Request::get("/a.css"), 0);
+        assert_eq!(resp.headers.get("cache-control"), Some("no-cache"));
+    }
+
+    #[test]
+    fn catalyst_serves_sw_script() {
+        let s = server(HeaderMode::Catalyst);
+        let resp = s.handle(&Request::get(SW_SCRIPT_PATH), 0);
+        assert_eq!(resp.status, StatusCode::OK);
+        assert!(String::from_utf8_lossy(&resp.body).contains("x-etag-config"));
+    }
+
+    #[test]
+    fn config_cache_avoids_rebuilds() {
+        let s = server(HeaderMode::Catalyst);
+        s.handle(&Request::get("/index.html"), 0);
+        s.handle(&Request::get("/index.html"), 0);
+        let m = s.metrics();
+        assert_eq!(m.configs_built, 1);
+        assert_eq!(m.config_cache_hits, 1);
+    }
+
+    #[test]
+    fn capture_mode_extends_config_for_session() {
+        let s = server(HeaderMode::CatalystWithCapture);
+        let session = |r: Request| r.with_header("cookie", "cc-session=alice");
+        // First visit: browser fetches the JS-discovered /d.jpg too.
+        s.handle(&session(Request::get("/index.html")), 0);
+        s.handle(&session(Request::get("/c.js")), 0);
+        s.handle(&session(Request::get("/d.jpg")), 0);
+        // Second visit: the map now covers the captured resources.
+        let resp = s.handle(&session(Request::get("/index.html")), 60);
+        let config = EtagConfig::from_response(&resp).unwrap();
+        assert!(config.get("/c.js").is_some());
+        assert!(config.get("/d.jpg").is_some());
+        // A different session does not get them.
+        let other = Request::get("/index.html").with_header("cookie", "cc-session=bob");
+        let resp = s.handle(&other, 60);
+        let config = EtagConfig::from_response(&resp).unwrap();
+        assert!(config.get("/d.jpg").is_none());
+    }
+
+    #[test]
+    fn expires_form_is_equivalent_to_max_age() {
+        let mut s = server(HeaderMode::Baseline);
+        s.use_expires_header = true;
+        let resp = s.handle(&Request::get("/a.css"), 1000);
+        // Expressed as an absolute date, no max-age.
+        assert!(resp.headers.get("cache-control").is_none());
+        let expires = resp.headers.get("expires").unwrap();
+        assert_eq!(
+            HttpDate::parse_imf_fixdate(expires).unwrap().as_secs(),
+            1000 + 7 * 24 * 3600
+        );
+        // The cache computes the identical freshness lifetime.
+        assert_eq!(
+            cachecatalyst_httpcache::freshness_lifetime(&resp),
+            std::time::Duration::from_secs(7 * 24 * 3600)
+        );
+        // no-cache resources keep their directive.
+        let resp = s.handle(&Request::get("/b.js"), 1000);
+        assert_eq!(resp.headers.get("cache-control"), Some("no-cache"));
+    }
+
+    #[test]
+    fn aggregate_mode_learns_popular_resources() {
+        let s = server(HeaderMode::CatalystAggregate);
+        // Three visitors all fetch the JS-discovered resources; no
+        // sessions or cookies needed.
+        for visitor in 0..3 {
+            let _ = visitor;
+            s.handle(&Request::get("/index.html"), 0);
+            let referer = |r: Request| r.with_header("referer", "http://example.org/index.html");
+            s.handle(&referer(Request::get("/c.js")), 0);
+            s.handle(&referer(Request::get("/d.jpg")), 0);
+        }
+        let resp = s.handle(&Request::get("/index.html"), 60);
+        let config = EtagConfig::from_response(&resp).unwrap();
+        assert!(config.get("/c.js").is_some(), "{config}");
+        assert!(config.get("/d.jpg").is_some());
+        assert!(s.aggregate_footprint() > 0);
+    }
+
+    #[test]
+    fn head_requests_have_no_body() {
+        let s = server(HeaderMode::Baseline);
+        let mut req = Request::get("/a.css");
+        req.method = Method::Head;
+        let resp = s.handle(&req, 0);
+        assert!(resp.body.is_empty());
+        assert!(resp.etag().is_some());
+    }
+
+    #[test]
+    fn post_is_rejected() {
+        let s = server(HeaderMode::Baseline);
+        let mut req = Request::get("/a.css");
+        req.method = Method::Post;
+        assert_eq!(
+            s.handle(&req, 0).status,
+            StatusCode::METHOD_NOT_ALLOWED
+        );
+    }
+
+    #[test]
+    fn last_change_time_is_consistent_with_versions() {
+        let change = ChangeModel::Periodic {
+            period: std::time::Duration::from_secs(100),
+            phase: std::time::Duration::from_secs(30),
+        };
+        for t in [0i64, 69, 70, 170, 1000] {
+            let lc = last_change_time(&change, t);
+            assert!(lc <= t);
+            assert_eq!(
+                change.version_at(lc),
+                change.version_at(t),
+                "version at last-change equals version at t={t}"
+            );
+            if lc > 0 {
+                assert_ne!(change.version_at(lc - 1), change.version_at(t));
+            }
+        }
+    }
+
+    #[test]
+    fn byte_accounting_accumulates() {
+        let s = server(HeaderMode::Baseline);
+        s.handle(&Request::get("/a.css"), 0);
+        let m1 = s.metrics().bytes_sent;
+        s.handle(&Request::get("/b.js"), 0);
+        assert!(s.metrics().bytes_sent > m1);
+    }
+}

@@ -1,0 +1,221 @@
+//! The tokio TCP front end for the origin server.
+//!
+//! Serves the sans-IO handler over real HTTP/1.1 connections with
+//! keep-alive — the end-to-end path used by the live demo and the
+//! integration tests (the discrete-event benchmarks bypass TCP).
+
+use std::sync::Arc;
+
+use cachecatalyst_httpwire::aio::{ConnError, ServerConn};
+use tokio::io::{AsyncRead, AsyncWrite};
+use tokio::net::{TcpListener, TcpStream};
+use tokio::sync::watch;
+
+use crate::server::OriginServer;
+
+/// Supplies the server's notion of "now" in virtual seconds. Wall
+/// time by default; tests inject fixed or accelerated clocks.
+pub type Clock = Arc<dyn Fn() -> i64 + Send + Sync>;
+
+/// A wall clock measured from process start.
+pub fn wall_clock() -> Clock {
+    let start = std::time::Instant::now();
+    Arc::new(move || start.elapsed().as_secs() as i64)
+}
+
+/// A fixed virtual clock.
+pub fn fixed_clock(t_secs: i64) -> Clock {
+    Arc::new(move || t_secs)
+}
+
+/// A clock readable through a watch channel (tests advance it).
+pub fn watch_clock(rx: watch::Receiver<i64>) -> Clock {
+    Arc::new(move || *rx.borrow())
+}
+
+/// A running TCP origin.
+pub struct TcpOrigin {
+    pub local_addr: std::net::SocketAddr,
+    shutdown: watch::Sender<bool>,
+    handle: tokio::task::JoinHandle<()>,
+}
+
+impl TcpOrigin {
+    /// Binds `addr` (e.g. `127.0.0.1:0`) and serves `server` until
+    /// [`TcpOrigin::shutdown`] is called.
+    pub async fn bind(
+        addr: &str,
+        server: Arc<OriginServer>,
+        clock: Clock,
+    ) -> std::io::Result<TcpOrigin> {
+        let listener = TcpListener::bind(addr).await?;
+        let local_addr = listener.local_addr()?;
+        let (shutdown, mut shutdown_rx) = watch::channel(false);
+        let handle = tokio::spawn(async move {
+            loop {
+                tokio::select! {
+                    accepted = listener.accept() => {
+                        let Ok((stream, _peer)) = accepted else { break };
+                        let server = Arc::clone(&server);
+                        let clock = Arc::clone(&clock);
+                        tokio::spawn(async move {
+                            let _ = serve_connection(stream, server, clock).await;
+                        });
+                    }
+                    _ = shutdown_rx.changed() => break,
+                }
+            }
+        });
+        Ok(TcpOrigin {
+            local_addr,
+            shutdown,
+            handle,
+        })
+    }
+
+    /// Stops accepting and waits for the accept loop to exit
+    /// (in-flight connections finish on their own).
+    pub async fn shutdown(self) {
+        let _ = self.shutdown.send(true);
+        let _ = self.handle.await;
+    }
+}
+
+async fn serve_connection(
+    stream: TcpStream,
+    server: Arc<OriginServer>,
+    clock: Clock,
+) -> Result<(), ConnError> {
+    stream.set_nodelay(true).ok();
+    serve_stream(stream, server, clock).await
+}
+
+/// Serves HTTP/1.1 on any byte stream (TCP, duplex pipe, emulated
+/// link) until the peer closes or requests `Connection: close`.
+pub async fn serve_stream<S>(
+    stream: S,
+    server: Arc<OriginServer>,
+    clock: Clock,
+) -> Result<(), ConnError>
+where
+    S: AsyncRead + AsyncWrite + Unpin,
+{
+    let mut conn = ServerConn::new(stream);
+    loop {
+        let req = match conn.read_request().await {
+            Ok(req) => req,
+            Err(ConnError::Closed) => return Ok(()),
+            Err(e) => return Err(e),
+        };
+        let close = req.headers.wants_close();
+        let resp = server.handle(&req, clock());
+        conn.write_response(&resp).await?;
+        if close {
+            return Ok(());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::HeaderMode;
+    use cachecatalyst_httpwire::aio::ClientConn;
+    use cachecatalyst_httpwire::{Request, StatusCode};
+    use cachecatalyst_webmodel::example_site;
+
+    fn origin() -> Arc<OriginServer> {
+        Arc::new(OriginServer::new(example_site(), HeaderMode::Catalyst))
+    }
+
+    #[tokio::test]
+    async fn serves_over_real_tcp() {
+        let server = TcpOrigin::bind("127.0.0.1:0", origin(), fixed_clock(0))
+            .await
+            .unwrap();
+        let stream = TcpStream::connect(server.local_addr).await.unwrap();
+        let mut client = ClientConn::new(stream);
+        let resp = client
+            .round_trip(&Request::get("/index.html").with_header("host", "example.org"))
+            .await
+            .unwrap();
+        assert_eq!(resp.status, StatusCode::OK);
+        assert!(resp.headers.get("x-etag-config").is_some());
+        server.shutdown().await;
+    }
+
+    #[tokio::test]
+    async fn keep_alive_and_conditional_requests() {
+        let server = TcpOrigin::bind("127.0.0.1:0", origin(), fixed_clock(0))
+            .await
+            .unwrap();
+        let stream = TcpStream::connect(server.local_addr).await.unwrap();
+        let mut client = ClientConn::new(stream);
+        let first = client.round_trip(&Request::get("/a.css")).await.unwrap();
+        let tag = first.etag().unwrap();
+        let second = client
+            .round_trip(
+                &Request::get("/a.css").with_header("if-none-match", &tag.to_string()),
+            )
+            .await
+            .unwrap();
+        assert_eq!(second.status, StatusCode::NOT_MODIFIED);
+        server.shutdown().await;
+    }
+
+    #[tokio::test]
+    async fn connection_close_honored() {
+        let server = TcpOrigin::bind("127.0.0.1:0", origin(), fixed_clock(0))
+            .await
+            .unwrap();
+        let stream = TcpStream::connect(server.local_addr).await.unwrap();
+        let mut client = ClientConn::new(stream);
+        let resp = client
+            .round_trip(&Request::get("/a.css").with_header("connection", "close"))
+            .await
+            .unwrap();
+        assert_eq!(resp.status, StatusCode::OK);
+        // The server closes; a subsequent read sees EOF quickly.
+        let again = client.round_trip(&Request::get("/a.css")).await;
+        assert!(again.is_err());
+        server.shutdown().await;
+    }
+
+    #[tokio::test]
+    async fn parallel_clients() {
+        let server = TcpOrigin::bind("127.0.0.1:0", origin(), fixed_clock(0))
+            .await
+            .unwrap();
+        let addr = server.local_addr;
+        let mut tasks = Vec::new();
+        for _ in 0..8 {
+            tasks.push(tokio::spawn(async move {
+                let stream = TcpStream::connect(addr).await.unwrap();
+                let mut client = ClientConn::new(stream);
+                for path in ["/index.html", "/a.css", "/b.js"] {
+                    let resp = client.round_trip(&Request::get(path)).await.unwrap();
+                    assert_eq!(resp.status, StatusCode::OK);
+                }
+            }));
+        }
+        for t in tasks {
+            t.await.unwrap();
+        }
+        server.shutdown().await;
+    }
+
+    #[tokio::test]
+    async fn virtual_clock_changes_served_content() {
+        let (tx, rx) = watch::channel(0i64);
+        let server = TcpOrigin::bind("127.0.0.1:0", origin(), watch_clock(rx))
+            .await
+            .unwrap();
+        let stream = TcpStream::connect(server.local_addr).await.unwrap();
+        let mut client = ClientConn::new(stream);
+        let at0 = client.round_trip(&Request::get("/d.jpg")).await.unwrap();
+        tx.send(7200).unwrap(); // advance two hours: d.jpg changed
+        let at2h = client.round_trip(&Request::get("/d.jpg")).await.unwrap();
+        assert_ne!(at0.etag().unwrap(), at2h.etag().unwrap());
+        server.shutdown().await;
+    }
+}

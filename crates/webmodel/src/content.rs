@@ -1,0 +1,246 @@
+//! Deterministic content synthesis.
+//!
+//! Bodies are generated from `(host, path, version)` so that the
+//! simulated and the real-TCP origin serve identical bytes, and so
+//! that a version bump changes the bytes (and therefore the ETag)
+//! while keeping the size constant. HTML and CSS bodies embed real
+//! markup links to their children so the server-side extractor and the
+//! browser parser operate on genuine content rather than metadata.
+
+use bytes::Bytes;
+
+use crate::resource::{ResourceKind, ResourceSpec};
+use crate::stats::derive_seed;
+
+/// Renders the body of `spec` at content `version`, embedding links to
+/// children. `url_of` maps a child path to the absolute or rooted URL
+/// to write into the markup.
+pub fn render_body(
+    host: &str,
+    spec: &ResourceSpec,
+    version: u64,
+    url_of: &dyn Fn(&str) -> String,
+) -> Bytes {
+    let essential = match spec.kind {
+        ResourceKind::Html => render_html(host, spec, version, url_of),
+        ResourceKind::Css => render_css(host, spec, version, url_of),
+        ResourceKind::Js => render_js(host, spec, version, url_of),
+        _ => String::new(),
+    };
+    if spec.kind.is_textual() {
+        pad_text(essential, spec.size as usize)
+    } else {
+        binary_body(host, spec, version)
+    }
+}
+
+impl ResourceKind {
+    /// Whether bodies of this kind are text (markup/code) vs binary.
+    pub fn is_textual(self) -> bool {
+        matches!(
+            self,
+            ResourceKind::Html | ResourceKind::Css | ResourceKind::Js | ResourceKind::Json
+        )
+    }
+}
+
+fn render_html(
+    host: &str,
+    spec: &ResourceSpec,
+    version: u64,
+    url_of: &dyn Fn(&str) -> String,
+) -> String {
+    let mut head = String::new();
+    let mut body = String::new();
+    for child in &spec.static_children {
+        let url = url_of(child);
+        match ResourceKind::from_path(child) {
+            ResourceKind::Css => {
+                head.push_str(&format!("<link rel=\"stylesheet\" href=\"{url}\">\n"))
+            }
+            ResourceKind::Js => {
+                head.push_str(&format!("<script src=\"{url}\"></script>\n"))
+            }
+            ResourceKind::Image => body.push_str(&format!("<img src=\"{url}\" alt=\"\">\n")),
+            ResourceKind::Font => head.push_str(&format!(
+                "<link rel=\"preload\" href=\"{url}\" as=\"font\">\n"
+            )),
+            _ => head.push_str(&format!(
+                "<link rel=\"preload\" href=\"{url}\" as=\"fetch\">\n"
+            )),
+        }
+    }
+    format!(
+        "<!DOCTYPE html>\n<!-- {host}{path} v{version} -->\n<html><head>\n<title>{host}</title>\n{head}</head>\n<body>\n{body}",
+        path = spec.path
+    )
+}
+
+fn render_css(
+    host: &str,
+    spec: &ResourceSpec,
+    version: u64,
+    url_of: &dyn Fn(&str) -> String,
+) -> String {
+    let mut rules = String::new();
+    for (i, child) in spec.static_children.iter().enumerate() {
+        let url = url_of(child);
+        match ResourceKind::from_path(child) {
+            ResourceKind::Css => rules.push_str(&format!("@import url({url});\n")),
+            ResourceKind::Font => rules.push_str(&format!(
+                "@font-face {{ font-family: f{i}; src: url(\"{url}\"); }}\n"
+            )),
+            _ => rules.push_str(&format!(
+                ".bg{i} {{ background-image: url(\"{url}\"); }}\n"
+            )),
+        }
+    }
+    format!("/* {host}{path} v{version} */\n{rules}", path = spec.path)
+}
+
+fn render_js(
+    host: &str,
+    spec: &ResourceSpec,
+    version: u64,
+    url_of: &dyn Fn(&str) -> String,
+) -> String {
+    let mut code = String::new();
+    // Dynamic children are fetched by running code — written in a form
+    // no markup extractor recognizes (string concatenation), mirroring
+    // how real bundles assemble URLs at runtime.
+    for (i, child) in spec.dynamic_children.iter().enumerate() {
+        let url = url_of(child);
+        let (a, b) = url.split_at(url.len() / 2);
+        code.push_str(&format!(
+            "const u{i} = {a:?} + {b:?};\nloadResource(u{i});\n"
+        ));
+    }
+    format!(
+        "/* {host}{path} v{version} */\n\"use strict\";\n{code}",
+        path = spec.path
+    )
+}
+
+/// Pads (or accepts overflow of) text content to the target size using
+/// a deterministic filler comment.
+fn pad_text(essential: String, target: usize) -> Bytes {
+    let mut out = essential.into_bytes();
+    if out.len() >= target {
+        return Bytes::from(out);
+    }
+    const FILLER: &[u8] =
+        b"/* lorem ipsum dolor sit amet consectetur adipiscing elit sed do eiusmod */\n";
+    while out.len() < target {
+        let take = FILLER.len().min(target - out.len());
+        out.extend_from_slice(&FILLER[..take]);
+    }
+    Bytes::from(out)
+}
+
+/// Deterministic pseudo-binary body for images/fonts/other.
+fn binary_body(host: &str, spec: &ResourceSpec, version: u64) -> Bytes {
+    let size = spec.size as usize;
+    let mut out = Vec::with_capacity(size);
+    // A recognizable header carrying identity + version, then a cheap
+    // xorshift stream so the body is not trivially constant.
+    let header = format!("BIN:{host}{}:v{version}\n", spec.path);
+    out.extend_from_slice(header.as_bytes());
+    let mut x = derive_seed(version, &format!("{host}{}", spec.path)) | 1;
+    while out.len() < size {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+    out.truncate(size.max(header.len()));
+    Bytes::from(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extract::{extract_css_links, extract_html_links};
+    use crate::resource::{ChangeModel, Discovery};
+
+    fn spec(path: &str, kind: ResourceKind, size: u64) -> ResourceSpec {
+        ResourceSpec::leaf(path, kind, size, Discovery::Base, ChangeModel::Immutable)
+    }
+
+    fn rooted(p: &str) -> String {
+        p.to_owned()
+    }
+
+    #[test]
+    fn html_embeds_extractable_links() {
+        let mut s = spec("/index.html", ResourceKind::Html, 4096);
+        s.static_children = vec!["/a.css".into(), "/b.js".into(), "/d.jpg".into()];
+        let body = render_body("site.com", &s, 0, &rooted);
+        let text = std::str::from_utf8(&body).unwrap();
+        let links: Vec<String> = extract_html_links(text)
+            .into_iter()
+            .map(|l| l.href)
+            .collect();
+        assert_eq!(links, vec!["/a.css", "/b.js", "/d.jpg"]);
+        assert_eq!(body.len(), 4096);
+    }
+
+    #[test]
+    fn css_embeds_extractable_links() {
+        let mut s = spec("/theme.css", ResourceKind::Css, 2048);
+        s.static_children = vec!["/f.woff2".into(), "/bg.png".into()];
+        let body = render_body("site.com", &s, 3, &rooted);
+        let text = std::str::from_utf8(&body).unwrap();
+        let links: Vec<String> = extract_css_links(text).into_iter().map(|l| l.href).collect();
+        assert_eq!(links, vec!["/f.woff2", "/bg.png"]);
+    }
+
+    #[test]
+    fn js_children_are_invisible_to_extractors() {
+        let mut s = spec("/app.js", ResourceKind::Js, 2048);
+        s.dynamic_children = vec!["/lazy.png".into(), "/chunk.js".into()];
+        let body = render_body("site.com", &s, 0, &rooted);
+        let text = std::str::from_utf8(&body).unwrap();
+        assert!(extract_html_links(text).is_empty());
+        assert!(extract_css_links(text).is_empty());
+        // …but the URLs are reconstructible by "executing" the JS
+        // (string concatenation), which the browser model simulates.
+        assert!(text.contains("loadResource"));
+    }
+
+    #[test]
+    fn version_changes_bytes_but_not_size() {
+        let s = spec("/pic.jpg", ResourceKind::Image, 10_000);
+        let v0 = render_body("site.com", &s, 0, &rooted);
+        let v1 = render_body("site.com", &s, 1, &rooted);
+        assert_ne!(v0, v1);
+        assert_eq!(v0.len(), v1.len());
+        assert_eq!(v0.len(), 10_000);
+    }
+
+    #[test]
+    fn content_is_deterministic() {
+        let s = spec("/pic.jpg", ResourceKind::Image, 5_000);
+        assert_eq!(
+            render_body("site.com", &s, 7, &rooted),
+            render_body("site.com", &s, 7, &rooted)
+        );
+    }
+
+    #[test]
+    fn text_padding_reaches_exact_size() {
+        for target in [100usize, 1000, 4097] {
+            let s = spec("/x.css", ResourceKind::Css, target as u64);
+            let body = render_body("h", &s, 0, &rooted);
+            assert_eq!(body.len(), target);
+        }
+    }
+
+    #[test]
+    fn essential_content_survives_small_target() {
+        let mut s = spec("/i.html", ResourceKind::Html, 10); // absurdly small
+        s.static_children = vec!["/a.css".into()];
+        let body = render_body("h", &s, 0, &rooted);
+        let text = std::str::from_utf8(&body).unwrap();
+        assert!(text.contains("/a.css"), "links must never be truncated");
+    }
+}

@@ -1,0 +1,193 @@
+//! The paper's running example page (Figure 1).
+//!
+//! `index.html` links `a.css` (max-age one week) and `b.js`
+//! (no-cache); evaluating `b.js` fetches `c.js`, and evaluating `c.js`
+//! fetches `d.jpg` (max-age one hour). The revisit in Figure 1(b)
+//! happens two hours later: `a.css` is still fresh, `b.js` must
+//! revalidate (304), `d.jpg` has expired (and in the figure, changed —
+//! it is re-downloaded in full).
+
+use std::time::Duration;
+
+use crate::resource::{ChangeModel, Discovery, ResourceKind, ResourceSpec};
+use crate::site::{GeneratedResource, Site, SiteSpec};
+use crate::ttl::HeaderPolicy;
+
+/// Host name used by the example.
+pub const EXAMPLE_HOST: &str = "example.org";
+
+/// The revisit delay used in Figure 1(b)/(c): two hours.
+pub fn revisit_delay() -> Duration {
+    Duration::from_secs(2 * 3600)
+}
+
+/// Builds the Figure-1 example site.
+///
+/// Change behaviour at the +2h revisit matches the figure: `a.css`,
+/// `b.js` are unchanged; `index.html` and `d.jpg` have changed
+/// (`d.jpg` is re-downloaded in 1(b); `index.html` is always fetched).
+/// `c.js` is unchanged, so in the optimized scenario (1c) it is served
+/// from cache with zero RTTs.
+pub fn example_site() -> Site {
+    let mut site = Site::generate(SiteSpec {
+        host: EXAMPLE_HOST.to_owned(),
+        seed: 0xF161,
+        n_resources: 0, // start empty; we add the five resources by hand
+        ..Default::default()
+    });
+
+    let hour = 3600u64;
+    let week = 7 * 24 * hour;
+
+    let mut add = |spec: ResourceSpec, policy: HeaderPolicy| {
+        site.insert_resource(GeneratedResource { spec, policy });
+    };
+
+    // index.html — changes every 90 minutes, always revalidated.
+    let mut index = ResourceSpec::leaf(
+        "/index.html",
+        ResourceKind::Html,
+        30_000,
+        Discovery::Base,
+        ChangeModel::Periodic {
+            period: Duration::from_secs(90 * 60),
+            phase: Duration::ZERO,
+        },
+    );
+    index.static_children = vec!["/a.css".to_owned(), "/b.js".to_owned()];
+    add(index, HeaderPolicy::NoCache);
+
+    // a.css — max-age = 1 week, changes monthly.
+    add(
+        ResourceSpec::leaf(
+            "/a.css",
+            ResourceKind::Css,
+            20_000,
+            Discovery::Static {
+                parent: "/index.html".into(),
+            },
+            ChangeModel::Periodic {
+                period: Duration::from_secs(30 * 24 * hour),
+                phase: Duration::ZERO,
+            },
+        ),
+        HeaderPolicy::MaxAge(Duration::from_secs(week)),
+    );
+
+    // b.js — no-cache, changes weekly; running it fetches c.js.
+    let mut b = ResourceSpec::leaf(
+        "/b.js",
+        ResourceKind::Js,
+        40_000,
+        Discovery::Static {
+            parent: "/index.html".into(),
+        },
+        ChangeModel::Periodic {
+            period: Duration::from_secs(week),
+            phase: Duration::ZERO,
+        },
+    );
+    b.dynamic_children = vec!["/c.js".to_owned()];
+    add(b, HeaderPolicy::NoCache);
+
+    // c.js — discovered by executing b.js; max-age 1 day, changes weekly.
+    let mut c = ResourceSpec::leaf(
+        "/c.js",
+        ResourceKind::Js,
+        25_000,
+        Discovery::JsExecution {
+            parent: "/b.js".into(),
+        },
+        ChangeModel::Periodic {
+            period: Duration::from_secs(week),
+            phase: Duration::ZERO,
+        },
+    );
+    c.dynamic_children = vec!["/d.jpg".to_owned()];
+    add(c, HeaderPolicy::MaxAge(Duration::from_secs(24 * hour)));
+
+    // d.jpg — discovered by executing c.js; max-age 1 hour and changes
+    // every ~1.7 hours, so at the +2h revisit it is expired *and*
+    // changed (Figure 1b re-downloads it).
+    add(
+        ResourceSpec::leaf(
+            "/d.jpg",
+            ResourceKind::Image,
+            80_000,
+            Discovery::JsExecution {
+                parent: "/c.js".into(),
+            },
+            ChangeModel::Periodic {
+                period: Duration::from_secs(100 * 60),
+                phase: Duration::ZERO,
+            },
+        ),
+        HeaderPolicy::MaxAge(Duration::from_secs(hour)),
+    );
+
+    site
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example_structure_matches_figure() {
+        let site = example_site();
+        assert_eq!(site.len(), 5);
+        let index = site.get("/index.html").unwrap();
+        assert_eq!(index.spec.static_children, vec!["/a.css", "/b.js"]);
+        let b = site.get("/b.js").unwrap();
+        assert_eq!(b.spec.dynamic_children, vec!["/c.js"]);
+        let c = site.get("/c.js").unwrap();
+        assert_eq!(c.spec.dynamic_children, vec!["/d.jpg"]);
+    }
+
+    #[test]
+    fn change_behaviour_at_revisit() {
+        let site = example_site();
+        let t0 = 0i64;
+        let t1 = t0 + revisit_delay().as_secs() as i64;
+        // Unchanged at +2h:
+        for p in ["/a.css", "/b.js", "/c.js"] {
+            assert_eq!(
+                site.etag_at(p, t0),
+                site.etag_at(p, t1),
+                "{p} must be unchanged"
+            );
+        }
+        // Changed at +2h:
+        for p in ["/index.html", "/d.jpg"] {
+            assert_ne!(
+                site.etag_at(p, t0),
+                site.etag_at(p, t1),
+                "{p} must have changed"
+            );
+        }
+    }
+
+    #[test]
+    fn header_policies_match_figure() {
+        let site = example_site();
+        assert_eq!(
+            site.get("/a.css").unwrap().policy,
+            HeaderPolicy::MaxAge(Duration::from_secs(7 * 24 * 3600))
+        );
+        assert_eq!(site.get("/b.js").unwrap().policy, HeaderPolicy::NoCache);
+        assert_eq!(
+            site.get("/d.jpg").unwrap().policy,
+            HeaderPolicy::MaxAge(Duration::from_secs(3600))
+        );
+    }
+
+    #[test]
+    fn html_body_contains_both_links() {
+        let site = example_site();
+        let body = site.body_at("/index.html", 0).unwrap();
+        let text = std::str::from_utf8(&body).unwrap();
+        assert!(text.contains("/a.css"));
+        assert!(text.contains("/b.js"));
+        assert!(!text.contains("/c.js"), "c.js is JS-discovered only");
+    }
+}

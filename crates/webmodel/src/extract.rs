@@ -1,0 +1,345 @@
+//! Static link extraction from HTML and CSS.
+//!
+//! These are the same extractors the modified origin server runs to
+//! build the `X-Etag-Config` map (the paper modified Caddy to
+//! "traverse the entire DOM and extract all resource links", §3), and
+//! the page-load engine runs to drive dependency resolution. They are
+//! deliberately small — attribute scanning, not a browser-grade parser
+//! — but handle the markup our generator and common sites produce:
+//! `<link href>`, `<script src>`, `<img src/srcset>`, `<source
+//! src/srcset>`, `<video poster>`, CSS `url(...)` and `@import`.
+
+/// A reference discovered in markup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExtractedLink {
+    /// The raw reference as written (may be relative).
+    pub href: String,
+    /// Where it appeared (element/property), for diagnostics.
+    pub context: LinkContext,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkContext {
+    Stylesheet,
+    Script,
+    Image,
+    Poster,
+    CssUrl,
+    CssImport,
+    Preload,
+}
+
+/// Extracts subresource links from an HTML document, in document order.
+pub fn extract_html_links(html: &str) -> Vec<ExtractedLink> {
+    let mut out = Vec::new();
+    let bytes = html.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] != b'<' {
+            i += 1;
+            continue;
+        }
+        // Skip comments.
+        if html[i..].starts_with("<!--") {
+            match html[i + 4..].find("-->") {
+                Some(end) => {
+                    i += 4 + end + 3;
+                    continue;
+                }
+                None => break,
+            }
+        }
+        let tag_end = match html[i..].find('>') {
+            Some(e) => i + e,
+            None => break,
+        };
+        let tag = &html[i + 1..tag_end];
+        let (name, attrs) = split_tag(tag);
+        match name.to_ascii_lowercase().as_str() {
+            "link" => {
+                let rel = get_attr(attrs, "rel").unwrap_or_default().to_ascii_lowercase();
+                if let Some(href) = get_attr(attrs, "href") {
+                    if rel.split_whitespace().any(|r| r == "stylesheet") {
+                        out.push(ExtractedLink {
+                            href,
+                            context: LinkContext::Stylesheet,
+                        });
+                    } else if rel.split_whitespace().any(|r| r == "preload" || r == "icon") {
+                        out.push(ExtractedLink {
+                            href,
+                            context: LinkContext::Preload,
+                        });
+                    }
+                }
+            }
+            "script" => {
+                if let Some(src) = get_attr(attrs, "src") {
+                    out.push(ExtractedLink {
+                        href: src,
+                        context: LinkContext::Script,
+                    });
+                }
+            }
+            "img" | "source" => {
+                if let Some(src) = get_attr(attrs, "src") {
+                    out.push(ExtractedLink {
+                        href: src,
+                        context: LinkContext::Image,
+                    });
+                }
+                if let Some(srcset) = get_attr(attrs, "srcset") {
+                    for candidate in srcset.split(',') {
+                        if let Some(url) = candidate.split_whitespace().next() {
+                            if !url.is_empty() {
+                                out.push(ExtractedLink {
+                                    href: url.to_owned(),
+                                    context: LinkContext::Image,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+            "video" => {
+                if let Some(poster) = get_attr(attrs, "poster") {
+                    out.push(ExtractedLink {
+                        href: poster,
+                        context: LinkContext::Poster,
+                    });
+                }
+            }
+            _ => {}
+        }
+        i = tag_end + 1;
+    }
+    out
+}
+
+/// Extracts `url(...)` and `@import` references from a CSS file.
+pub fn extract_css_links(css: &str) -> Vec<ExtractedLink> {
+    let mut out = Vec::new();
+    let mut rest = css;
+    // @import "x.css";  |  @import url(x.css);
+    while let Some(pos) = rest.find("@import") {
+        let after = &rest[pos + "@import".len()..];
+        let after_trim = after.trim_start();
+        if let Some(url) = if after_trim.starts_with("url(") {
+            parse_css_url(&after_trim[3..])
+        } else {
+            parse_css_string(after_trim)
+        } {
+            out.push(ExtractedLink {
+                href: url,
+                context: LinkContext::CssImport,
+            });
+        }
+        rest = after;
+    }
+    // url(...) occurrences (also matches the ones inside @import url();
+    // dedup below removes doubles).
+    let mut scan = css;
+    while let Some(pos) = scan.find("url(") {
+        if let Some(url) = parse_css_url(&scan[pos + 3..]) {
+            out.push(ExtractedLink {
+                href: url,
+                context: LinkContext::CssUrl,
+            });
+        }
+        scan = &scan[pos + 4..];
+    }
+    // Deduplicate while preserving order (imports first).
+    let mut seen = std::collections::HashSet::new();
+    out.retain(|l| seen.insert(l.href.clone()));
+    out
+}
+
+/// Parses `(url)` / `("url")` / `('url')`, given input starting at `(`.
+fn parse_css_url(s: &str) -> Option<String> {
+    let s = s.strip_prefix('(')?;
+    let end = s.find(')')?;
+    let inner = s[..end].trim();
+    let inner = inner
+        .strip_prefix('"')
+        .and_then(|x| x.strip_suffix('"'))
+        .or_else(|| inner.strip_prefix('\'').and_then(|x| x.strip_suffix('\'')))
+        .unwrap_or(inner);
+    if inner.is_empty() || inner.starts_with("data:") {
+        None
+    } else {
+        Some(inner.to_owned())
+    }
+}
+
+/// Parses a leading quoted string.
+fn parse_css_string(s: &str) -> Option<String> {
+    let quote = s.chars().next()?;
+    if quote != '"' && quote != '\'' {
+        return None;
+    }
+    let rest = &s[1..];
+    let end = rest.find(quote)?;
+    Some(rest[..end].to_owned())
+}
+
+/// Splits a tag's content into element name and attribute slice.
+fn split_tag(tag: &str) -> (&str, &str) {
+    let tag = tag.trim_end_matches('/').trim();
+    match tag.find(char::is_whitespace) {
+        Some(i) => (&tag[..i], &tag[i + 1..]),
+        None => (tag, ""),
+    }
+}
+
+/// Finds the value of `name` in an attribute list. Handles double,
+/// single and missing quotes; attribute names are case-insensitive.
+fn get_attr(attrs: &str, name: &str) -> Option<String> {
+    let lower = attrs.to_ascii_lowercase();
+    let mut from = 0;
+    while let Some(rel) = lower[from..].find(name) {
+        let at = from + rel;
+        // Must be a word boundary before, and `=` (with optional ws) after.
+        let before_ok = at == 0
+            || !lower.as_bytes()[at - 1].is_ascii_alphanumeric()
+                && lower.as_bytes()[at - 1] != b'-';
+        let after = &attrs[at + name.len()..];
+        let after_trim = after.trim_start();
+        if before_ok && after_trim.starts_with('=') {
+            let val = after_trim[1..].trim_start();
+            let parsed = if let Some(v) = val.strip_prefix('"') {
+                v.split('"').next().map(|s| s.to_owned())
+            } else if let Some(v) = val.strip_prefix('\'') {
+                v.split('\'').next().map(|s| s.to_owned())
+            } else {
+                val.split([' ', '\t', '>']).next().map(|s| s.to_owned())
+            };
+            return parsed;
+        }
+        from = at + name.len();
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hrefs(links: &[ExtractedLink]) -> Vec<&str> {
+        links.iter().map(|l| l.href.as_str()).collect()
+    }
+
+    #[test]
+    fn extracts_basic_page() {
+        let html = r#"<!DOCTYPE html><html><head>
+            <link rel="stylesheet" href="/a.css">
+            <script src="/b.js"></script>
+            </head><body>
+            <img src="/d.jpg" alt="x">
+            </body></html>"#;
+        let links = extract_html_links(html);
+        assert_eq!(hrefs(&links), vec!["/a.css", "/b.js", "/d.jpg"]);
+        assert_eq!(links[0].context, LinkContext::Stylesheet);
+        assert_eq!(links[1].context, LinkContext::Script);
+        assert_eq!(links[2].context, LinkContext::Image);
+    }
+
+    #[test]
+    fn single_quotes_and_unquoted() {
+        let html = "<img src='/x.png'><script src=/y.js></script>";
+        assert_eq!(hrefs(&extract_html_links(html)), vec!["/x.png", "/y.js"]);
+    }
+
+    #[test]
+    fn ignores_inline_scripts_and_non_stylesheet_links() {
+        let html = r#"<script>var x = 1;</script>
+            <link rel="canonical" href="/page">
+            <link rel="stylesheet" href="/real.css">"#;
+        assert_eq!(hrefs(&extract_html_links(html)), vec!["/real.css"]);
+    }
+
+    #[test]
+    fn preload_and_icon_links() {
+        let html = r#"<link rel="preload" href="/f.woff2" as="font">
+                      <link rel="icon" href="/favicon.ico">"#;
+        assert_eq!(
+            hrefs(&extract_html_links(html)),
+            vec!["/f.woff2", "/favicon.ico"]
+        );
+    }
+
+    #[test]
+    fn srcset_candidates() {
+        let html = r#"<img srcset="/small.jpg 1x, /big.jpg 2x" src="/fallback.jpg">"#;
+        let links = extract_html_links(html);
+        assert_eq!(
+            hrefs(&links),
+            vec!["/fallback.jpg", "/small.jpg", "/big.jpg"]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let html = r#"<!-- <script src="/ghost.js"></script> -->
+                      <script src="/real.js"></script>"#;
+        assert_eq!(hrefs(&extract_html_links(html)), vec!["/real.js"]);
+    }
+
+    #[test]
+    fn video_poster() {
+        let html = r#"<video poster="/p.jpg" src="/v.mp4"></video>"#;
+        // `src` on video isn't extracted (media streaming is outside the
+        // page-load model) but poster is.
+        assert_eq!(hrefs(&extract_html_links(html)), vec!["/p.jpg"]);
+    }
+
+    #[test]
+    fn css_urls() {
+        let css = r#"
+            @import "base.css";
+            @import url(theme.css);
+            body { background: url("/bg.png"); }
+            .icon { background-image: url('/i.svg'); }
+            .raw { background: url(/raw.gif); }
+            .data { background: url(data:image/png;base64,AAA); }
+        "#;
+        let links = extract_css_links(css);
+        assert_eq!(
+            hrefs(&links),
+            vec!["base.css", "theme.css", "/bg.png", "/i.svg", "/raw.gif"]
+        );
+        assert_eq!(links[0].context, LinkContext::CssImport);
+    }
+
+    #[test]
+    fn css_dedup() {
+        let css = ".a{background:url(/x.png)} .b{background:url(/x.png)}";
+        assert_eq!(hrefs(&extract_css_links(css)), vec!["/x.png"]);
+    }
+
+    #[test]
+    fn js_fetches_are_not_statically_visible() {
+        // The coverage gap the paper describes: references built inside
+        // JS are invisible to markup extraction.
+        let html = r#"<script src="/app.js"></script>"#;
+        let links = extract_html_links(html);
+        assert_eq!(hrefs(&links), vec!["/app.js"]);
+        let js_body = r#"fetch("/api/data.json"); new Image().src = "/lazy.jpg";"#;
+        // extract_html_links on JS content finds nothing.
+        assert!(extract_html_links(js_body).is_empty());
+    }
+
+    #[test]
+    fn malformed_html_does_not_panic() {
+        for bad in [
+            "<",
+            "<script src=",
+            "<img src=\"unterminated",
+            "<!-- unterminated",
+            "<<<>>>",
+            "<link rel=stylesheet href>",
+        ] {
+            let _ = extract_html_links(bad);
+        }
+        let _ = extract_css_links("url(");
+        let _ = extract_css_links("@import ;");
+    }
+}

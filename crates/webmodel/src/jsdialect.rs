@@ -1,0 +1,145 @@
+//! "Execution" of the workload's synthetic JavaScript.
+//!
+//! The generator (see `cachecatalyst-webmodel::content`) emits dynamic
+//! resource references in a tiny JS dialect that defeats static markup
+//! extraction — URLs are assembled from two string literals:
+//!
+//! ```js
+//! const u0 = "/assets/la" + "zy-042.jpg";
+//! loadResource(u0);
+//! ```
+//!
+//! The page-load engine "executes" a script by interpreting exactly
+//! this dialect, reconstructing the URLs a real browser would fetch
+//! from inside JS. Anything else in the file is inert filler.
+
+/// Evaluates a script body, returning the resource URLs it loads, in
+/// program order.
+pub fn evaluate(js: &str) -> Vec<String> {
+    let mut bindings: Vec<(String, String)> = Vec::new();
+    let mut loads = Vec::new();
+    for line in js.lines() {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("const ") {
+            // const NAME = "lit" + "lit";
+            let Some((name, expr)) = rest.split_once('=') else {
+                continue;
+            };
+            let name = name.trim();
+            let expr = expr.trim().trim_end_matches(';').trim();
+            let Some((a, b)) = expr.split_once('+') else {
+                continue;
+            };
+            let (Some(a), Some(b)) = (parse_string_literal(a.trim()), parse_string_literal(b.trim()))
+            else {
+                continue;
+            };
+            bindings.retain(|(n, _)| n != name);
+            bindings.push((name.to_owned(), format!("{a}{b}")));
+        } else if let Some(rest) = line.strip_prefix("loadResource(") {
+            let arg = rest.trim_end_matches(';').trim_end_matches(')').trim();
+            if let Some(value) = bindings.iter().rev().find(|(n, _)| n == arg) {
+                loads.push(value.1.clone());
+            } else if let Some(lit) = parse_string_literal(arg) {
+                loads.push(lit);
+            }
+        }
+    }
+    loads
+}
+
+/// Parses a double-quoted JS string literal with `\"` and `\\` escapes
+/// (the only ones our generator produces).
+fn parse_string_literal(s: &str) -> Option<String> {
+    let inner = s.strip_prefix('"')?.strip_suffix('"')?;
+    let mut out = String::with_capacity(inner.len());
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            out.push(chars.next()?);
+        } else if c == '"' {
+            return None; // unescaped quote inside: not a single literal
+        } else {
+            out.push(c);
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evaluates_generated_dialect() {
+        let js = r#"/* site.com/app.js v3 */
+"use strict";
+const u0 = "/assets/la" + "zy-042.jpg";
+loadResource(u0);
+const u1 = "http://cdn.site.com/li" + "b.js";
+loadResource(u1);
+"#;
+        assert_eq!(
+            evaluate(js),
+            vec!["/assets/lazy-042.jpg", "http://cdn.site.com/lib.js"]
+        );
+    }
+
+    #[test]
+    fn direct_literal_argument() {
+        assert_eq!(evaluate(r#"loadResource("/x.js");"#), vec!["/x.js"]);
+    }
+
+    #[test]
+    fn unknown_binding_is_skipped() {
+        assert!(evaluate("loadResource(mystery);").is_empty());
+    }
+
+    #[test]
+    fn rebinding_uses_latest_value() {
+        let js = r#"
+const u = "/a" + ".js";
+const u = "/b" + ".js";
+loadResource(u);
+"#;
+        assert_eq!(evaluate(js), vec!["/b.js"]);
+    }
+
+    #[test]
+    fn filler_is_inert() {
+        let js = r#"
+/* lorem ipsum */
+function unrelated() { return fetch_like_text; }
+var y = 12;
+"#;
+        assert!(evaluate(js).is_empty());
+    }
+
+    #[test]
+    fn escaped_quotes_in_literals() {
+        assert_eq!(
+            parse_string_literal(r#""a\"b""#).as_deref(),
+            Some("a\"b")
+        );
+        assert_eq!(parse_string_literal(r#""a\\b""#).as_deref(), Some("a\\b"));
+        assert!(parse_string_literal(r#""a"b""#).is_none());
+        assert!(parse_string_literal("nope").is_none());
+    }
+
+    #[test]
+    fn roundtrips_with_generator() {
+        use crate::content::render_body;
+        use crate::resource::{ChangeModel, Discovery, ResourceKind, ResourceSpec};
+        let mut spec = ResourceSpec::leaf(
+            "/app.js",
+            ResourceKind::Js,
+            4096,
+            Discovery::Base,
+            ChangeModel::Immutable,
+        );
+        spec.dynamic_children = vec!["/chunk.js".into(), "/lazy.png".into()];
+        let body = render_body("h", &spec, 0, &|p| p.to_owned());
+        let urls = evaluate(std::str::from_utf8(&body).unwrap());
+        assert_eq!(urls, vec!["/chunk.js", "/lazy.png"]);
+    }
+}

@@ -1,0 +1,40 @@
+//! # cachecatalyst-webmodel
+//!
+//! The workload model for the CacheCatalyst reproduction: synthetic
+//! web sites whose structure, sizes, change behaviour and cache
+//! headers match the measurements the paper builds its motivation on.
+//!
+//! * [`resource`] — resource kinds, discovery modes (static vs
+//!   JS-executed), and the deterministic change model.
+//! * [`extract`] — HTML/CSS link extraction (shared by the modified
+//!   origin server and the page-load engine).
+//! * [`content`] — deterministic body synthesis; markup embeds real
+//!   links so extraction operates on genuine content.
+//! * [`ttl`] — the *developer cache-header policy* model reproducing
+//!   the conservative-TTL statistics of §2.2.
+//! * [`site`] — the seeded site generator.
+//! * [`example`] — the paper's Figure-1 example page.
+//! * [`corpus`] — the 100-site evaluation corpus.
+//! * [`inventory`] — build a site from a plain-text listing of *your*
+//!   resources (sizes, change periods, current headers).
+//! * [`stats`] — seeded distributions and summaries.
+
+pub mod content;
+pub mod corpus;
+pub mod example;
+pub mod extract;
+pub mod inventory;
+pub mod jsdialect;
+pub mod resource;
+pub mod site;
+pub mod stats;
+pub mod ttl;
+
+pub use corpus::{corpus_specs, generate_corpus, CorpusSpec};
+pub use example::{example_site, revisit_delay, EXAMPLE_HOST};
+pub use extract::{extract_css_links, extract_html_links, ExtractedLink, LinkContext};
+pub use inventory::{parse_duration, site_from_inventory, InventoryError};
+pub use jsdialect::evaluate as evaluate_js;
+pub use resource::{ChangeModel, Discovery, ResourceKind, ResourceSpec};
+pub use site::{GeneratedResource, Site, SiteSpec};
+pub use ttl::{DeveloperPolicyParams, HeaderPolicy};

@@ -1,0 +1,179 @@
+//! Seeded randomness and the distributions used by the site generator.
+//!
+//! Everything is keyed: a quantity is drawn from a generator derived
+//! deterministically from `(seed, label)` so that regenerating a site
+//! gives byte-identical results regardless of call order.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Derives a child seed from a parent seed and a label (FNV-1a over the
+/// label, mixed with SplitMix64).
+pub fn derive_seed(seed: u64, label: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ seed;
+    for &b in label.as_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    splitmix64(h)
+}
+
+/// SplitMix64 finalizer: decorrelates nearby seeds.
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// A deterministic RNG for a `(seed, label)` pair.
+pub fn rng_for(seed: u64, label: &str) -> StdRng {
+    StdRng::seed_from_u64(derive_seed(seed, label))
+}
+
+/// Samples a standard normal via Box–Muller.
+pub fn sample_normal(rng: &mut StdRng) -> f64 {
+    loop {
+        let u1: f64 = rng.gen::<f64>();
+        let u2: f64 = rng.gen::<f64>();
+        if u1 > f64::EPSILON {
+            return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        }
+    }
+}
+
+/// Samples a log-normal with the given *median* and `sigma` (shape).
+/// The median parameterization (`exp(mu)`) is easier to calibrate
+/// against published percentile tables than the mean.
+pub fn sample_lognormal(rng: &mut StdRng, median: f64, sigma: f64) -> f64 {
+    (median.ln() + sigma * sample_normal(rng)).exp()
+}
+
+/// Samples an exponential with the given mean.
+pub fn sample_exp(rng: &mut StdRng, mean: f64) -> f64 {
+    let u: f64 = rng.gen::<f64>();
+    -mean * (1.0 - u).ln()
+}
+
+/// Weighted choice: returns the index of the chosen weight.
+pub fn weighted_choice(rng: &mut StdRng, weights: &[f64]) -> usize {
+    let total: f64 = weights.iter().sum();
+    assert!(total > 0.0, "weights must not all be zero");
+    let mut x = rng.gen::<f64>() * total;
+    for (i, w) in weights.iter().enumerate() {
+        x -= w;
+        if x <= 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+/// Summary statistics over a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    pub n: usize,
+    pub mean: f64,
+    pub min: f64,
+    pub max: f64,
+    pub p50: f64,
+    pub p90: f64,
+}
+
+impl Summary {
+    pub fn of(values: &[f64]) -> Summary {
+        assert!(!values.is_empty(), "empty sample");
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let pct = |p: f64| {
+            let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+            sorted[idx]
+        };
+        Summary {
+            n: sorted.len(),
+            mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
+            min: sorted[0],
+            max: *sorted.last().unwrap(),
+            p50: pct(0.5),
+            p90: pct(0.9),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derive_seed_is_stable_and_label_sensitive() {
+        let a = derive_seed(42, "site-0");
+        let b = derive_seed(42, "site-0");
+        let c = derive_seed(42, "site-1");
+        let d = derive_seed(43, "site-0");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn rng_for_is_reproducible() {
+        let mut r1 = rng_for(7, "x");
+        let mut r2 = rng_for(7, "x");
+        let v1: Vec<u32> = (0..8).map(|_| r1.gen()).collect();
+        let v2: Vec<u32> = (0..8).map(|_| r2.gen()).collect();
+        assert_eq!(v1, v2);
+    }
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let mut rng = rng_for(1, "normal");
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| sample_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn lognormal_median_is_calibrated() {
+        let mut rng = rng_for(2, "lognormal");
+        let samples: Vec<f64> = (0..20_000)
+            .map(|_| sample_lognormal(&mut rng, 30_000.0, 1.0))
+            .collect();
+        let s = Summary::of(&samples);
+        let rel = (s.p50 - 30_000.0).abs() / 30_000.0;
+        assert!(rel < 0.05, "median off by {rel}");
+        assert!(s.mean > s.p50, "lognormal is right-skewed");
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut rng = rng_for(3, "exp");
+        let samples: Vec<f64> = (0..20_000).map(|_| sample_exp(&mut rng, 5.0)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((mean - 5.0).abs() < 0.2, "mean {mean}");
+    }
+
+    #[test]
+    fn weighted_choice_respects_weights() {
+        let mut rng = rng_for(4, "wc");
+        let mut counts = [0usize; 3];
+        for _ in 0..30_000 {
+            counts[weighted_choice(&mut rng, &[1.0, 2.0, 7.0])] += 1;
+        }
+        assert!(counts[2] > counts[1] && counts[1] > counts[0]);
+        let frac2 = counts[2] as f64 / 30_000.0;
+        assert!((frac2 - 0.7).abs() < 0.03, "frac {frac2}");
+    }
+
+    #[test]
+    fn summary_basics() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(s.n, 5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.p50, 3.0);
+        assert_eq!(s.mean, 3.0);
+    }
+}

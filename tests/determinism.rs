@@ -1,0 +1,68 @@
+//! Integration: the whole pipeline is deterministic — identical seeds
+//! give bit-identical sites, bodies, ETags and nanosecond-identical
+//! PLTs, which is what makes the evaluation reproducible.
+
+use std::sync::Arc;
+
+use cachecatalyst::prelude::*;
+
+fn run_once(seed: u64, mode: HeaderMode) -> (Vec<u64>, u64, String) {
+    let site = Site::generate(SiteSpec {
+        host: "det.example".into(),
+        seed,
+        n_resources: 45,
+        js_discovered_fraction: 0.1,
+        ..Default::default()
+    });
+    let url = Url::parse(&format!("http://{}{}", site.spec.host, site.base_path()))
+        .unwrap();
+    let origin = Arc::new(OriginServer::new(site.clone(), mode));
+    let up = SingleOrigin(origin);
+    let mut browser = match mode {
+        HeaderMode::Baseline => Browser::baseline(),
+        _ => Browser::catalyst(),
+    };
+    let cond = NetworkConditions::five_g_median();
+    let cold = browser.load(&up, cond, &url, 1_000_000);
+    let warm = browser.load(&up, cond, &url, 1_003_600);
+    let etag = site.etag_at(site.base_path(), 1_000_000).unwrap().to_string();
+    (
+        vec![cold.plt.as_nanos(), warm.plt.as_nanos()],
+        cold.bytes_down + warm.bytes_down,
+        etag,
+    )
+}
+
+#[test]
+fn identical_seeds_are_bit_identical() {
+    for mode in [HeaderMode::Baseline, HeaderMode::Catalyst] {
+        let a = run_once(7, mode);
+        let b = run_once(7, mode);
+        assert_eq!(a, b, "mode {mode:?} not deterministic");
+    }
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = run_once(7, HeaderMode::Baseline);
+    let b = run_once(8, HeaderMode::Baseline);
+    assert_ne!(a.0, b.0);
+}
+
+#[test]
+fn site_bodies_and_etags_are_stable_functions_of_time() {
+    let site = example_site();
+    for t in [0i64, 3599, 3600, 7200, 86_400] {
+        assert_eq!(site.body_at("/a.css", t), site.body_at("/a.css", t));
+        assert_eq!(site.etag_at("/a.css", t), site.etag_at("/a.css", t));
+    }
+    // ETag changes exactly when the body changes.
+    let site = example_site();
+    let b0 = site.body_at("/d.jpg", 0).unwrap();
+    let b1 = site.body_at("/d.jpg", 5_999).unwrap();
+    let b2 = site.body_at("/d.jpg", 6_000).unwrap();
+    assert_eq!(b0, b1);
+    assert_ne!(b1, b2);
+    assert_eq!(site.etag_at("/d.jpg", 0), site.etag_at("/d.jpg", 5_999));
+    assert_ne!(site.etag_at("/d.jpg", 0), site.etag_at("/d.jpg", 6_000));
+}
