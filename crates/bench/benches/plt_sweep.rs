@@ -69,8 +69,7 @@ fn bench_figure3_cell(c: &mut Criterion) {
                 .into_iter()
                 .enumerate()
             {
-                let origin =
-                    Arc::new(OriginServer::new(site.clone(), kind.header_mode()));
+                let origin = Arc::new(OriginServer::new(site.clone(), kind.header_mode()));
                 let upstream = SingleOrigin(origin);
                 let mut browser = kind.browser();
                 browser.load(&upstream, cond, &base, t0);
@@ -114,8 +113,14 @@ fn bench_network_conditions_sensitivity(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("cold_load_by_condition");
     for (label, cond) in [
-        ("8Mbps_120ms", NetworkConditions::new(Duration::from_millis(120), 8_000_000)),
-        ("60Mbps_10ms", NetworkConditions::new(Duration::from_millis(10), 60_000_000)),
+        (
+            "8Mbps_120ms",
+            NetworkConditions::new(Duration::from_millis(120), 8_000_000),
+        ),
+        (
+            "60Mbps_10ms",
+            NetworkConditions::new(Duration::from_millis(10), 60_000_000),
+        ),
     ] {
         group.bench_function(label, |b| {
             b.iter(|| {

@@ -27,7 +27,10 @@ fn main() {
         ("fig3_churn", &["fig3", "--churn", "--cdf"]),
         ("fig3_capture", &["fig3", "--capture", "--sites", "50"]),
         ("motivation_stats", &[]),
-        ("redundant_transfer", &["redundant_transfer", "--sites", "50"]),
+        (
+            "redundant_transfer",
+            &["redundant_transfer", "--sites", "50"],
+        ),
         ("compare_pushes", &["compare_pushes", "--sites", "30"]),
         ("header_overhead", &[]),
         ("js_coverage", &[]),
@@ -35,7 +38,10 @@ fn main() {
         ("fcp_metrics", &["fcp_metrics", "--sites", "30"]),
         ("capture_memory", &[]),
         ("intra_site", &[]),
-        ("transport_ablation", &["transport_ablation", "--sites", "25"]),
+        (
+            "transport_ablation",
+            &["transport_ablation", "--sites", "25"],
+        ),
         ("loss_sensitivity", &["loss_sensitivity", "--sites", "20"]),
         ("swr_comparison", &["swr_comparison", "--sites", "25"]),
         ("server_cost", &[]),

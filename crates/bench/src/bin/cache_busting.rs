@@ -53,12 +53,7 @@ fn main() {
                 cold.load(&upstream, cond, &base, t0);
                 for delay in REVISIT_DELAYS {
                     let mut b = cold.clone();
-                    let warm = b.load(
-                        &upstream,
-                        cond,
-                        &base,
-                        t0 + delay.as_secs() as i64,
-                    );
+                    let warm = b.load(&upstream, cond, &base, t0 + delay.as_secs() as i64);
                     plt[i] += warm.plt_ms();
                     reqs[i] += warm.network_requests() as f64;
                     if i == 0 {

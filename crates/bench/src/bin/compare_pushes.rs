@@ -61,9 +61,7 @@ fn main() {
         },
         Policy {
             name: "push-if-changed",
-            make_upstream: Box::new(|o| {
-                Box::new(PushOrigin::new(o, PushPolicy::IfChanged))
-            }),
+            make_upstream: Box::new(|o| Box::new(PushOrigin::new(o, PushPolicy::IfChanged))),
             origin_mode: HeaderMode::Baseline,
             client: ClientKind::Baseline,
         },
@@ -107,8 +105,7 @@ fn main() {
             cold_n += 1;
             for delay in REVISIT_DELAYS {
                 let mut b = cold.clone();
-                let warm =
-                    b.load(upstream.as_ref(), cond, &base, t0 + delay.as_secs() as i64);
+                let warm = b.load(upstream.as_ref(), cond, &base, t0 + delay.as_secs() as i64);
                 warm_plt += warm.plt_ms();
                 warm_reqs += warm.network_requests();
                 warm_down += warm.bytes_down;

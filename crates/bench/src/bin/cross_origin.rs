@@ -53,10 +53,8 @@ fn main() {
                 if cross {
                     origin = origin.with_cross_origin();
                 }
-                let upstream: Box<dyn Upstream> = Box::new(FrozenUpstream::new(
-                    SingleOrigin(Arc::new(origin)),
-                    t0,
-                ));
+                let upstream: Box<dyn Upstream> =
+                    Box::new(FrozenUpstream::new(SingleOrigin(Arc::new(origin)), t0));
                 let mut browser: Browser = kind.browser();
                 browser.load(upstream.as_ref(), cond, &base, t0);
                 plts[i] += browser

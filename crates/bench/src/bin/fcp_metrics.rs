@@ -35,9 +35,15 @@ fn main() {
 
     let mut rows = Vec::new();
     for (label, cond) in [
-        ("8Mbps/40ms", NetworkConditions::new(Duration::from_millis(40), 8_000_000)),
+        (
+            "8Mbps/40ms",
+            NetworkConditions::new(Duration::from_millis(40), 8_000_000),
+        ),
         ("60Mbps/40ms", NetworkConditions::five_g_median()),
-        ("60Mbps/120ms", NetworkConditions::new(Duration::from_millis(120), 60_000_000)),
+        (
+            "60Mbps/120ms",
+            NetworkConditions::new(Duration::from_millis(120), 60_000_000),
+        ),
     ] {
         // [baseline, catalyst] × [plt, fcp]
         let mut plt = [0.0f64; 2];
@@ -49,20 +55,14 @@ fn main() {
                 .into_iter()
                 .enumerate()
             {
-                let origin =
-                    Arc::new(OriginServer::new(site.clone(), kind.header_mode()));
+                let origin = Arc::new(OriginServer::new(site.clone(), kind.header_mode()));
                 let upstream: Box<dyn Upstream> =
                     Box::new(FrozenUpstream::new(SingleOrigin(origin), t0));
                 let mut cold: Browser = kind.browser();
                 cold.load(upstream.as_ref(), cond, &base, t0);
                 for delay in REVISIT_DELAYS {
                     let mut b = cold.clone();
-                    let warm = b.load(
-                        upstream.as_ref(),
-                        cond,
-                        &base,
-                        t0 + delay.as_secs() as i64,
-                    );
+                    let warm = b.load(upstream.as_ref(), cond, &base, t0 + delay.as_secs() as i64);
                     plt[i] += warm.plt_ms();
                     fcp[i] += warm.fcp_ms();
                 }

@@ -31,8 +31,12 @@ fn main() {
     let first = browser.load(&up, cond, &base, t0);
     println!("== Figure 1(a): first visit (cold cache) ==");
     println!("{}", first.trace.render_waterfall(48));
-    println!("PLT: {:.1} ms | {} requests | {} KB down\n",
-        first.plt_ms(), first.network_requests(), first.bytes_down / 1000);
+    println!(
+        "PLT: {:.1} ms | {} requests | {} KB down\n",
+        first.plt_ms(),
+        first.network_requests(),
+        first.bytes_down / 1000
+    );
 
     // (b) Revisit +2h under the current caching approach.
     let second = browser.load(&up, cond, &base, t1);

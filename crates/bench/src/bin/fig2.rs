@@ -34,8 +34,12 @@ fn main() {
     let sw = &browser.sw.metrics;
 
     println!("== Figure 2: the Service Worker's interception paths ==\n");
-    println!("site {} ({} resources), cold visit + 1h revisit at {}\n",
-        site.spec.host, site.len(), cond.label());
+    println!(
+        "site {} ({} resources), cold visit + 1h revisit at {}\n",
+        site.spec.host,
+        site.len(),
+        cond.label()
+    );
     println!("                 ┌──────────────────────────────┐");
     println!("   page fetches  │        Service Worker        │      origin");
     println!("  ──────────────▶│  intercepts every request    │");

@@ -15,12 +15,11 @@
 use std::time::Duration;
 
 use cachecatalyst_bench::runner::{
-    base_url_of, first_visit_time, ClientKind, ContentModel, ExperimentGrid,
-    REVISIT_DELAYS,
+    base_url_of, first_visit_time, ClientKind, ContentModel, ExperimentGrid, REVISIT_DELAYS,
 };
-use cachecatalyst_browser::{FrozenUpstream, Upstream};
 use cachecatalyst_bench::table::{render_series, render_table};
 use cachecatalyst_browser::SingleOrigin;
+use cachecatalyst_browser::{FrozenUpstream, Upstream};
 use cachecatalyst_netsim::NetworkConditions;
 use cachecatalyst_origin::OriginServer;
 use cachecatalyst_webmodel::{generate_corpus, CorpusSpec};
@@ -113,9 +112,11 @@ fn main() {
         .enumerate()
         .map(|(ti, bps)| {
             std::iter::once(format!("{} Mbps", bps / 1_000_000))
-                .chain(grid.cells[ti].iter().map(|c| {
-                    format!("{:.0}→{:.0}", c.baseline_plt_ms, c.treatment_plt_ms)
-                }))
+                .chain(
+                    grid.cells[ti]
+                        .iter()
+                        .map(|c| format!("{:.0}→{:.0}", c.baseline_plt_ms, c.treatment_plt_ms)),
+                )
                 .collect()
         })
         .collect();
@@ -159,9 +160,7 @@ fn per_site_distribution(
         for (i, kind) in [ClientKind::Baseline, treatment].into_iter().enumerate() {
             let origin = Arc::new(OriginServer::new(site.clone(), kind.header_mode()));
             let upstream: Box<dyn Upstream> = match content {
-                ContentModel::Frozen => {
-                    Box::new(FrozenUpstream::new(SingleOrigin(origin), t0))
-                }
+                ContentModel::Frozen => Box::new(FrozenUpstream::new(SingleOrigin(origin), t0)),
                 ContentModel::Churning => Box::new(SingleOrigin(origin)),
             };
             let mut cold = kind.browser();

@@ -29,12 +29,8 @@ fn main() {
             ..Default::default()
         });
         let t0 = first_visit_time(&site);
-        let (config, stats) = build_config_for_site(
-            &site,
-            site.base_path(),
-            t0,
-            &ExtractOptions::default(),
-        );
+        let (config, stats) =
+            build_config_for_site(&site, site.base_path(), t0, &ExtractOptions::default());
         let html_len = site.body_at(site.base_path(), t0).unwrap().len();
         let map_len = config.wire_size();
 

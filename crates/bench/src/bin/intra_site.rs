@@ -52,8 +52,7 @@ fn main() {
             let mut browser: Browser = kind.browser();
             for (i, page) in site.pages().iter().enumerate() {
                 let url = Url::parse(&format!("http://{}{page}", site.spec.host)).unwrap();
-                let report =
-                    browser.load(&upstream, cond, &url, t0 + (i as i64) * 10);
+                let report = browser.load(&upstream, cond, &url, t0 + (i as i64) * 10);
                 per_page[i] += report.plt_ms();
                 reqs[i] += report.network_requests() as f64;
             }

@@ -18,7 +18,10 @@ fn main() {
     let delay = Duration::from_secs(3600);
     let n_seeds = 8;
 
-    println!("== E7: improvement vs JS-discovered fraction ({} | revisit 1h) ==\n", cond.label());
+    println!(
+        "== E7: improvement vs JS-discovered fraction ({} | revisit 1h) ==\n",
+        cond.label()
+    );
 
     let mut rows = Vec::new();
     for js_pct in [0.0, 0.1, 0.2, 0.3, 0.4, 0.6] {

@@ -54,12 +54,7 @@ fn main() {
                 for delay in REVISIT_DELAYS {
                     let mut b = cold.clone();
                     plt[i] += b
-                        .load(
-                            upstream.as_ref(),
-                            cond,
-                            &base,
-                            t0 + delay.as_secs() as i64,
-                        )
+                        .load(upstream.as_ref(), cond, &base, t0 + delay.as_secs() as i64)
                         .plt_ms();
                 }
             }

@@ -12,7 +12,7 @@
 use std::time::Duration;
 
 use cachecatalyst_bench::table::render_table;
-use cachecatalyst_webmodel::{generate_corpus, CorpusSpec, ChangeModel, HeaderPolicy};
+use cachecatalyst_webmodel::{generate_corpus, ChangeModel, CorpusSpec, HeaderPolicy};
 
 fn main() {
     let n_sites: usize = std::env::args()
@@ -109,7 +109,11 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["statistic".to_owned(), "measured".to_owned(), "reference".to_owned()],
+            &[
+                "statistic".to_owned(),
+                "measured".to_owned(),
+                "reference".to_owned()
+            ],
             &rows
         )
     );

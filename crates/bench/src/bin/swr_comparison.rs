@@ -129,12 +129,7 @@ fn main() {
 
 /// Resources whose displayed version (cache/SW hit ⇒ the t0 version)
 /// differs from the server-current version at the revisit.
-fn count_stale(
-    site: &Site,
-    trace: &cachecatalyst_netsim::LoadTrace,
-    t0: i64,
-    t1: i64,
-) -> usize {
+fn count_stale(site: &Site, trace: &cachecatalyst_netsim::LoadTrace, t0: i64, t1: i64) -> usize {
     trace
         .fetches
         .iter()

@@ -19,10 +19,7 @@ use cachecatalyst_webmodel::{generate_corpus, CorpusSpec};
 
 fn browser_for(kind: ClientKind, http2: bool) -> Browser {
     let mut b = kind.browser();
-    b.config = EngineConfig {
-        http2,
-        ..b.config
-    };
+    b.config = EngineConfig { http2, ..b.config };
     b
 }
 
@@ -60,8 +57,7 @@ fn main() {
                     .into_iter()
                     .enumerate()
                 {
-                    let origin =
-                        Arc::new(OriginServer::new(site.clone(), kind.header_mode()));
+                    let origin = Arc::new(OriginServer::new(site.clone(), kind.header_mode()));
                     let upstream: Box<dyn Upstream> =
                         Box::new(FrozenUpstream::new(SingleOrigin(origin), t0));
                     let mut cold = browser_for(kind, http2);
@@ -69,12 +65,7 @@ fn main() {
                     for delay in REVISIT_DELAYS {
                         let mut b = cold.clone();
                         plt[i] += b
-                            .load(
-                                upstream.as_ref(),
-                                cond,
-                                &base,
-                                t0 + delay.as_secs() as i64,
-                            )
+                            .load(upstream.as_ref(), cond, &base, t0 + delay.as_secs() as i64)
                             .plt_ms();
                     }
                 }

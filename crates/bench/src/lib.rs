@@ -8,7 +8,5 @@
 pub mod runner;
 pub mod table;
 
-pub use runner::{
-    visit_pair, ClientKind, ExperimentGrid, GridCell, VisitPair, REVISIT_DELAYS,
-};
+pub use runner::{visit_pair, ClientKind, ExperimentGrid, GridCell, VisitPair, REVISIT_DELAYS};
 pub use table::{render_series, render_table};

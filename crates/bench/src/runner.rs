@@ -3,10 +3,13 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use cachecatalyst_browser::{Browser, EngineConfig, FrozenUpstream, LoadReport, SingleOrigin, Upstream};
+use cachecatalyst_browser::{
+    Browser, EngineConfig, FrozenUpstream, LoadReport, SingleOrigin, Upstream,
+};
 use cachecatalyst_httpwire::Url;
 use cachecatalyst_netsim::NetworkConditions;
 use cachecatalyst_origin::{HeaderMode, OriginServer};
+use cachecatalyst_telemetry::JsonlRecorder;
 use cachecatalyst_webmodel::stats::derive_seed;
 use cachecatalyst_webmodel::Site;
 
@@ -112,6 +115,23 @@ pub fn visit_pair_with(
     VisitPair { cold, warm }
 }
 
+/// [`visit_pair`] with event capture: both visits are recorded as a
+/// JSONL trace (one telemetry event per line, virtual-time stamped),
+/// ready to be written to disk for offline analysis.
+pub fn visit_pair_traced(
+    site: &Site,
+    kind: ClientKind,
+    cond: NetworkConditions,
+    delay: Duration,
+) -> (VisitPair, String) {
+    let origin = Arc::new(OriginServer::new(site.clone(), kind.header_mode()));
+    let upstream = SingleOrigin(origin);
+    let recorder = Arc::new(JsonlRecorder::new());
+    let browser = kind.browser().with_recorder(recorder.clone());
+    let pair = visit_pair_with(&upstream, site, browser, cond, delay);
+    (pair, recorder.drain())
+}
+
 /// One cell of the Figure-3 grid: the mean warm-visit PLT of two
 /// client kinds over `sites × delays`, and the derived improvement.
 #[derive(Debug, Clone, Copy, Default)]
@@ -185,18 +205,14 @@ impl ExperimentGrid {
         delays: &[Duration],
         content: ContentModel,
     ) -> ExperimentGrid {
-        let mut cells =
-            vec![vec![GridCell::default(); latencies.len()]; throughputs.len()];
+        let mut cells = vec![vec![GridCell::default(); latencies.len()]; throughputs.len()];
         for site in sites {
             let base = base_url_of(site);
             let t0 = first_visit_time(site);
             for (kind_idx, kind) in [baseline, treatment].into_iter().enumerate() {
-                let origin =
-                    Arc::new(OriginServer::new(site.clone(), kind.header_mode()));
+                let origin = Arc::new(OriginServer::new(site.clone(), kind.header_mode()));
                 let upstream: Box<dyn Upstream> = match content {
-                    ContentModel::Frozen => {
-                        Box::new(FrozenUpstream::new(SingleOrigin(origin), t0))
-                    }
+                    ContentModel::Frozen => Box::new(FrozenUpstream::new(SingleOrigin(origin), t0)),
                     ContentModel::Churning => Box::new(SingleOrigin(origin)),
                 };
                 let upstream = upstream.as_ref();
@@ -207,12 +223,7 @@ impl ExperimentGrid {
                         cold_browser.load(upstream, cond, &base, t0);
                         for &delay in delays {
                             let mut b = cold_browser.clone();
-                            let warm = b.load(
-                                upstream,
-                                cond,
-                                &base,
-                                t0 + delay.as_secs() as i64,
-                            );
+                            let warm = b.load(upstream, cond, &base, t0 + delay.as_secs() as i64);
                             let cell = &mut cells[ti][li];
                             if kind_idx == 0 {
                                 cell.baseline_plt_ms += warm.plt_ms();
@@ -306,6 +317,39 @@ mod tests {
         let low = grid.cells[0][0].improvement_percent();
         let high = grid.cells[0][1].improvement_percent();
         assert!(high > low, "low-lat {low}% vs high-lat {high}%");
+    }
+
+    #[test]
+    fn traced_visits_export_one_event_per_line() {
+        let site = Site::generate(SiteSpec {
+            n_resources: 12,
+            ..Default::default()
+        });
+        let (pair, jsonl) = visit_pair_traced(
+            &site,
+            ClientKind::Catalyst,
+            NetworkConditions::five_g_median(),
+            Duration::from_secs(60),
+        );
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert!(lines
+            .iter()
+            .all(|l| l.starts_with("{\"event\":") && l.ends_with('}')));
+        let count = |kind: &str| {
+            lines
+                .iter()
+                .filter(|l| l.contains(&format!("\"event\":\"{kind}\"")))
+                .count()
+        };
+        assert_eq!(count("page_load_start"), 2);
+        assert_eq!(count("page_load_end"), 2);
+        // One fetch_end per traced fetch across both visits.
+        assert_eq!(
+            count("fetch_end"),
+            pair.cold.trace.fetches.len() + pair.warm.trace.fetches.len()
+        );
+        // The warm visit produced local hits: zero-RTT outcomes appear.
+        assert!(jsonl.contains("\"outcome\":\"etag-config-hit\""));
     }
 
     #[test]

@@ -83,11 +83,7 @@ mod tests {
             &[("a".into(), 10.0), ("b".into(), 40.0)],
             "%",
         );
-        let bars: Vec<usize> = s
-            .lines()
-            .skip(1)
-            .map(|l| l.matches('█').count())
-            .collect();
+        let bars: Vec<usize> = s.lines().skip(1).map(|l| l.matches('█').count()).collect();
         assert_eq!(bars[1], 40);
         assert_eq!(bars[0], 10);
     }

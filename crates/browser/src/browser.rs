@@ -1,9 +1,12 @@
 //! The browser facade: persistent state across visits.
 
+use std::sync::Arc;
+
 use cachecatalyst_catalyst::ServiceWorker;
-use cachecatalyst_httpcache::HttpCache;
+use cachecatalyst_httpcache::{CacheMetrics, HttpCache};
 use cachecatalyst_httpwire::Url;
-use cachecatalyst_netsim::NetworkConditions;
+use cachecatalyst_netsim::{FetchOutcome, NetworkConditions};
+use cachecatalyst_telemetry::{Event, FetchKind, Recorder};
 
 use crate::engine::{Engine, EngineConfig, LoadReport};
 use crate::upstream::Upstream;
@@ -15,6 +18,18 @@ pub struct Browser {
     pub cache: HttpCache,
     pub sw: ServiceWorker,
     pub config: EngineConfig,
+    recorder: Option<Arc<dyn Recorder>>,
+}
+
+/// Maps a simulator outcome onto the telemetry vocabulary.
+fn fetch_kind(outcome: FetchOutcome) -> FetchKind {
+    match outcome {
+        FetchOutcome::FullTransfer => FetchKind::FullFetch,
+        FetchOutcome::NotModified => FetchKind::Conditional304,
+        FetchOutcome::CacheHit => FetchKind::CacheFresh,
+        FetchOutcome::ServiceWorkerHit => FetchKind::EtagConfigHit,
+        FetchOutcome::Pushed => FetchKind::Pushed,
+    }
 }
 
 impl Browser {
@@ -24,7 +39,17 @@ impl Browser {
             cache: HttpCache::unbounded(),
             sw: ServiceWorker::new(),
             config,
+            recorder: None,
         }
+    }
+
+    /// Attaches an event sink; every subsequent [`Browser::load`]
+    /// emits a page-load trace through it. Timestamps are virtual
+    /// milliseconds (`t_secs × 1000` plus simulated offsets), so
+    /// traces from discrete-event runs line up across visits.
+    pub fn with_recorder(mut self, recorder: Arc<dyn Recorder>) -> Browser {
+        self.recorder = Some(recorder);
+        self
     }
 
     /// Status-quo browser: classic HTTP cache, no service worker.
@@ -64,6 +89,7 @@ impl Browser {
         base_url: &Url,
         t_secs: i64,
     ) -> LoadReport {
+        let metrics_before = self.cache.metrics;
         let report = Engine::new(
             upstream,
             cond,
@@ -76,6 +102,15 @@ impl Browser {
         // Remember the visit so push-if-changed comparators can use
         // the `x-cc-last-visit` announcement on the next load.
         self.config.last_visit = Some(t_secs);
+        if let Some(recorder) = &self.recorder {
+            emit_load_events(
+                recorder.as_ref(),
+                base_url,
+                t_secs,
+                &report,
+                self.cache.metrics.delta_since(&metrics_before),
+            );
+        }
         report
     }
 
@@ -84,6 +119,52 @@ impl Browser {
         self.cache.clear();
         self.sw.clear();
     }
+}
+
+/// Replays one finished load into the recorder: a page-load span, one
+/// start/end pair per fetch, and the HTTP-cache delta the load caused.
+fn emit_load_events(
+    recorder: &dyn Recorder,
+    base_url: &Url,
+    t_secs: i64,
+    report: &LoadReport,
+    delta: CacheMetrics,
+) {
+    let page = base_url.to_string();
+    let base_ms = t_secs as f64 * 1000.0;
+    recorder.record(&Event::PageLoadStart {
+        page: page.clone(),
+        t_ms: base_ms,
+    });
+    for f in &report.trace.fetches {
+        recorder.record(&Event::FetchStart {
+            url: f.url.clone(),
+            t_ms: base_ms + f.started.as_millis_f64(),
+        });
+        recorder.record(&Event::FetchEnd {
+            url: f.url.clone(),
+            t_ms: base_ms + f.completed.as_millis_f64(),
+            outcome: fetch_kind(f.outcome),
+            bytes_down: f.bytes_down,
+            bytes_up: f.bytes_up,
+            rtts: f.rtts,
+        });
+    }
+    recorder.record(&Event::PageLoadEnd {
+        page,
+        t_ms: base_ms + report.plt.as_millis_f64(),
+        resources: report.trace.fetches.len(),
+        plt_ms: report.plt_ms(),
+    });
+    recorder.record(&Event::CacheDelta {
+        t_ms: base_ms + report.plt.as_millis_f64(),
+        fresh_hits: delta.fresh_hits,
+        stale_hits: delta.stale_hits,
+        misses: delta.misses,
+        stores: delta.stores,
+        evictions: delta.evictions,
+        revalidation_refreshes: delta.revalidation_refreshes,
+    });
 }
 
 #[cfg(test)]
@@ -335,6 +416,85 @@ mod tests {
         let a = Browser::baseline().load(&up, fast, &base(), 0);
         let b = Browser::baseline().load(&up, slow, &base(), 0);
         assert!(b.plt > a.plt);
+    }
+
+    #[test]
+    fn recorder_sees_one_fetch_pair_per_resource() {
+        use cachecatalyst_telemetry::{Event, FetchKind, MemoryRecorder};
+
+        let up = upstream(HeaderMode::Baseline);
+        let recorder = Arc::new(MemoryRecorder::new());
+        let mut browser = Browser::baseline().with_recorder(recorder.clone());
+        let report = browser.load(&up, cond(), &base(), 7);
+
+        let events = recorder.take();
+        let ends: Vec<_> = events
+            .iter()
+            .filter(|e| matches!(e, Event::FetchEnd { .. }))
+            .collect();
+        let starts = events
+            .iter()
+            .filter(|e| matches!(e, Event::FetchStart { .. }))
+            .count();
+        assert_eq!(ends.len(), report.trace.fetches.len());
+        assert_eq!(starts, ends.len());
+        // The page-load span brackets the fetches and carries the
+        // resource count the per-fetch events sum to.
+        assert!(matches!(
+            events.first(),
+            Some(Event::PageLoadStart { t_ms, .. }) if *t_ms == 7000.0
+        ));
+        let Some(Event::PageLoadEnd {
+            resources, plt_ms, ..
+        }) = events
+            .iter()
+            .find(|e| matches!(e, Event::PageLoadEnd { .. }))
+        else {
+            panic!("missing page_load_end");
+        };
+        assert_eq!(*resources, ends.len());
+        assert!((plt_ms - report.plt_ms()).abs() < 1e-9);
+        // Cold baseline load: 5 full fetches, all stored in the cache.
+        assert!(ends.iter().all(|e| matches!(
+            e,
+            Event::FetchEnd { outcome: FetchKind::FullFetch, rtts, .. } if *rtts >= 1
+        )));
+        assert!(matches!(
+            events.last(),
+            Some(Event::CacheDelta {
+                stores: 5,
+                misses: 5,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn recorder_outcomes_follow_the_cache_state() {
+        use cachecatalyst_telemetry::{Event, FetchKind, MemoryRecorder};
+
+        let up = upstream(HeaderMode::Catalyst);
+        let recorder = Arc::new(MemoryRecorder::new());
+        let mut browser = Browser::catalyst().with_recorder(recorder.clone());
+        browser.load(&up, cond(), &base(), 0);
+        recorder.take();
+        browser.load(&up, cond(), &base(), 60);
+
+        let outcome = |suffix: &str| {
+            recorder
+                .snapshot()
+                .iter()
+                .find_map(|e| match e {
+                    Event::FetchEnd { url, outcome, .. } if url.ends_with(suffix) => Some(*outcome),
+                    _ => None,
+                })
+                .unwrap_or_else(|| panic!("{suffix} missing"))
+        };
+        // Unchanged revisit: the map answers for a.css/b.js, the
+        // navigation revalidates.
+        assert_eq!(outcome("/a.css"), FetchKind::EtagConfigHit);
+        assert_eq!(outcome("/b.js"), FetchKind::EtagConfigHit);
+        assert_eq!(outcome("/index.html"), FetchKind::Conditional304);
     }
 
     #[test]

@@ -14,9 +14,7 @@ use std::time::Duration;
 use cachecatalyst_catalyst::{ServiceWorker, SwDecision};
 use cachecatalyst_httpcache::{HttpCache, Lookup};
 use cachecatalyst_httpwire::codec::encode_request;
-use cachecatalyst_httpwire::{
-    HeaderName, Request, Response, StatusCode, Url,
-};
+use cachecatalyst_httpwire::{HeaderName, Request, Response, StatusCode, Url};
 use cachecatalyst_netsim::{
     FetchOutcome, FetchTrace, LinkId, LoadTrace, NetEvent, Network, NetworkConditions, SimTime,
 };
@@ -206,6 +204,9 @@ struct FetchState {
     /// Background revalidation: result updates the cache but does not
     /// gate onLoad and produces no page-visible content processing.
     is_background: bool,
+    /// Round trips charged so far: DNS, handshake legs, the
+    /// request/response exchange, retransmission timeouts.
+    rtts: u32,
 }
 
 struct ConnState {
@@ -229,7 +230,9 @@ struct Pool {
 
 impl Pool {
     fn pop_waiter(&mut self) -> Option<FetchId> {
-        self.queue.pop_front().or_else(|| self.queue_low.pop_front())
+        self.queue
+            .pop_front()
+            .or_else(|| self.queue_low.pop_front())
     }
 }
 
@@ -311,10 +314,7 @@ impl<'a> Engine<'a> {
                 NetEvent::Timer(t) => t,
                 NetEvent::FlowDone(_, t) => t,
             };
-            let pending = self
-                .pending
-                .remove(&token)
-                .expect("unknown token fired");
+            let pending = self.pending.remove(&token).expect("unknown token fired");
             self.dispatch(pending, now);
         }
         self.finalize()
@@ -356,8 +356,10 @@ impl<'a> Engine<'a> {
                 }
             }
             Pending::UploadDone(f) => {
+                let loss = self.loss_penalty();
+                self.fetches[f].rtts += 1 + if loss > Duration::ZERO { 2 } else { 0 };
                 let tok = self.token(Pending::ServerTurn(f));
-                let dt = self.cond.one_way() + self.cfg.server_think + self.loss_penalty();
+                let dt = self.cond.one_way() + self.cfg.server_think + loss;
                 self.net.set_timer(dt, tok);
             }
             Pending::ServerTurn(f) => {
@@ -441,7 +443,8 @@ impl<'a> Engine<'a> {
             .with_header(HeaderName::HOST, &url.authority())
             .with_header(HeaderName::USER_AGENT, "cachecatalyst-browser/0.1");
         if let Some(session) = &self.cfg.session {
-            req.headers.insert("cookie", &format!("cc-session={session}"));
+            req.headers
+                .insert("cookie", &format!("cc-session={session}"));
         }
         if let Some(last) = self.cfg.last_visit {
             req.headers.insert(ext::X_LAST_VISIT, &last.to_string());
@@ -469,6 +472,7 @@ impl<'a> Engine<'a> {
             is_push: false,
             push_used: false,
             is_background: false,
+            rtts: 0,
         });
         if is_navigation {
             self.render_blocking.push(f);
@@ -531,12 +535,7 @@ impl<'a> Engine<'a> {
                         self.fetches[f].response = Some(response);
                         let tok = self.token(Pending::Instant(f));
                         self.net.set_timer(self.cfg.cache_overhead, tok);
-                        self.spawn_background_revalidation(
-                            url.clone(),
-                            etag,
-                            last_modified,
-                            now,
-                        );
+                        self.spawn_background_revalidation(url.clone(), etag, last_modified, now);
                         return;
                     }
                     if let Some(tag) = etag {
@@ -597,6 +596,7 @@ impl<'a> Engine<'a> {
             is_push: false,
             push_used: false,
             is_background: true,
+            rtts: 0,
         });
         self.assign_to_pool(f, now);
     }
@@ -638,6 +638,9 @@ impl<'a> Engine<'a> {
                 None => {
                     pool.dns = Some(false);
                     pool.dns_pending.push(f);
+                    // The fetch that triggers the lookup pays its RTT;
+                    // later fetches just park on the resolution.
+                    self.fetches[f].rtts += 1;
                     let tok = self.token(Pending::DnsDone(host));
                     self.net.set_timer(self.cond.rtt, tok);
                     return;
@@ -660,7 +663,7 @@ impl<'a> Engine<'a> {
                     });
                     self.fetches[f].conn = Some(0);
                     let tok = self.token(Pending::HandshakeDone(f));
-                    let dt = self.handshake_time();
+                    let dt = self.handshake_time(f);
                     self.net.set_timer(dt, tok);
                 }
                 Some(c) if !c.established => pool.queue.push_back(f),
@@ -673,11 +676,7 @@ impl<'a> Engine<'a> {
         }
         let pool = self.pools.entry(host).or_default();
         // Prefer an idle, established connection.
-        if let Some(idx) = pool
-            .conns
-            .iter()
-            .position(|c| !c.busy && c.established)
-        {
+        if let Some(idx) = pool.conns.iter().position(|c| !c.busy && c.established) {
             pool.conns[idx].busy = true;
             self.fetches[f].conn = Some(idx);
             self.start_upload(f, now);
@@ -691,7 +690,7 @@ impl<'a> Engine<'a> {
             let idx = pool.conns.len() - 1;
             self.fetches[f].conn = Some(idx);
             let tok = self.token(Pending::HandshakeDone(f));
-            let dt = self.handshake_time();
+            let dt = self.handshake_time(f);
             self.net.set_timer(dt, tok);
             return;
         }
@@ -709,13 +708,21 @@ impl<'a> Engine<'a> {
         }
     }
 
-    /// TCP (+ optional TLS 1.3) connection establishment time.
-    fn handshake_time(&mut self) -> Duration {
+    /// TCP (+ optional TLS 1.3) connection establishment time, charged
+    /// to the fetch opening the connection.
+    fn handshake_time(&mut self, f: FetchId) -> Duration {
         let mut dt = self.cond.rtt;
+        let mut rtts = 1u32;
         if self.cfg.tls {
             dt += self.cond.rtt;
+            rtts += 1;
         }
-        dt + self.loss_penalty()
+        let loss = self.loss_penalty();
+        if loss > Duration::ZERO {
+            rtts += 2;
+        }
+        self.fetches[f].rtts += rtts;
+        dt + loss
     }
 
     /// Draws from the seeded loss stream: with probability
@@ -855,8 +862,8 @@ impl<'a> Engine<'a> {
                 self.net.set_timer(dt, tok);
             }
             ResourceKind::Js => {
-                let dt = self.cfg.exec_base
-                    + Duration::from_secs_f64(len / self.cfg.exec_bytes_per_sec);
+                let dt =
+                    self.cfg.exec_base + Duration::from_secs_f64(len / self.cfg.exec_bytes_per_sec);
                 let tok = self.token(Pending::Exec(f));
                 self.net.set_timer(dt, tok);
             }
@@ -878,7 +885,9 @@ impl<'a> Engine<'a> {
         // make them instantly available.
         if let Some(list) = delivered.headers.get_combined(ext::X_RDR_BUNDLE) {
             for path in list.split(',').filter(|p| !p.trim().is_empty()) {
-                let Ok(url) = base.join(path.trim()) else { continue };
+                let Ok(url) = base.join(path.trim()) else {
+                    continue;
+                };
                 let req = Request::get(&url.target().to_string())
                     .with_header(HeaderName::HOST, &url.authority())
                     .with_header(ext::X_INTERNAL, "bundle");
@@ -892,7 +901,9 @@ impl<'a> Engine<'a> {
         // response, sharing the downlink with everything else.
         if let Some(list) = delivered.headers.get_combined(ext::X_PUSHED) {
             for path in list.split(',').filter(|p| !p.trim().is_empty()) {
-                let Ok(url) = base.join(path.trim()) else { continue };
+                let Ok(url) = base.join(path.trim()) else {
+                    continue;
+                };
                 let key = url.to_string();
                 if self.requested.contains(&key) || self.predelivered.contains_key(&key) {
                     continue;
@@ -922,6 +933,7 @@ impl<'a> Engine<'a> {
                     is_push: true,
                     push_used: false,
                     is_background: false,
+                    rtts: 0,
                 });
                 self.push_inflight.insert(key, (pf, None));
                 let tok = self.token(Pending::PushDone(pf));
@@ -943,7 +955,10 @@ impl<'a> Engine<'a> {
                 .into_iter()
                 .map(|l| l.href)
                 .collect(),
-            _ => extract_css_links(text).into_iter().map(|l| l.href).collect(),
+            _ => extract_css_links(text)
+                .into_iter()
+                .map(|l| l.href)
+                .collect(),
         };
         let base = self.fetches[f].url.clone();
         let from_navigation = self.fetches[f].is_navigation;
@@ -1029,6 +1044,7 @@ impl<'a> Engine<'a> {
                 outcome: f.outcome,
                 bytes_down: f.bytes_down,
                 bytes_up: f.bytes_up,
+                rtts: f.rtts,
             });
         }
         let bytes_down = trace.bytes_down();

@@ -67,8 +67,9 @@ pub fn to_har(report: &LoadReport, epoch: &str) -> String {
             f.bytes_down,
             f.bytes_down,
             json_string(&format!(
-                "outcome={}; servedFromCache={served_from_cache}; t+{:.3}ms",
+                "outcome={}; servedFromCache={served_from_cache}; rtts={}; t+{:.3}ms",
                 f.outcome.tag().trim(),
+                f.rtts,
                 f.discovered.as_millis_f64()
             )),
         ));
@@ -131,6 +132,9 @@ mod tests {
         }
         assert_eq!(har.matches("\"pageref\":\"page_1\"").count(), 5);
         assert!(har.contains(&format!("\"onLoad\":{:.3}", r.plt.as_millis_f64())));
+        // Cold load over keep-alive HTTP/1.1: every entry paid at
+        // least the request/response round trip.
+        assert_eq!(har.matches("rtts=0").count(), 0, "{har}");
     }
 
     #[test]

@@ -27,8 +27,8 @@ pub mod upstream;
 pub mod live;
 
 pub use browser::Browser;
+pub use engine::{Engine, EngineConfig, LoadReport};
 pub use har::to_har;
 #[cfg(feature = "aio")]
 pub use live::{LiveBrowser, LiveMode, LiveReport};
-pub use engine::{Engine, EngineConfig, LoadReport};
 pub use upstream::{FrozenUpstream, MultiOrigin, SingleOrigin, Upstream};

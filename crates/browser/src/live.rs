@@ -113,8 +113,7 @@ impl LiveBrowser {
     pub async fn load(&mut self, base_url: &Url) -> std::io::Result<LiveReport> {
         let t0 = Instant::now();
         let mut trace = LoadTrace::default();
-        let mut requested: std::collections::HashSet<String> =
-            std::collections::HashSet::new();
+        let mut requested: std::collections::HashSet<String> = std::collections::HashSet::new();
         let mut join: JoinSet<std::io::Result<FetchDone>> = JoinSet::new();
 
         requested.insert(base_url.to_string());
@@ -138,6 +137,9 @@ impl LiveBrowser {
                 outcome: done.outcome,
                 bytes_down: done.bytes_down,
                 bytes_up: done.bytes_up,
+                // Live fetches reuse pooled keep-alive connections:
+                // one request/response round trip per network fetch.
+                rtts: done.outcome.used_network() as u32,
             });
             for link in done.links {
                 if requested.insert(link.to_string()) {
@@ -210,12 +212,20 @@ impl LiveBrowser {
                     }
                 }
                 LiveMode::Baseline => {
-                    match cache.lock().await.lookup_for(&url.to_string(), &req, now_secs) {
+                    match cache
+                        .lock()
+                        .await
+                        .lookup_for(&url.to_string(), &req, now_secs)
+                    {
                         Lookup::Fresh(resp) => {
                             outcome = FetchOutcome::CacheHit;
                             local = Some(resp);
                         }
-                        Lookup::Stale { etag, last_modified, .. } => {
+                        Lookup::Stale {
+                            etag,
+                            last_modified,
+                            ..
+                        } => {
                             if let Some(tag) = etag {
                                 req.headers.insert(HeaderName::IF_NONE_MATCH, &tag);
                             } else if let Some(lm) = last_modified {
@@ -234,20 +244,14 @@ impl LiveBrowser {
                     // --- network fetch through the host pool ---
                     let pool = {
                         let mut pools = pools.lock().await;
-                        Arc::clone(pools.entry(url.host().to_owned()).or_insert_with(
-                            || {
-                                Arc::new(HostPool {
-                                    permits: Semaphore::new(6),
-                                    state: Mutex::new(PoolState { idle: Vec::new() }),
-                                })
-                            },
-                        ))
+                        Arc::clone(pools.entry(url.host().to_owned()).or_insert_with(|| {
+                            Arc::new(HostPool {
+                                permits: Semaphore::new(6),
+                                state: Mutex::new(PoolState { idle: Vec::new() }),
+                            })
+                        }))
                     };
-                    let _permit = pool
-                        .permits
-                        .acquire()
-                        .await
-                        .expect("semaphore not closed");
+                    let _permit = pool.permits.acquire().await.expect("semaphore not closed");
                     let mut conn = {
                         let mut state = pool.state.lock().await;
                         state.idle.pop()
@@ -280,12 +284,7 @@ impl LiveBrowser {
                             if resp.status == StatusCode::NOT_MODIFIED {
                                 outcome = FetchOutcome::NotModified;
                                 guard
-                                    .update_with_304(
-                                        &url.to_string(),
-                                        &resp,
-                                        now_secs,
-                                        now_secs,
-                                    )
+                                    .update_with_304(&url.to_string(), &resp, now_secs, now_secs)
                                     .unwrap_or(resp)
                             } else {
                                 guard.store(&url.to_string(), &req, &resp, now_secs, now_secs);
@@ -305,11 +304,17 @@ impl LiveBrowser {
                     let hrefs: Vec<String> = match kind {
                         ResourceKind::Html => {
                             tokio::time::sleep(parse_base).await;
-                            extract_html_links(text).into_iter().map(|l| l.href).collect()
+                            extract_html_links(text)
+                                .into_iter()
+                                .map(|l| l.href)
+                                .collect()
                         }
                         ResourceKind::Css => {
                             tokio::time::sleep(parse_base).await;
-                            extract_css_links(text).into_iter().map(|l| l.href).collect()
+                            extract_css_links(text)
+                                .into_iter()
+                                .map(|l| l.href)
+                                .collect()
                         }
                         ResourceKind::Js => {
                             tokio::time::sleep(exec_base).await;

@@ -25,8 +25,7 @@ fn flat_site(n_images: usize) -> (Site, Url) {
         js_discovered_fraction: 0.0,
         ..Default::default()
     });
-    let url = Url::parse(&format!("http://{}{}", site.spec.host, site.base_path()))
-        .unwrap();
+    let url = Url::parse(&format!("http://{}{}", site.spec.host, site.base_path())).unwrap();
     (site, url)
 }
 
@@ -103,14 +102,8 @@ fn server_delay_header_is_charged() {
     let origin = Arc::new(OriginServer::new(example_site(), HeaderMode::Baseline));
     let base = Url::parse("http://example.org/index.html").unwrap();
 
-    let plain = Browser::uncached().load(
-        &SingleOrigin(Arc::clone(&origin)),
-        cond(),
-        &base,
-        0,
-    );
-    let delayed =
-        Browser::uncached().load(&DelayedUpstream(origin, 250), cond(), &base, 0);
+    let plain = Browser::uncached().load(&SingleOrigin(Arc::clone(&origin)), cond(), &base, 0);
+    let delayed = Browser::uncached().load(&DelayedUpstream(origin, 250), cond(), &base, 0);
     let diff = delayed.plt_ms() - plain.plt_ms();
     assert!(
         (200.0..300.0).contains(&diff),
@@ -173,12 +166,7 @@ fn unused_push_does_not_gate_onload() {
     // The wasted push completes after PLT or before, but PLT only
     // tracks requested resources.
     let plain_origin = Arc::new(OriginServer::new(example_site(), HeaderMode::Baseline));
-    let plain = Browser::uncached().load(
-        &SingleOrigin(plain_origin),
-        cond(),
-        &base,
-        0,
-    );
+    let plain = Browser::uncached().load(&SingleOrigin(plain_origin), cond(), &base, 0);
     // The push shares bandwidth, so PLT may shift slightly, but must
     // not jump by the full push transfer.
     let ratio = report.plt_ms() / plain.plt_ms();
@@ -215,9 +203,7 @@ fn rdr_bundle_header_makes_resources_instant() {
     impl Upstream for Bundler {
         fn handle(&self, _host: &str, req: &Request, t: i64) -> Response {
             let mut resp = self.0.handle(req, t);
-            if req.target.path().ends_with(".html")
-                && !req.headers.contains(ext::X_INTERNAL)
-            {
+            if req.target.path().ends_with(".html") && !req.headers.contains(ext::X_INTERNAL) {
                 resp.headers.insert(ext::X_RDR_BUNDLE, "/a.css,/b.js");
             }
             resp
@@ -263,7 +249,11 @@ fn http2_multiplexing_beats_pooled_h1_on_cold_loads() {
         h1_report.plt
     );
     // h2 pays exactly one handshake; h1 up to 6.
-    assert!(h2_report.trace.fetches.iter().all(|f| f.started >= f.discovered));
+    assert!(h2_report
+        .trace
+        .fetches
+        .iter()
+        .all(|f| f.started >= f.discovered));
 }
 
 #[test]

@@ -52,8 +52,7 @@ async fn baseline_live_browser_caches_across_loads() {
         example_site(),
         cachecatalyst_origin::HeaderMode::Baseline,
     ));
-    let mut browser =
-        LiveBrowser::new(instant_dialer(Arc::clone(&origin), 0), LiveMode::Baseline);
+    let mut browser = LiveBrowser::new(instant_dialer(Arc::clone(&origin), 0), LiveMode::Baseline);
     browser.load(&base()).await.unwrap();
 
     // Revisit one minute later (server time unchanged ⇒ 304s for the
@@ -71,8 +70,7 @@ async fn catalyst_live_browser_reaches_sw_hits() {
         example_site(),
         cachecatalyst_origin::HeaderMode::Catalyst,
     ));
-    let mut browser =
-        LiveBrowser::new(instant_dialer(Arc::clone(&origin), 0), LiveMode::Catalyst);
+    let mut browser = LiveBrowser::new(instant_dialer(Arc::clone(&origin), 0), LiveMode::Catalyst);
     browser.load(&base()).await.unwrap();
     let mut browser = browser.with_dialer(instant_dialer(origin, 60));
     browser.now_secs = 60;

@@ -53,8 +53,7 @@ impl SessionCapture {
 
     /// The recorded paths for a (session, page), if any.
     pub fn paths(&self, session: &str, page: &str) -> Option<&BTreeSet<String>> {
-        self.records
-            .get(&(session.to_owned(), page.to_owned()))
+        self.records.get(&(session.to_owned(), page.to_owned()))
     }
 
     /// Builds an [`EtagConfig`] from the recorded list, looking up each
@@ -144,7 +143,9 @@ mod tests {
         let a = cap.config_for("alice", "/p", &|_| Some(tag("t")));
         assert_eq!(a.len(), 1);
         assert!(a.get("/a.css").is_some());
-        assert!(cap.config_for("carol", "/p", &|_| Some(tag("t"))).is_empty());
+        assert!(cap
+            .config_for("carol", "/p", &|_| Some(tag("t")))
+            .is_empty());
     }
 
     #[test]
@@ -152,9 +153,7 @@ mod tests {
         let mut cap = SessionCapture::new(100);
         cap.record("s", "/p", "/old.js");
         cap.record("s", "/p", "/live.js");
-        let config = cap.config_for("s", "/p", &|p| {
-            (p == "/live.js").then(|| tag("t"))
-        });
+        let config = cap.config_for("s", "/p", &|p| (p == "/live.js").then(|| tag("t")));
         assert_eq!(config.len(), 1);
     }
 

@@ -120,9 +120,7 @@ impl<W: SiteWorker> ComposedWorker<W> {
         }
         match self.catalyst.intercept(url, path) {
             SwDecision::ServeLocal(resp) => ComposedDecision::CatalystServed(resp),
-            SwDecision::Forward { if_none_match } => {
-                ComposedDecision::Forward { if_none_match }
-            }
+            SwDecision::Forward { if_none_match } => ComposedDecision::Forward { if_none_match },
         }
     }
 

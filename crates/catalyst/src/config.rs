@@ -167,8 +167,8 @@ fn unescape(s: &str) -> Result<String, WireError> {
             let hex = s
                 .get(i + 1..i + 3)
                 .ok_or_else(|| WireError::InvalidHeader(s.to_owned()))?;
-            let v = u8::from_str_radix(hex, 16)
-                .map_err(|_| WireError::InvalidHeader(s.to_owned()))?;
+            let v =
+                u8::from_str_radix(hex, 16).map_err(|_| WireError::InvalidHeader(s.to_owned()))?;
             out.push(v);
             i += 3;
         } else {
@@ -251,7 +251,10 @@ mod tests {
     fn splitting_across_header_values() {
         let mut c = EtagConfig::new();
         for i in 0..50 {
-            c.insert(&format!("/assets/resource-{i:03}.js"), tag(&format!("{i:016x}")));
+            c.insert(
+                &format!("/assets/resource-{i:03}.js"),
+                tag(&format!("{i:016x}")),
+            );
         }
         let values = c.to_header_values(256);
         assert!(values.len() > 1);
@@ -304,7 +307,10 @@ mod tests {
         let mut c = EtagConfig::new();
         let mut sizes = Vec::new();
         for i in 0..100 {
-            c.insert(&format!("/assets/file-{i:04}.js"), tag(&format!("{i:016x}")));
+            c.insert(
+                &format!("/assets/file-{i:04}.js"),
+                tag(&format!("{i:016x}")),
+            );
             sizes.push(c.wire_size());
         }
         // Roughly linear: each entry ≈ path + etag + separators.

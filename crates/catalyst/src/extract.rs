@@ -210,9 +210,7 @@ mod tests {
             self.bodies.get(path).cloned()
         }
         fn etag(&self, path: &str) -> Option<EntityTag> {
-            self.bodies
-                .get(path)
-                .map(|b| EntityTag::from_content(b))
+            self.bodies.get(path).map(|b| EntityTag::from_content(b))
         }
     }
 
@@ -224,13 +222,19 @@ mod tests {
             build_config(&provider, "/index.html", html, &ExtractOptions::default());
         assert_eq!(config.len(), 2);
         assert_eq!(stats.included, 2);
-        assert_eq!(config.get("/a.css").unwrap(), &EntityTag::from_content(b"css"));
+        assert_eq!(
+            config.get("/a.css").unwrap(),
+            &EntityTag::from_content(b"css")
+        );
     }
 
     #[test]
     fn recurses_into_css() {
         let provider = MapProvider::new(&[
-            ("/a.css", r#"@import "deep.css"; .x{background:url(/img.png)}"#),
+            (
+                "/a.css",
+                r#"@import "deep.css"; .x{background:url(/img.png)}"#,
+            ),
             ("/deep.css", ".y{}"),
             ("/img.png", "png"),
         ]);
@@ -290,8 +294,12 @@ mod tests {
             ("/pages/img/bg.png", "png"),
         ]);
         let html = r#"<link rel="stylesheet" href="style.css">"#;
-        let (config, _) =
-            build_config(&provider, "/pages/about.html", html, &ExtractOptions::default());
+        let (config, _) = build_config(
+            &provider,
+            "/pages/about.html",
+            html,
+            &ExtractOptions::default(),
+        );
         assert!(config.get("/pages/style.css").is_some());
         assert!(config.get("/pages/img/bg.png").is_some(), "{config}");
     }
@@ -318,8 +326,7 @@ mod tests {
     fn duplicate_references_counted_once() {
         let provider = MapProvider::new(&[("/x.png", "p")]);
         let html = r#"<img src="/x.png"><img src="/x.png">"#;
-        let (config, stats) =
-            build_config(&provider, "/i.html", html, &ExtractOptions::default());
+        let (config, stats) = build_config(&provider, "/i.html", html, &ExtractOptions::default());
         assert_eq!(config.len(), 1);
         assert_eq!(stats.included, 1);
     }

@@ -29,9 +29,13 @@ pub mod inject;
 pub mod sw;
 
 pub use aggregate::AggregateCapture;
-pub use compose::{AppShellWorker, ComposedDecision, ComposedWorker, SiteWorker};
 pub use capture::SessionCapture;
+pub use compose::{AppShellWorker, ComposedDecision, ComposedWorker, SiteWorker};
 pub use config::EtagConfig;
-pub use extract::{build_config, build_config_for_site, ExtractOptions, ExtractStats, ResourceProvider};
-pub use inject::{has_registration, inject_registration, REGISTRATION_SNIPPET, SW_SCRIPT, SW_SCRIPT_PATH};
+pub use extract::{
+    build_config, build_config_for_site, ExtractOptions, ExtractStats, ResourceProvider,
+};
+pub use inject::{
+    has_registration, inject_registration, REGISTRATION_SNIPPET, SW_SCRIPT, SW_SCRIPT_PATH,
+};
 pub use sw::{ServiceWorker, SwDecision, SwMetrics};

@@ -152,8 +152,7 @@ impl ServiceWorker {
                 // Adopt any new validators/metadata from the 304.
                 for (name, value) in resp.headers.iter() {
                     let n = name.as_str();
-                    if n == HeaderName::CONTENT_LENGTH || n == HeaderName::TRANSFER_ENCODING
-                    {
+                    if n == HeaderName::CONTENT_LENGTH || n == HeaderName::TRANSFER_ENCODING {
                         continue;
                     }
                     entry.response.headers.insert(n, value.as_str());
@@ -308,10 +307,7 @@ mod tests {
         let mut sw = ServiceWorker::new();
         sw.on_navigation(&navigation_with_config(&[("/a.css", "v1")]));
         sw.on_response("http://s/a.css", &resp_with_etag("body", "v1"));
-        let delivered = sw.on_response(
-            "http://s/a.css",
-            &Response::not_modified(Some(&tag("v1"))),
-        );
+        let delivered = sw.on_response("http://s/a.css", &Response::not_modified(Some(&tag("v1"))));
         assert_eq!(&delivered.body[..], b"body");
         assert_eq!(delivered.status, StatusCode::OK);
     }

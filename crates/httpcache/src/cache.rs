@@ -28,9 +28,9 @@ pub struct CacheEntry {
 impl CacheEntry {
     /// Whether a new request selects this stored variant.
     pub fn vary_matches(&self, req: &Request) -> bool {
-        self.vary.iter().all(|(name, stored)| {
-            name != "*" && req.headers.get_combined(name) == *stored
-        })
+        self.vary
+            .iter()
+            .all(|(name, stored)| name != "*" && req.headers.get_combined(name) == *stored)
     }
 }
 
@@ -402,8 +402,8 @@ mod tests {
 
         // At t=150 the entry is stale. The origin said 304 with a new
         // Date; the entry becomes fresh for another 100 s.
-        let resp304 = Response::not_modified(None)
-            .with_header("date", &HttpDate(150).to_imf_fixdate());
+        let resp304 =
+            Response::not_modified(None).with_header("date", &HttpDate(150).to_imf_fixdate());
         let refreshed = cache.update_with_304("u", &resp304, 150, 150).unwrap();
         assert_eq!(&refreshed.body[..], b"0123456789");
         assert!(matches!(cache.lookup("u", 200), Lookup::Fresh(_)));
@@ -415,10 +415,8 @@ mod tests {
         let mut cache = HttpCache::unbounded();
         let req = Request::get("/r");
         cache.store("u", &req, &cacheable_response(100, "v1"), 0, 0);
-        let resp304 = Response::not_modified(Some(
-            &"\"v1\"".parse().unwrap(),
-        ))
-        .with_header("cache-control", "max-age=500");
+        let resp304 = Response::not_modified(Some(&"\"v1\"".parse().unwrap()))
+            .with_header("cache-control", "max-age=500");
         let refreshed = cache.update_with_304("u", &resp304, 150, 150).unwrap();
         assert_eq!(refreshed.headers.get("cache-control"), Some("max-age=500"));
         assert_eq!(&refreshed.body[..], b"0123456789");
@@ -489,7 +487,10 @@ mod tests {
         let resp = cacheable_response(100, "v");
         assert!(cache.store("u", &req, &resp, 0, 0));
         let other = Request::get("/r").with_header("accept-encoding", "br");
-        assert!(matches!(cache.lookup_for("u", &other, 10), Lookup::Fresh(_)));
+        assert!(matches!(
+            cache.lookup_for("u", &other, 10),
+            Lookup::Fresh(_)
+        ));
     }
 
     #[test]

@@ -147,10 +147,7 @@ mod tests {
 
     #[test]
     fn age_header_and_delay_are_counted() {
-        let r = resp_with(&[
-            ("date", &HttpDate(100).to_imf_fixdate()),
-            ("age", "30"),
-        ]);
+        let r = resp_with(&[("date", &HttpDate(100).to_imf_fixdate()), ("age", "30")]);
         // requested at 100, received at 110 (delay 10): corrected age
         // = 30 + 10 = 40; at now=120, +10 residency → 50.
         assert_eq!(current_age(&r, 100, 110, 120), Duration::from_secs(50));
@@ -184,7 +181,10 @@ mod tests {
         assert!(!swr_usable(&plain, 0, 0, 120));
         // must-revalidate forbids it (RFC 5861 §4).
         let strict = resp_with(&[
-            ("cache-control", "max-age=100, stale-while-revalidate=50, must-revalidate"),
+            (
+                "cache-control",
+                "max-age=100, stale-while-revalidate=50, must-revalidate",
+            ),
             ("date", &HttpDate(0).to_imf_fixdate()),
         ]);
         assert!(!swr_usable(&strict, 0, 0, 120));

@@ -39,8 +39,7 @@ impl CacheMetrics {
             stale_hits: self.stale_hits - earlier.stale_hits,
             stores: self.stores - earlier.stores,
             evictions: self.evictions - earlier.evictions,
-            revalidation_refreshes: self.revalidation_refreshes
-                - earlier.revalidation_refreshes,
+            revalidation_refreshes: self.revalidation_refreshes - earlier.revalidation_refreshes,
         }
     }
 }

@@ -9,7 +9,7 @@
 use bytes::BytesMut;
 use tokio::io::{AsyncRead, AsyncReadExt, AsyncWrite, AsyncWriteExt};
 
-use crate::codec::{self, Parsed, ParseLimits};
+use crate::codec::{self, ParseLimits, Parsed};
 use crate::error::WireError;
 use crate::message::{Request, Response};
 use crate::method::Method;

@@ -70,8 +70,7 @@ impl CacheControl {
                 Some((n, v)) => (n.trim(), Some(unquote(v.trim()))),
                 None => (raw.trim(), None),
             };
-            let secs =
-                |arg: &Option<String>| arg.as_deref().and_then(|a| a.parse::<u64>().ok());
+            let secs = |arg: &Option<String>| arg.as_deref().and_then(|a| a.parse::<u64>().ok());
             match name.to_ascii_lowercase().as_str() {
                 "no-store" => cc.no_store = true,
                 "no-cache" => cc.no_cache = true,

@@ -387,14 +387,12 @@ mod tests {
         let mut buf = Vec::new();
         buf.extend_from_slice(&a);
         buf.extend_from_slice(&b);
-        let Parsed::Complete { message, consumed } = parse_request(&buf, &limits()).unwrap()
-        else {
+        let Parsed::Complete { message, consumed } = parse_request(&buf, &limits()).unwrap() else {
             panic!()
         };
         assert_eq!(message.target.path(), "/a");
         assert_eq!(consumed, a.len());
-        let Parsed::Complete { message, .. } =
-            parse_request(&buf[consumed..], &limits()).unwrap()
+        let Parsed::Complete { message, .. } = parse_request(&buf[consumed..], &limits()).unwrap()
         else {
             panic!()
         };
@@ -467,10 +465,7 @@ mod tests {
             "GET  HTTP/1.1\r\n\r\n",
             "/ GET HTTP/1.1\r\n\r\n",
         ] {
-            assert!(
-                parse_request(bad.as_bytes(), &limits()).is_err(),
-                "{bad:?}"
-            );
+            assert!(parse_request(bad.as_bytes(), &limits()).is_err(), "{bad:?}");
         }
     }
 
@@ -525,8 +520,7 @@ mod tests {
         req.body = Bytes::from_static(b"payload");
         req.headers.insert("content-length", "7");
         let wire = encode_request(&req);
-        let Parsed::Complete { message, .. } = parse_request(&wire, &limits()).unwrap()
-        else {
+        let Parsed::Complete { message, .. } = parse_request(&wire, &limits()).unwrap() else {
             panic!()
         };
         assert_eq!(message, req);

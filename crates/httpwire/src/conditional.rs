@@ -59,10 +59,7 @@ mod tests {
     use super::*;
 
     fn validators(etag: &str, lm: i64) -> Validators {
-        Validators::new(
-            Some(EntityTag::strong(etag).unwrap()),
-            Some(HttpDate(lm)),
-        )
+        Validators::new(Some(EntityTag::strong(etag).unwrap()), Some(HttpDate(lm)))
     }
 
     #[test]
@@ -100,8 +97,8 @@ mod tests {
 
     #[test]
     fn if_modified_since_not_modified() {
-        let req = Request::get("/x")
-            .with_header("if-modified-since", &HttpDate(150).to_imf_fixdate());
+        let req =
+            Request::get("/x").with_header("if-modified-since", &HttpDate(150).to_imf_fixdate());
         assert_eq!(
             evaluate(&req, &validators("v", 100)),
             Disposition::NotModified
@@ -110,8 +107,8 @@ mod tests {
 
     #[test]
     fn if_modified_since_modified() {
-        let req = Request::get("/x")
-            .with_header("if-modified-since", &HttpDate(50).to_imf_fixdate());
+        let req =
+            Request::get("/x").with_header("if-modified-since", &HttpDate(50).to_imf_fixdate());
         assert_eq!(evaluate(&req, &validators("v", 100)), Disposition::Full);
     }
 

@@ -218,10 +218,8 @@ mod tests {
         let req = req.with_header("if-modified-since", "Sun, 06 Nov 1994 08:49:37 GMT");
         assert!(req.if_modified_since().is_none());
 
-        let req2 = Request::get("/y").with_header(
-            "if-modified-since",
-            "Sun, 06 Nov 1994 08:49:37 GMT",
-        );
+        let req2 =
+            Request::get("/y").with_header("if-modified-since", "Sun, 06 Nov 1994 08:49:37 GMT");
         assert_eq!(req2.if_modified_since().unwrap().as_secs(), 784_111_777);
     }
 

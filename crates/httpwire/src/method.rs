@@ -68,10 +68,23 @@ pub(crate) fn is_token(s: &str) -> bool {
 }
 
 pub(crate) fn is_tchar(b: u8) -> bool {
-    matches!(b,
-        b'!' | b'#' | b'$' | b'%' | b'&' | b'\'' | b'*' | b'+' | b'-' | b'.' |
-        b'^' | b'_' | b'`' | b'|' | b'~')
-        || b.is_ascii_alphanumeric()
+    matches!(
+        b,
+        b'!' | b'#'
+            | b'$'
+            | b'%'
+            | b'&'
+            | b'\''
+            | b'*'
+            | b'+'
+            | b'-'
+            | b'.'
+            | b'^'
+            | b'_'
+            | b'`'
+            | b'|'
+            | b'~'
+    ) || b.is_ascii_alphanumeric()
 }
 
 impl FromStr for Method {

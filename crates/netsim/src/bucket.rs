@@ -114,7 +114,7 @@ mod tests {
     fn ready_at_accounts_for_deficit() {
         let mut b = TokenBucket::new(8_000_000, 10_000); // 1 MB/s
         b.consume(at(0), 10_000); // empty
-        // 2 KB needs 2 ms of refill.
+                                  // 2 KB needs 2 ms of refill.
         assert_eq!(b.ready_at(at(0), 2_000), at(2));
         // Already refilled by t=5ms.
         assert_eq!(b.ready_at(at(5), 2_000), at(5));

@@ -38,7 +38,11 @@ impl FetchPlan {
         think: Duration,
     ) -> FetchPlan {
         FetchPlan {
-            setup: if new_connection { cond.rtt } else { Duration::ZERO },
+            setup: if new_connection {
+                cond.rtt
+            } else {
+                Duration::ZERO
+            },
             request_tx: transmission_time(req_bytes, cond.up_bps),
             server_turnaround: cond.rtt + think,
             response_tx: transmission_time(resp_bytes, cond.down_bps),

@@ -8,7 +8,7 @@
 
 use std::time::Duration;
 
-use crate::link::{FluidLink, FlowToken};
+use crate::link::{FlowToken, FluidLink};
 use crate::queue::EventQueue;
 use crate::time::SimTime;
 

@@ -120,10 +120,7 @@ mod tests {
         // Rounding is up: 1 byte at 1 Gbps is 8 ns exactly.
         assert_eq!(transmission_time(1, 1_000_000_000), Duration::from_nanos(8));
         // 1 byte at 3 bps = 8/3 s rounded up in nanos.
-        assert_eq!(
-            transmission_time(1, 3),
-            Duration::from_nanos(2_666_666_667)
-        );
+        assert_eq!(transmission_time(1, 3), Duration::from_nanos(2_666_666_667));
     }
 
     #[test]

@@ -57,6 +57,9 @@ pub struct FetchTrace {
     pub bytes_down: u64,
     /// Bytes that crossed the network upstream.
     pub bytes_up: u64,
+    /// Network round trips this fetch paid (DNS, handshake,
+    /// request/response, retransmissions); 0 for local hits.
+    pub rtts: u32,
 }
 
 impl FetchTrace {
@@ -102,21 +105,23 @@ impl LoadTrace {
     }
 
     /// Exports the trace as CSV (`url,outcome,discovered_ms,started_ms,
-    /// completed_ms,bytes_down,bytes_up`), ready for any plotting tool.
+    /// completed_ms,bytes_down,bytes_up,rtts`), ready for any plotting
+    /// tool.
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
-            "url,outcome,discovered_ms,started_ms,completed_ms,bytes_down,bytes_up\n",
+            "url,outcome,discovered_ms,started_ms,completed_ms,bytes_down,bytes_up,rtts\n",
         );
         for f in &self.fetches {
             out.push_str(&format!(
-                "{},{},{:.3},{:.3},{:.3},{},{}\n",
+                "{},{},{:.3},{:.3},{:.3},{},{},{}\n",
                 f.url.replace(',', "%2C"),
                 f.outcome.tag().trim(),
                 f.discovered.as_millis_f64(),
                 f.started.as_millis_f64(),
                 f.completed.as_millis_f64(),
                 f.bytes_down,
-                f.bytes_up
+                f.bytes_up,
+                f.rtts
             ));
         }
         out
@@ -141,8 +146,15 @@ impl LoadTrace {
             let mut bar = String::new();
             bar.push_str(&" ".repeat(s));
             bar.push_str(&"█".repeat(e - s));
-            let url_short: String = f.url.chars().rev().take(url_w).collect::<Vec<_>>()
-                .into_iter().rev().collect();
+            let url_short: String = f
+                .url
+                .chars()
+                .rev()
+                .take(url_w)
+                .collect::<Vec<_>>()
+                .into_iter()
+                .rev()
+                .collect();
             out.push_str(&format!(
                 "{:>w$} {} |{}| {:>9.2}ms\n",
                 url_short,
@@ -175,6 +187,7 @@ mod tests {
                     outcome: FetchOutcome::FullTransfer,
                     bytes_down: 10_000,
                     bytes_up: 200,
+                    rtts: 2,
                 },
                 FetchTrace {
                     url: "http://s/a.css".into(),
@@ -184,6 +197,7 @@ mod tests {
                     outcome: FetchOutcome::NotModified,
                     bytes_down: 120,
                     bytes_up: 230,
+                    rtts: 1,
                 },
                 FetchTrace {
                     url: "http://s/b.js".into(),
@@ -193,6 +207,7 @@ mod tests {
                     outcome: FetchOutcome::ServiceWorkerHit,
                     bytes_down: 0,
                     bytes_up: 0,
+                    rtts: 0,
                 },
             ],
         }
@@ -227,9 +242,9 @@ mod tests {
         assert_eq!(lines.len(), 4);
         assert!(lines[0].starts_with("url,outcome"));
         assert!(lines[1].contains("index.html"));
-        // Every row has exactly 7 fields.
+        // Every row has exactly 8 fields.
         for l in &lines {
-            assert_eq!(l.split(',').count(), 7, "{l}");
+            assert_eq!(l.split(',').count(), 8, "{l}");
         }
     }
 

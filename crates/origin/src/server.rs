@@ -17,11 +17,11 @@ use cachecatalyst_catalyst::{
     SessionCapture, SW_SCRIPT, SW_SCRIPT_PATH,
 };
 use cachecatalyst_httpwire::conditional::{evaluate, Disposition, Validators};
-use cachecatalyst_httpwire::{
-    HeaderName, HttpDate, Method, Request, Response, StatusCode,
-};
+use cachecatalyst_httpwire::{HeaderName, HttpDate, Method, Request, Response, StatusCode};
+use cachecatalyst_telemetry::{Event, NullRecorder, Recorder, Registry};
 use cachecatalyst_webmodel::{ChangeModel, HeaderPolicy, ResourceKind, Site};
 use parking_lot::Mutex;
+use std::sync::Arc;
 
 /// How the origin sets caching headers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,10 +51,19 @@ impl HeaderMode {
     pub fn is_catalyst(self) -> bool {
         matches!(
             self,
-            HeaderMode::Catalyst
-                | HeaderMode::CatalystWithCapture
-                | HeaderMode::CatalystAggregate
+            HeaderMode::Catalyst | HeaderMode::CatalystWithCapture | HeaderMode::CatalystAggregate
         )
+    }
+
+    /// Stable label for metric series.
+    pub fn label(self) -> &'static str {
+        match self {
+            HeaderMode::Baseline => "baseline",
+            HeaderMode::Catalyst => "catalyst",
+            HeaderMode::CatalystWithCapture => "catalyst-capture",
+            HeaderMode::CatalystAggregate => "catalyst-aggregate",
+            HeaderMode::NoStore => "no-store",
+        }
     }
 }
 
@@ -83,6 +92,8 @@ pub struct OriginServer {
     capture: Mutex<SessionCapture>,
     aggregate: Mutex<AggregateCapture>,
     metrics: Mutex<OriginMetrics>,
+    telemetry: Arc<Registry>,
+    recorder: Arc<dyn Recorder>,
     /// Maximum bytes per X-Etag-Config header value before splitting.
     pub max_header_len: usize,
     /// Express baseline TTLs via `Expires` (absolute date) instead of
@@ -101,9 +112,22 @@ impl OriginServer {
             capture: Mutex::new(SessionCapture::new(10_000)),
             aggregate: Mutex::new(AggregateCapture::default()),
             metrics: Mutex::new(OriginMetrics::default()),
+            telemetry: Arc::new(Registry::new()),
+            recorder: Arc::new(NullRecorder),
             max_header_len: 6 * 1024,
             use_expires_header: false,
         }
+    }
+
+    /// Routes structured telemetry events (map builds) to `recorder`.
+    pub fn with_recorder(mut self, recorder: Arc<dyn Recorder>) -> OriginServer {
+        self.recorder = recorder;
+        self
+    }
+
+    /// The server's metric registry (rendered by `/metrics`).
+    pub fn telemetry(&self) -> &Arc<Registry> {
+        &self.telemetry
     }
 
     /// Enables the cross-origin extension (paper §6, issue 2): the
@@ -128,6 +152,73 @@ impl OriginServer {
 
     /// Handles one request at virtual time `t_secs`.
     pub fn handle(&self, req: &Request, t_secs: i64) -> Response {
+        let started = std::time::Instant::now();
+        let resp = self.handle_inner(req, t_secs);
+        self.observe_request(&resp, started.elapsed());
+        resp
+    }
+
+    /// Per-request telemetry: mode-labelled request count, status
+    /// class, 304s, bytes, handler latency, and the `X-Etag-Config`
+    /// header overhead actually put on the wire.
+    fn observe_request(&self, resp: &Response, took: std::time::Duration) {
+        let mode = self.mode.label();
+        self.telemetry
+            .counter(
+                "origin_requests_total",
+                "Requests handled by the origin",
+                &[("mode", mode)],
+            )
+            .inc();
+        let class = match resp.status.as_u16() {
+            200..=299 => "2xx",
+            300..=399 => "3xx",
+            400..=499 => "4xx",
+            _ => "5xx",
+        };
+        self.telemetry
+            .counter(
+                "origin_responses_total",
+                "Responses by status class",
+                &[("class", class)],
+            )
+            .inc();
+        if resp.status == StatusCode::NOT_MODIFIED {
+            self.telemetry
+                .counter(
+                    "origin_not_modified_total",
+                    "Conditional requests answered 304",
+                    &[],
+                )
+                .inc();
+        }
+        self.telemetry
+            .counter("origin_bytes_sent_total", "Response bytes on the wire", &[])
+            .add(resp.wire_len() as u64);
+        self.telemetry
+            .histogram(
+                "origin_handle_seconds",
+                "Sans-IO request handling latency",
+                &[("mode", mode)],
+            )
+            .observe(took);
+        let config_bytes: usize = resp
+            .headers
+            .get_all(HeaderName::X_ETAG_CONFIG)
+            .map(str::len)
+            .sum();
+        if config_bytes > 0 {
+            self.telemetry
+                .counter(
+                    "origin_etag_config_header_bytes_total",
+                    "X-Etag-Config header bytes sent",
+                    &[],
+                )
+                .add(config_bytes as u64);
+        }
+    }
+
+    fn handle_inner(&self, req: &Request, t_secs: i64) -> Response {
         let mut m = self.metrics.lock();
         m.requests += 1;
         drop(m);
@@ -241,11 +332,10 @@ impl OriginServer {
         let mut config = self.config_for(page, t_secs);
         if self.mode == HeaderMode::CatalystWithCapture {
             if let Some(session) = session_of(req) {
-                let extra = self.capture.lock().config_for(
-                    &session,
-                    page,
-                    &|p| self.site.etag_at(p, t_secs),
-                );
+                let extra = self
+                    .capture
+                    .lock()
+                    .config_for(&session, page, &|p| self.site.etag_at(p, t_secs));
                 for (p, tag) in extra.iter() {
                     config.insert(p, tag.clone());
                 }
@@ -275,9 +365,31 @@ impl OriginServer {
             self.metrics.lock().config_cache_hits += 1;
             return hit.clone();
         }
-        let (config, _stats) =
-            build_config_for_site(&self.site, page, t_secs, &self.extract_opts);
+        let build_start = std::time::Instant::now();
+        let (config, _stats) = build_config_for_site(&self.site, page, t_secs, &self.extract_opts);
+        let build = build_start.elapsed();
         self.metrics.lock().configs_built += 1;
+        self.telemetry
+            .histogram(
+                "origin_map_build_seconds",
+                "Time to build one X-Etag-Config map",
+                &[],
+            )
+            .observe(build);
+        self.telemetry
+            .gauge(
+                "origin_map_entries",
+                "Entries in the most recently built X-Etag-Config map",
+                &[],
+            )
+            .set(config.len() as f64);
+        self.recorder.record(&Event::MapBuilt {
+            page: page.to_owned(),
+            t_ms: t_secs as f64 * 1000.0,
+            entries: config.len(),
+            header_bytes: config.wire_size(),
+            build_micros: build.as_micros() as u64,
+        });
         self.config_cache.lock().insert(key, config.clone());
         config
     }
@@ -311,7 +423,8 @@ impl OriginServer {
     }
 
     fn finish(&self, mut resp: Response, req: &Request) -> Response {
-        resp.headers.insert(HeaderName::SERVER, "cachecatalyst-origin");
+        resp.headers
+            .insert(HeaderName::SERVER, "cachecatalyst-origin");
         if req.method == Method::Head {
             resp.body = bytes::Bytes::new();
         }
@@ -389,8 +502,7 @@ mod tests {
         let s = server(HeaderMode::Baseline);
         let first = s.handle(&Request::get("/a.css"), 0);
         let tag = first.etag().unwrap();
-        let revalidate =
-            Request::get("/a.css").with_header("if-none-match", &tag.to_string());
+        let revalidate = Request::get("/a.css").with_header("if-none-match", &tag.to_string());
         let resp = s.handle(&revalidate, 100);
         assert_eq!(resp.status, StatusCode::NOT_MODIFIED);
         assert!(resp.body.is_empty());
@@ -404,8 +516,7 @@ mod tests {
         let first = s.handle(&Request::get("/d.jpg"), 0);
         let tag = first.etag().unwrap();
         // d.jpg changes every 100 minutes; at +2h it is different.
-        let revalidate =
-            Request::get("/d.jpg").with_header("if-none-match", &tag.to_string());
+        let revalidate = Request::get("/d.jpg").with_header("if-none-match", &tag.to_string());
         let resp = s.handle(&revalidate, 7200);
         assert_eq!(resp.status, StatusCode::OK);
         assert_ne!(resp.etag().unwrap(), tag);
@@ -535,10 +646,7 @@ mod tests {
         let s = server(HeaderMode::Baseline);
         let mut req = Request::get("/a.css");
         req.method = Method::Post;
-        assert_eq!(
-            s.handle(&req, 0).status,
-            StatusCode::METHOD_NOT_ALLOWED
-        );
+        assert_eq!(s.handle(&req, 0).status, StatusCode::METHOD_NOT_ALLOWED);
     }
 
     #[test]
@@ -558,6 +666,60 @@ mod tests {
             if lc > 0 {
                 assert_ne!(change.version_at(lc - 1), change.version_at(t));
             }
+        }
+    }
+
+    #[test]
+    fn telemetry_counts_requests_and_status_classes() {
+        let s = server(HeaderMode::Catalyst);
+        s.handle(&Request::get("/index.html"), 0);
+        let tag = s.handle(&Request::get("/a.css"), 0).etag().unwrap();
+        s.handle(
+            &Request::get("/a.css").with_header("if-none-match", &tag.to_string()),
+            0,
+        );
+        s.handle(&Request::get("/nope"), 0);
+        let text = s.telemetry().render_prometheus();
+        assert!(
+            text.contains("origin_requests_total{mode=\"catalyst\"} 4"),
+            "{text}"
+        );
+        assert!(text.contains("origin_responses_total{class=\"2xx\"} 2"));
+        assert!(text.contains("origin_responses_total{class=\"3xx\"} 1"));
+        assert!(text.contains("origin_responses_total{class=\"4xx\"} 1"));
+        assert!(text.contains("origin_not_modified_total 1"));
+        assert!(text.contains("origin_handle_seconds_count{mode=\"catalyst\"} 4"));
+        // The HTML response carried a config map → header bytes and a
+        // map-build observation exist.
+        assert!(text.contains("origin_etag_config_header_bytes_total"));
+        assert!(text.contains("origin_map_build_seconds_count 1"));
+        assert!(text.contains("origin_map_entries 2"));
+    }
+
+    #[test]
+    fn map_builds_emit_recorder_events() {
+        use cachecatalyst_telemetry::MemoryRecorder;
+        let recorder = Arc::new(MemoryRecorder::new());
+        let s = OriginServer::new(example_site(), HeaderMode::Catalyst)
+            .with_recorder(recorder.clone() as Arc<dyn Recorder>);
+        s.handle(&Request::get("/index.html"), 7);
+        s.handle(&Request::get("/index.html"), 7); // config cache hit: no rebuild
+        let events = recorder.take();
+        assert_eq!(events.len(), 1, "{events:?}");
+        match &events[0] {
+            Event::MapBuilt {
+                page,
+                t_ms,
+                entries,
+                header_bytes,
+                ..
+            } => {
+                assert_eq!(page, "/index.html");
+                assert_eq!(*t_ms, 7000.0);
+                assert_eq!(*entries, 2);
+                assert!(*header_bytes > 0);
+            }
+            other => panic!("unexpected event {other:?}"),
         }
     }
 

@@ -7,30 +7,61 @@
 use std::sync::Arc;
 
 use cachecatalyst_httpwire::aio::{ConnError, ServerConn};
+use cachecatalyst_httpwire::{HeaderName, HttpDate, Response};
 use tokio::io::{AsyncRead, AsyncWrite};
 use tokio::net::{TcpListener, TcpStream};
 use tokio::sync::watch;
 
 use crate::server::OriginServer;
 
-/// Supplies the server's notion of "now" in virtual seconds. Wall
-/// time by default; tests inject fixed or accelerated clocks.
-pub type Clock = Arc<dyn Fn() -> i64 + Send + Sync>;
+/// Supplies the server's notion of "now". Wall time by default;
+/// tests inject fixed or watch-driven virtual clocks.
+///
+/// Internally the clock runs at **millisecond** resolution so
+/// telemetry timestamps don't quantize to whole seconds (the old
+/// `Fn() -> i64` seconds clock truncated with `as_secs`, collapsing
+/// every sub-second request to t=0). HTTP validators and freshness
+/// math still use whole seconds via [`Clock::secs`], matching the
+/// one-second resolution of HTTP dates.
+#[derive(Clone)]
+pub struct Clock {
+    millis: Arc<dyn Fn() -> i64 + Send + Sync>,
+}
+
+impl Clock {
+    /// Builds a clock from a milliseconds-since-epoch function.
+    pub fn from_millis_fn(f: impl Fn() -> i64 + Send + Sync + 'static) -> Clock {
+        Clock {
+            millis: Arc::new(f),
+        }
+    }
+
+    /// Now, in milliseconds (telemetry resolution).
+    pub fn millis(&self) -> i64 {
+        (self.millis)()
+    }
+
+    /// Now, in whole seconds (HTTP date / freshness resolution).
+    pub fn secs(&self) -> i64 {
+        self.millis().div_euclid(1000)
+    }
+}
 
 /// A wall clock measured from process start.
 pub fn wall_clock() -> Clock {
     let start = std::time::Instant::now();
-    Arc::new(move || start.elapsed().as_secs() as i64)
+    Clock::from_millis_fn(move || start.elapsed().as_millis() as i64)
 }
 
 /// A fixed virtual clock.
 pub fn fixed_clock(t_secs: i64) -> Clock {
-    Arc::new(move || t_secs)
+    Clock::from_millis_fn(move || t_secs.saturating_mul(1000))
 }
 
-/// A clock readable through a watch channel (tests advance it).
+/// A clock readable through a watch channel carrying virtual seconds
+/// (tests advance it).
 pub fn watch_clock(rx: watch::Receiver<i64>) -> Clock {
-    Arc::new(move || *rx.borrow())
+    Clock::from_millis_fn(move || rx.borrow().saturating_mul(1000))
 }
 
 /// A running TCP origin.
@@ -57,7 +88,7 @@ impl TcpOrigin {
                     accepted = listener.accept() => {
                         let Ok((stream, _peer)) = accepted else { break };
                         let server = Arc::clone(&server);
-                        let clock = Arc::clone(&clock);
+                        let clock = clock.clone();
                         tokio::spawn(async move {
                             let _ = serve_connection(stream, server, clock).await;
                         });
@@ -92,6 +123,10 @@ async fn serve_connection(
 
 /// Serves HTTP/1.1 on any byte stream (TCP, duplex pipe, emulated
 /// link) until the peer closes or requests `Connection: close`.
+///
+/// Two operational endpoints are answered before site dispatch:
+/// `/metrics` (Prometheus text exposition of the server's telemetry
+/// registry) and `/healthz`.
 pub async fn serve_stream<S>(
     stream: S,
     server: Arc<OriginServer>,
@@ -108,12 +143,42 @@ where
             Err(e) => return Err(e),
         };
         let close = req.headers.wants_close();
-        let resp = server.handle(&req, clock());
+        let resp = match req.target.path() {
+            "/metrics" => metrics_response(&server, &clock),
+            "/healthz" => health_response(&clock),
+            _ => server.handle(&req, clock.secs()),
+        };
         conn.write_response(&resp).await?;
         if close {
             return Ok(());
         }
     }
+}
+
+/// Renders the origin's telemetry registry in the Prometheus text
+/// format. Scrapes also publish the clock (ms resolution) so dashboards
+/// can align virtual-time runs.
+fn metrics_response(server: &OriginServer, clock: &Clock) -> Response {
+    server
+        .telemetry()
+        .gauge(
+            "origin_clock_milliseconds",
+            "The server clock at scrape time (virtual or wall ms)",
+            &[],
+        )
+        .set(clock.millis() as f64);
+    let body = server.telemetry().render_prometheus();
+    Response::ok(body.into_bytes())
+        .with_header(HeaderName::CONTENT_TYPE, "text/plain; version=0.0.4")
+        .with_header(HeaderName::CACHE_CONTROL, "no-store")
+        .with_header(HeaderName::DATE, &HttpDate(clock.secs()).to_imf_fixdate())
+}
+
+fn health_response(clock: &Clock) -> Response {
+    Response::ok(&b"ok\n"[..])
+        .with_header(HeaderName::CONTENT_TYPE, "text/plain")
+        .with_header(HeaderName::CACHE_CONTROL, "no-store")
+        .with_header(HeaderName::DATE, &HttpDate(clock.secs()).to_imf_fixdate())
 }
 
 #[cfg(test)]
@@ -154,9 +219,7 @@ mod tests {
         let first = client.round_trip(&Request::get("/a.css")).await.unwrap();
         let tag = first.etag().unwrap();
         let second = client
-            .round_trip(
-                &Request::get("/a.css").with_header("if-none-match", &tag.to_string()),
-            )
+            .round_trip(&Request::get("/a.css").with_header("if-none-match", &tag.to_string()))
             .await
             .unwrap();
         assert_eq!(second.status, StatusCode::NOT_MODIFIED);
@@ -201,6 +264,51 @@ mod tests {
         for t in tasks {
             t.await.unwrap();
         }
+        server.shutdown().await;
+    }
+
+    #[test]
+    fn clock_keeps_millisecond_resolution() {
+        let c = fixed_clock(3);
+        assert_eq!(c.millis(), 3000);
+        assert_eq!(c.secs(), 3);
+        // Sub-second precision survives (the old seconds-typed clock
+        // truncated everything below 1s to zero).
+        let c = Clock::from_millis_fn(|| 1500);
+        assert_eq!(c.millis(), 1500);
+        assert_eq!(c.secs(), 1);
+        // Negative times floor, not truncate toward zero.
+        let c = Clock::from_millis_fn(|| -500);
+        assert_eq!(c.secs(), -1);
+    }
+
+    #[tokio::test]
+    async fn metrics_and_healthz_served_before_site_dispatch() {
+        let server = TcpOrigin::bind("127.0.0.1:0", origin(), fixed_clock(0))
+            .await
+            .unwrap();
+        let stream = TcpStream::connect(server.local_addr).await.unwrap();
+        let mut client = ClientConn::new(stream);
+        // Generate some traffic, then scrape.
+        client
+            .round_trip(&Request::get("/index.html"))
+            .await
+            .unwrap();
+        let health = client.round_trip(&Request::get("/healthz")).await.unwrap();
+        assert_eq!(health.status, StatusCode::OK);
+        let scrape = client.round_trip(&Request::get("/metrics")).await.unwrap();
+        assert_eq!(scrape.status, StatusCode::OK);
+        assert!(scrape
+            .headers
+            .get("content-type")
+            .unwrap()
+            .starts_with("text/plain"));
+        let text = String::from_utf8_lossy(&scrape.body).into_owned();
+        assert!(
+            text.contains("origin_requests_total{mode=\"catalyst\"} 1"),
+            "{text}"
+        );
+        assert!(text.contains("origin_clock_milliseconds 0"));
         server.shutdown().await;
     }
 

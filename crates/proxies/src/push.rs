@@ -66,8 +66,7 @@ impl Upstream for PushOrigin {
         if req.headers.contains(ext::X_INTERNAL) {
             return resp;
         }
-        let is_navigation =
-            ResourceKind::from_path(req.target.path()) == ResourceKind::Html;
+        let is_navigation = ResourceKind::from_path(req.target.path()) == ResourceKind::Html;
         if is_navigation && (resp.status.is_success() || resp.status.as_u16() == 304) {
             let list = self.push_list(req, t_secs);
             if !list.is_empty() {
@@ -148,12 +147,7 @@ mod tests {
     fn pushed_resources_skip_round_trips_on_cold_load() {
         let up = PushOrigin::new(origin(), PushPolicy::All);
         let mut browser = Browser::uncached();
-        let report = browser.load(
-            &up,
-            NetworkConditions::five_g_median(),
-            &base(),
-            0,
-        );
+        let report = browser.load(&up, NetworkConditions::five_g_median(), &base(), 0);
         assert_eq!(report.pushed, 4);
         // Statically-discovered a.css/b.js and JS-discovered c.js/d.jpg
         // all arrive via push; only the navigation is a round trip.

@@ -93,8 +93,7 @@ impl Upstream for RdrProxy {
             return resp;
         }
         let page = req.target.path();
-        if ResourceKind::from_path(page) != ResourceKind::Html || !resp.status.is_success()
-        {
+        if ResourceKind::from_path(page) != ResourceKind::Html || !resp.status.is_success() {
             return resp;
         }
         let (paths, waves) = self.resolve(page, t_secs);
@@ -170,9 +169,7 @@ mod tests {
         assert!(manifest.contains("/d.jpg"));
         assert!(resp.headers.get(ext::X_SERVER_DELAY_MS).is_some());
         // Bundle is much larger than the bare page.
-        let bare = p
-            .inner
-            .handle(&Request::get("/index.html"), 0);
+        let bare = p.inner.handle(&Request::get("/index.html"), 0);
         assert!(resp.body.len() > bare.body.len() + 100_000);
     }
 

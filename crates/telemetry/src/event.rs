@@ -1,0 +1,357 @@
+//! Structured span-like events and the `Recorder` sink trait.
+//!
+//! Events mark the milestones of a page load as the paper's
+//! evaluation cares about them: when the load started and ended, how
+//! each resource was satisfied (and how many round trips it cost),
+//! when the origin built an `X-Etag-Config` map and how big it was,
+//! and how the browser's HTTP cache moved during the load.
+//!
+//! Timestamps (`t_ms`) are supplied by the emitter in milliseconds —
+//! virtual milliseconds under the discrete-event simulator, wall
+//! milliseconds under tokio — so one event schema serves both.
+
+use std::sync::Mutex;
+
+use crate::json_string;
+
+/// How a resource fetch was satisfied, in the vocabulary of the
+/// paper's comparison (classic caching vs CacheCatalyst).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FetchKind {
+    /// Served from a fresh HTTP-cache entry; zero network.
+    CacheFresh,
+    /// Served by the service worker from the `X-Etag-Config` map;
+    /// zero network.
+    EtagConfigHit,
+    /// Revalidated over the network, answered `304 Not Modified`.
+    Conditional304,
+    /// Full body transferred from the origin.
+    FullFetch,
+    /// Delivered ahead of the request (push / bundle comparators).
+    Pushed,
+}
+
+impl FetchKind {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FetchKind::CacheFresh => "cache-fresh",
+            FetchKind::EtagConfigHit => "etag-config-hit",
+            FetchKind::Conditional304 => "conditional-304",
+            FetchKind::FullFetch => "full-fetch",
+            FetchKind::Pushed => "pushed",
+        }
+    }
+}
+
+/// One telemetry event. Serializes to a single JSON line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    PageLoadStart {
+        page: String,
+        t_ms: f64,
+    },
+    PageLoadEnd {
+        page: String,
+        t_ms: f64,
+        /// Resources the page requested (the per-fetch events between
+        /// start and end sum to this).
+        resources: usize,
+        plt_ms: f64,
+    },
+    FetchStart {
+        url: String,
+        t_ms: f64,
+    },
+    FetchEnd {
+        url: String,
+        t_ms: f64,
+        outcome: FetchKind,
+        bytes_down: u64,
+        bytes_up: u64,
+        /// Network round trips this fetch paid (0 for local hits).
+        rtts: u32,
+    },
+    /// The origin built (or rebuilt) an `X-Etag-Config` map.
+    MapBuilt {
+        page: String,
+        t_ms: f64,
+        entries: usize,
+        header_bytes: usize,
+        build_micros: u64,
+    },
+    /// An `HttpCache` metrics delta over one page load
+    /// (`CacheMetrics::delta_since` flattened).
+    CacheDelta {
+        t_ms: f64,
+        fresh_hits: u64,
+        stale_hits: u64,
+        misses: u64,
+        stores: u64,
+        evictions: u64,
+        revalidation_refreshes: u64,
+    },
+}
+
+impl Event {
+    /// The event's discriminant as it appears in the JSON `event`
+    /// field.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::PageLoadStart { .. } => "page_load_start",
+            Event::PageLoadEnd { .. } => "page_load_end",
+            Event::FetchStart { .. } => "fetch_start",
+            Event::FetchEnd { .. } => "fetch_end",
+            Event::MapBuilt { .. } => "map_built",
+            Event::CacheDelta { .. } => "cache_delta",
+        }
+    }
+
+    /// One JSON object, no trailing newline.
+    pub fn to_json(&self) -> String {
+        let kind = json_string(self.kind());
+        match self {
+            Event::PageLoadStart { page, t_ms } => format!(
+                "{{\"event\":{kind},\"t_ms\":{t_ms:.3},\"page\":{}}}",
+                json_string(page)
+            ),
+            Event::PageLoadEnd {
+                page,
+                t_ms,
+                resources,
+                plt_ms,
+            } => format!(
+                "{{\"event\":{kind},\"t_ms\":{t_ms:.3},\"page\":{},\
+                 \"resources\":{resources},\"plt_ms\":{plt_ms:.3}}}",
+                json_string(page)
+            ),
+            Event::FetchStart { url, t_ms } => format!(
+                "{{\"event\":{kind},\"t_ms\":{t_ms:.3},\"url\":{}}}",
+                json_string(url)
+            ),
+            Event::FetchEnd {
+                url,
+                t_ms,
+                outcome,
+                bytes_down,
+                bytes_up,
+                rtts,
+            } => format!(
+                "{{\"event\":{kind},\"t_ms\":{t_ms:.3},\"url\":{},\
+                 \"outcome\":{},\"bytes_down\":{bytes_down},\
+                 \"bytes_up\":{bytes_up},\"rtts\":{rtts}}}",
+                json_string(url),
+                json_string(outcome.as_str())
+            ),
+            Event::MapBuilt {
+                page,
+                t_ms,
+                entries,
+                header_bytes,
+                build_micros,
+            } => format!(
+                "{{\"event\":{kind},\"t_ms\":{t_ms:.3},\"page\":{},\
+                 \"entries\":{entries},\"header_bytes\":{header_bytes},\
+                 \"build_micros\":{build_micros}}}",
+                json_string(page)
+            ),
+            Event::CacheDelta {
+                t_ms,
+                fresh_hits,
+                stale_hits,
+                misses,
+                stores,
+                evictions,
+                revalidation_refreshes,
+            } => format!(
+                "{{\"event\":{kind},\"t_ms\":{t_ms:.3},\
+                 \"fresh_hits\":{fresh_hits},\"stale_hits\":{stale_hits},\
+                 \"misses\":{misses},\"stores\":{stores},\
+                 \"evictions\":{evictions},\
+                 \"revalidation_refreshes\":{revalidation_refreshes}}}"
+            ),
+        }
+    }
+}
+
+/// An event sink. Implementations must tolerate concurrent emitters.
+pub trait Recorder: Send + Sync {
+    fn record(&self, event: &Event);
+}
+
+/// Discards everything.
+#[derive(Debug, Default)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {
+    fn record(&self, _event: &Event) {}
+}
+
+/// Keeps events in memory (tests, in-process analysis).
+#[derive(Debug, Default)]
+pub struct MemoryRecorder {
+    events: Mutex<Vec<Event>>,
+}
+
+impl MemoryRecorder {
+    pub fn new() -> MemoryRecorder {
+        MemoryRecorder::default()
+    }
+
+    /// All events so far, clearing the buffer.
+    pub fn take(&self) -> Vec<Event> {
+        std::mem::take(&mut self.events.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// A copy of the events without clearing.
+    pub fn snapshot(&self) -> Vec<Event> {
+        self.events
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+}
+
+impl Recorder for MemoryRecorder {
+    fn record(&self, event: &Event) {
+        self.events
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(event.clone());
+    }
+}
+
+/// Serializes events to JSON Lines as they arrive.
+#[derive(Debug, Default)]
+pub struct JsonlRecorder {
+    lines: Mutex<String>,
+}
+
+impl JsonlRecorder {
+    pub fn new() -> JsonlRecorder {
+        JsonlRecorder::default()
+    }
+
+    /// The JSONL document so far, clearing the buffer.
+    pub fn drain(&self) -> String {
+        std::mem::take(&mut self.lines.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// A copy of the document without clearing.
+    pub fn snapshot(&self) -> String {
+        self.lines.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+}
+
+impl Recorder for JsonlRecorder {
+    fn record(&self, event: &Event) {
+        let mut lines = self.lines.lock().unwrap_or_else(|e| e.into_inner());
+        lines.push_str(&event.to_json());
+        lines.push('\n');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fetch_end_serializes_all_fields() {
+        let e = Event::FetchEnd {
+            url: "http://s/a.css".into(),
+            t_ms: 12.5,
+            outcome: FetchKind::Conditional304,
+            bytes_down: 120,
+            bytes_up: 230,
+            rtts: 1,
+        };
+        let json = e.to_json();
+        assert!(json.contains("\"event\":\"fetch_end\""));
+        assert!(json.contains("\"t_ms\":12.500"));
+        assert!(json.contains("\"outcome\":\"conditional-304\""));
+        assert!(json.contains("\"rtts\":1"));
+    }
+
+    #[test]
+    fn outcome_vocabulary() {
+        assert_eq!(FetchKind::CacheFresh.as_str(), "cache-fresh");
+        assert_eq!(FetchKind::EtagConfigHit.as_str(), "etag-config-hit");
+        assert_eq!(FetchKind::FullFetch.as_str(), "full-fetch");
+    }
+
+    #[test]
+    fn jsonl_recorder_emits_one_line_per_event() {
+        let r = JsonlRecorder::new();
+        r.record(&Event::PageLoadStart {
+            page: "http://s/".into(),
+            t_ms: 0.0,
+        });
+        r.record(&Event::PageLoadEnd {
+            page: "http://s/".into(),
+            t_ms: 80.0,
+            resources: 5,
+            plt_ms: 80.0,
+        });
+        let doc = r.drain();
+        assert_eq!(doc.lines().count(), 2);
+        assert!(doc.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
+        assert!(r.drain().is_empty(), "drained");
+    }
+
+    #[test]
+    fn memory_recorder_roundtrips() {
+        let r = MemoryRecorder::new();
+        let e = Event::MapBuilt {
+            page: "/index.html".into(),
+            t_ms: 1.0,
+            entries: 10,
+            header_bytes: 420,
+            build_micros: 37,
+        };
+        r.record(&e);
+        assert_eq!(r.snapshot(), vec![e.clone()]);
+        assert_eq!(r.take(), vec![e]);
+        assert!(r.take().is_empty());
+    }
+
+    #[test]
+    fn json_lines_are_structurally_balanced() {
+        let events = [
+            Event::FetchStart {
+                url: "http://s/x\"y".into(),
+                t_ms: 0.1,
+            },
+            Event::CacheDelta {
+                t_ms: 2.0,
+                fresh_hits: 1,
+                stale_hits: 2,
+                misses: 3,
+                stores: 4,
+                evictions: 0,
+                revalidation_refreshes: 1,
+            },
+        ];
+        for e in &events {
+            let json = e.to_json();
+            let mut depth = 0i64;
+            let mut in_str = false;
+            let mut prev = ' ';
+            for c in json.chars() {
+                if in_str {
+                    if c == '"' && prev != '\\' {
+                        in_str = false;
+                    }
+                } else {
+                    match c {
+                        '"' => in_str = true,
+                        '{' => depth += 1,
+                        '}' => depth -= 1,
+                        _ => {}
+                    }
+                }
+                prev = if prev == '\\' && c == '\\' { ' ' } else { c };
+            }
+            assert_eq!(depth, 0, "{json}");
+            assert!(!in_str, "{json}");
+        }
+    }
+}

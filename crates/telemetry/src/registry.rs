@@ -1,0 +1,279 @@
+//! A named-metric registry rendering the Prometheus text exposition
+//! format (version 0.0.4), as served from the origin's `/metrics`.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+use crate::metric::{Counter, Gauge, Histogram};
+
+#[derive(Clone)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Metric {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+struct Family {
+    help: String,
+    /// Keyed by the rendered label set (`{k="v",...}` or empty), so
+    /// each label combination is one time series.
+    series: BTreeMap<String, Metric>,
+}
+
+/// A collection of named metrics. Registration is idempotent: asking
+/// for an existing (name, labels) pair returns the same underlying
+/// atomic, so call sites can re-resolve cheaply instead of caching.
+#[derive(Default)]
+pub struct Registry {
+    families: Mutex<BTreeMap<String, Family>>,
+}
+
+impl Registry {
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// A counter time series; created on first use.
+    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        match self.series(name, help, labels, || {
+            Metric::Counter(Arc::new(Counter::new()))
+        }) {
+            Metric::Counter(c) => c,
+            other => panic!("{name} already registered as {}", other.type_name()),
+        }
+    }
+
+    /// A gauge time series; created on first use.
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        match self.series(name, help, labels, || Metric::Gauge(Arc::new(Gauge::new()))) {
+            Metric::Gauge(g) => g,
+            other => panic!("{name} already registered as {}", other.type_name()),
+        }
+    }
+
+    /// A histogram time series; created with `Histogram::latency()`
+    /// bounds on first use.
+    pub fn histogram(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        self.histogram_with(name, help, labels, Histogram::latency)
+    }
+
+    /// A histogram time series with custom bounds on first use.
+    pub fn histogram_with(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        make: impl FnOnce() -> Histogram,
+    ) -> Arc<Histogram> {
+        match self.series(name, help, labels, || Metric::Histogram(Arc::new(make()))) {
+            Metric::Histogram(h) => h,
+            other => panic!("{name} already registered as {}", other.type_name()),
+        }
+    }
+
+    fn series(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        make: impl FnOnce() -> Metric,
+    ) -> Metric {
+        debug_assert!(valid_name(name), "invalid metric name {name:?}");
+        let key = render_labels(labels);
+        let mut families = self.families.lock().unwrap_or_else(|e| e.into_inner());
+        let family = families.entry(name.to_owned()).or_insert_with(|| Family {
+            help: help.to_owned(),
+            series: BTreeMap::new(),
+        });
+        family.series.entry(key).or_insert_with(make).clone()
+    }
+
+    /// Renders every registered metric in the Prometheus text format.
+    pub fn render_prometheus(&self) -> String {
+        let families = self.families.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out = String::with_capacity(1024);
+        for (name, family) in families.iter() {
+            let kind = family
+                .series
+                .values()
+                .next()
+                .map(Metric::type_name)
+                .unwrap_or("untyped");
+            out.push_str(&format!("# HELP {name} {}\n", family.help));
+            out.push_str(&format!("# TYPE {name} {kind}\n"));
+            for (labelset, metric) in &family.series {
+                match metric {
+                    Metric::Counter(c) => {
+                        out.push_str(&format!("{name}{labelset} {}\n", c.get()));
+                    }
+                    Metric::Gauge(g) => {
+                        out.push_str(&format!("{name}{labelset} {}\n", fmt_f64(g.get())));
+                    }
+                    Metric::Histogram(h) => render_histogram(&mut out, name, labelset, h),
+                }
+            }
+        }
+        out
+    }
+}
+
+fn render_histogram(out: &mut String, name: &str, labelset: &str, h: &Histogram) {
+    let counts = h.bucket_counts();
+    let mut cum = 0u64;
+    for (i, &c) in counts.iter().enumerate() {
+        cum += c;
+        let le = match h.bounds().get(i) {
+            Some(b) => fmt_f64(*b),
+            None => "+Inf".to_owned(),
+        };
+        let sep = if labelset.is_empty() {
+            format!("{{le=\"{le}\"}}")
+        } else {
+            // splice `le` into the existing label set
+            format!("{},le=\"{le}\"}}", &labelset[..labelset.len() - 1])
+        };
+        out.push_str(&format!("{name}_bucket{sep} {cum}\n"));
+    }
+    out.push_str(&format!("{name}_sum{labelset} {}\n", fmt_f64(h.sum_secs())));
+    out.push_str(&format!("{name}_count{labelset} {}\n", h.count()));
+}
+
+fn render_labels(labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        debug_assert!(valid_name(k), "invalid label name {k:?}");
+        out.push_str(k);
+        out.push_str("=\"");
+        for c in v.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+    out.push('}');
+    out
+}
+
+fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name
+            .chars()
+            .enumerate()
+            .all(|(i, c)| c.is_ascii_alphabetic() || c == '_' || (i > 0 && c.is_ascii_digit()))
+}
+
+/// Prometheus-friendly float: integral values render without the
+/// fractional part (`5` not `5.0`), everything else via `{}`.
+fn fmt_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_registration_is_idempotent() {
+        let r = Registry::new();
+        r.counter("requests_total", "requests", &[("mode", "a")])
+            .add(2);
+        r.counter("requests_total", "requests", &[("mode", "a")])
+            .inc();
+        r.counter("requests_total", "requests", &[("mode", "b")])
+            .inc();
+        let text = r.render_prometheus();
+        assert!(text.contains("# HELP requests_total requests"));
+        assert!(text.contains("# TYPE requests_total counter"));
+        assert!(text.contains("requests_total{mode=\"a\"} 3"));
+        assert!(text.contains("requests_total{mode=\"b\"} 1"));
+    }
+
+    #[test]
+    fn histogram_renders_cumulative_buckets() {
+        let r = Registry::new();
+        let h = r.histogram_with("h_seconds", "latency", &[], || Histogram::new(&[0.1, 1.0]));
+        h.observe_secs(0.05);
+        h.observe_secs(0.5);
+        h.observe_secs(5.0);
+        let text = r.render_prometheus();
+        assert!(text.contains("# TYPE h_seconds histogram"));
+        assert!(text.contains("h_seconds_bucket{le=\"0.1\"} 1"));
+        assert!(text.contains("h_seconds_bucket{le=\"1\"} 2"));
+        assert!(text.contains("h_seconds_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("h_seconds_count 3"));
+    }
+
+    #[test]
+    fn histogram_with_labels_splices_le() {
+        let r = Registry::new();
+        r.histogram_with("h_seconds", "latency", &[("mode", "x")], || {
+            Histogram::new(&[0.1])
+        })
+        .observe_secs(0.05);
+        let text = r.render_prometheus();
+        assert!(
+            text.contains("h_seconds_bucket{mode=\"x\",le=\"0.1\"} 1"),
+            "{text}"
+        );
+        assert!(text.contains("h_seconds_sum{mode=\"x\"}"));
+    }
+
+    #[test]
+    fn gauge_renders() {
+        let r = Registry::new();
+        r.gauge("entries", "map entries", &[]).set(42.0);
+        assert!(r.render_prometheus().contains("entries 42\n"));
+    }
+
+    #[test]
+    fn label_values_escape() {
+        let r = Registry::new();
+        r.counter("c_total", "c", &[("path", "a\"b\\c")]).inc();
+        assert!(r
+            .render_prometheus()
+            .contains("c_total{path=\"a\\\"b\\\\c\"} 1"));
+    }
+
+    #[test]
+    fn exposition_lines_are_well_formed() {
+        let r = Registry::new();
+        r.counter("a_total", "a", &[]).inc();
+        r.gauge("b_info", "b", &[("v", "1")]).set(1.0);
+        r.histogram("c_seconds", "c", &[]).observe_secs(0.01);
+        for line in r.render_prometheus().lines() {
+            if line.starts_with('#') {
+                assert!(line.starts_with("# HELP ") || line.starts_with("# TYPE "));
+                continue;
+            }
+            // metric_name[{labels}] value
+            let (series, value) = line.rsplit_once(' ').expect("space-separated");
+            assert!(value.parse::<f64>().is_ok(), "bad value in {line:?}");
+            let name = series.split('{').next().unwrap();
+            assert!(valid_name(name), "bad name in {line:?}");
+        }
+    }
+}

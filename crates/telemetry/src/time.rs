@@ -1,0 +1,93 @@
+//! Time sources for stamping events.
+//!
+//! The telemetry layer never reads a clock by itself; emitters stamp
+//! events through a [`TimeSource`]. Two implementations cover the
+//! workspace's two execution models: [`WallTime`] for the tokio TCP
+//! path, [`ManualTime`] for discrete-event simulation (the driver
+//! advances it explicitly, in step with `SimTime`).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Supplies "now" in milliseconds since an arbitrary epoch.
+pub trait TimeSource: Send + Sync {
+    fn now_ms(&self) -> f64;
+}
+
+/// Wall time measured from construction.
+#[derive(Debug)]
+pub struct WallTime {
+    start: Instant,
+}
+
+impl Default for WallTime {
+    fn default() -> WallTime {
+        WallTime {
+            start: Instant::now(),
+        }
+    }
+}
+
+impl WallTime {
+    pub fn new() -> WallTime {
+        WallTime::default()
+    }
+}
+
+impl TimeSource for WallTime {
+    fn now_ms(&self) -> f64 {
+        self.start.elapsed().as_secs_f64() * 1000.0
+    }
+}
+
+/// A manually advanced virtual clock (microsecond resolution).
+#[derive(Debug, Default)]
+pub struct ManualTime {
+    micros: AtomicU64,
+}
+
+impl ManualTime {
+    pub fn new() -> ManualTime {
+        ManualTime::default()
+    }
+
+    pub fn set_ms(&self, ms: f64) {
+        self.micros
+            .store((ms.max(0.0) * 1000.0) as u64, Ordering::Relaxed);
+    }
+
+    pub fn advance_ms(&self, ms: f64) {
+        self.micros
+            .fetch_add((ms.max(0.0) * 1000.0) as u64, Ordering::Relaxed);
+    }
+}
+
+impl TimeSource for ManualTime {
+    fn now_ms(&self) -> f64 {
+        self.micros.load(Ordering::Relaxed) as f64 / 1000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_time_is_monotonic() {
+        let t = WallTime::new();
+        let a = t.now_ms();
+        let b = t.now_ms();
+        assert!(b >= a);
+        assert!(a >= 0.0);
+    }
+
+    #[test]
+    fn manual_time_advances_only_when_told() {
+        let t = ManualTime::new();
+        assert_eq!(t.now_ms(), 0.0);
+        t.set_ms(40.0);
+        assert_eq!(t.now_ms(), 40.0);
+        t.advance_ms(2.5);
+        assert_eq!(t.now_ms(), 42.5);
+    }
+}

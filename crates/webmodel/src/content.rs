@@ -58,9 +58,7 @@ fn render_html(
             ResourceKind::Css => {
                 head.push_str(&format!("<link rel=\"stylesheet\" href=\"{url}\">\n"))
             }
-            ResourceKind::Js => {
-                head.push_str(&format!("<script src=\"{url}\"></script>\n"))
-            }
+            ResourceKind::Js => head.push_str(&format!("<script src=\"{url}\"></script>\n")),
             ResourceKind::Image => body.push_str(&format!("<img src=\"{url}\" alt=\"\">\n")),
             ResourceKind::Font => head.push_str(&format!(
                 "<link rel=\"preload\" href=\"{url}\" as=\"font\">\n"
@@ -90,9 +88,7 @@ fn render_css(
             ResourceKind::Font => rules.push_str(&format!(
                 "@font-face {{ font-family: f{i}; src: url(\"{url}\"); }}\n"
             )),
-            _ => rules.push_str(&format!(
-                ".bg{i} {{ background-image: url(\"{url}\"); }}\n"
-            )),
+            _ => rules.push_str(&format!(".bg{i} {{ background-image: url(\"{url}\"); }}\n")),
         }
     }
     format!("/* {host}{path} v{version} */\n{rules}", path = spec.path)
@@ -190,7 +186,10 @@ mod tests {
         s.static_children = vec!["/f.woff2".into(), "/bg.png".into()];
         let body = render_body("site.com", &s, 3, &rooted);
         let text = std::str::from_utf8(&body).unwrap();
-        let links: Vec<String> = extract_css_links(text).into_iter().map(|l| l.href).collect();
+        let links: Vec<String> = extract_css_links(text)
+            .into_iter()
+            .map(|l| l.href)
+            .collect();
         assert_eq!(links, vec!["/f.woff2", "/bg.png"]);
     }
 

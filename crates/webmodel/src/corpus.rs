@@ -50,8 +50,9 @@ pub fn corpus_specs(spec: &CorpusSpec) -> Vec<SiteSpec> {
     let mut rng = rng_for(spec.seed, "corpus");
     (0..spec.n_sites)
         .map(|i| {
-            let n_resources = sample_lognormal(&mut rng, spec.resources_median, spec.resources_sigma)
-                .clamp(10.0, 400.0) as usize;
+            let n_resources =
+                sample_lognormal(&mut rng, spec.resources_median, spec.resources_sigma)
+                    .clamp(10.0, 400.0) as usize;
             let (lo, hi) = spec.js_fraction_range;
             let js_discovered_fraction = rng.gen_range(lo..hi);
             SiteSpec {

@@ -57,14 +57,19 @@ pub fn extract_html_links(html: &str) -> Vec<ExtractedLink> {
         let (name, attrs) = split_tag(tag);
         match name.to_ascii_lowercase().as_str() {
             "link" => {
-                let rel = get_attr(attrs, "rel").unwrap_or_default().to_ascii_lowercase();
+                let rel = get_attr(attrs, "rel")
+                    .unwrap_or_default()
+                    .to_ascii_lowercase();
                 if let Some(href) = get_attr(attrs, "href") {
                     if rel.split_whitespace().any(|r| r == "stylesheet") {
                         out.push(ExtractedLink {
                             href,
                             context: LinkContext::Stylesheet,
                         });
-                    } else if rel.split_whitespace().any(|r| r == "preload" || r == "icon") {
+                    } else if rel
+                        .split_whitespace()
+                        .any(|r| r == "preload" || r == "icon")
+                    {
                         out.push(ExtractedLink {
                             href,
                             context: LinkContext::Preload,

@@ -52,7 +52,9 @@ pub fn parse_duration(s: &str) -> Option<Duration> {
         'w' => (&s[..s.len() - 1], 7 * 86_400),
         _ => (s, 1),
     };
-    num.parse::<u64>().ok().map(|n| Duration::from_secs(n * mult))
+    num.parse::<u64>()
+        .ok()
+        .map(|n| Duration::from_secs(n * mult))
 }
 
 /// Parses an inventory into a [`Site`].
@@ -76,7 +78,13 @@ pub fn site_from_inventory(text: &str) -> Result<Site, InventoryError> {
     let mut host = "inventory.example".to_owned();
     // One parsed inventory line: (line_no, spec, policy, static
     // parent, js parent).
-    type Row = (usize, ResourceSpec, HeaderPolicy, Option<String>, Option<String>);
+    type Row = (
+        usize,
+        ResourceSpec,
+        HeaderPolicy,
+        Option<String>,
+        Option<String>,
+    );
     let mut rows: Vec<Row> = Vec::new();
 
     for (idx, raw) in text.lines().enumerate() {
@@ -127,14 +135,11 @@ pub fn site_from_inventory(text: &str) -> Result<Site, InventoryError> {
         for token in parts {
             match token.split_once('=') {
                 Some(("period", v)) => {
-                    period = Some(
-                        parse_duration(v)
-                            .ok_or_else(|| err(line_no, "bad period duration"))?,
-                    );
+                    period =
+                        Some(parse_duration(v).ok_or_else(|| err(line_no, "bad period duration"))?);
                 }
                 Some(("phase", v)) => {
-                    phase = parse_duration(v)
-                        .ok_or_else(|| err(line_no, "bad phase duration"))?;
+                    phase = parse_duration(v).ok_or_else(|| err(line_no, "bad phase duration"))?;
                 }
                 Some(("policy", v)) => {
                     policy = match v {
@@ -142,16 +147,10 @@ pub fn site_from_inventory(text: &str) -> Result<Site, InventoryError> {
                         "no-cache" => HeaderPolicy::NoCache,
                         other => match other.strip_prefix("max-age:") {
                             Some(secs) => HeaderPolicy::MaxAge(Duration::from_secs(
-                                secs.parse().map_err(|_| {
-                                    err(line_no, "max-age wants seconds")
-                                })?,
+                                secs.parse()
+                                    .map_err(|_| err(line_no, "max-age wants seconds"))?,
                             )),
-                            None => {
-                                return Err(err(
-                                    line_no,
-                                    &format!("unknown policy {other:?}"),
-                                ))
-                            }
+                            None => return Err(err(line_no, &format!("unknown policy {other:?}"))),
                         },
                     };
                 }
@@ -202,12 +201,18 @@ pub fn site_from_inventory(text: &str) -> Result<Site, InventoryError> {
             if !paths.contains(p) {
                 return Err(err(*line_no, &format!("unknown parent {p:?}")));
             }
-            children_of.entry(p.clone()).or_default().push(spec.path.clone());
+            children_of
+                .entry(p.clone())
+                .or_default()
+                .push(spec.path.clone());
         } else if let Some(p) = js_parent {
             if !paths.contains(p) {
                 return Err(err(*line_no, &format!("unknown js-parent {p:?}")));
             }
-            dynamics_of.entry(p.clone()).or_default().push(spec.path.clone());
+            dynamics_of
+                .entry(p.clone())
+                .or_default()
+                .push(spec.path.clone());
         } else if spec.kind != ResourceKind::Html && spec.path != base_path {
             children_of
                 .entry(base_path.clone())
@@ -270,9 +275,7 @@ mod tests {
         // The built site must produce parseable bodies and etags.
         let site = site_from_inventory(SAMPLE).unwrap();
         let body = site.body_at("/index.html", 0).unwrap();
-        let links = crate::extract::extract_html_links(
-            std::str::from_utf8(&body).unwrap(),
-        );
+        let links = crate::extract::extract_html_links(std::str::from_utf8(&body).unwrap());
         assert_eq!(links.len(), 3);
         assert!(site.etag_at("/api/prices.json", 0).is_some());
         // prices.json changes every 15 minutes.
@@ -304,8 +307,7 @@ mod tests {
         let e = site_from_inventory("relative.css css 5").unwrap_err();
         assert!(e.message.contains("start with '/'"));
 
-        let e = site_from_inventory("/a.css css 5 parent=/nope.html\n/i.html html 9")
-            .unwrap_err();
+        let e = site_from_inventory("/a.css css 5 parent=/nope.html\n/i.html html 9").unwrap_err();
         assert!(e.message.contains("unknown parent"));
 
         let e = site_from_inventory("").unwrap_err();
@@ -327,6 +329,9 @@ mod tests {
                 parent: "/i.html".into()
             }
         );
-        assert_eq!(site.get("/i.html").unwrap().spec.static_children, vec!["/free.js"]);
+        assert_eq!(
+            site.get("/i.html").unwrap().spec.static_children,
+            vec!["/free.js"]
+        );
     }
 }

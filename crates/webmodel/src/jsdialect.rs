@@ -30,8 +30,10 @@ pub fn evaluate(js: &str) -> Vec<String> {
             let Some((a, b)) = expr.split_once('+') else {
                 continue;
             };
-            let (Some(a), Some(b)) = (parse_string_literal(a.trim()), parse_string_literal(b.trim()))
-            else {
+            let (Some(a), Some(b)) = (
+                parse_string_literal(a.trim()),
+                parse_string_literal(b.trim()),
+            ) else {
                 continue;
             };
             bindings.retain(|(n, _)| n != name);
@@ -117,10 +119,7 @@ var y = 12;
 
     #[test]
     fn escaped_quotes_in_literals() {
-        assert_eq!(
-            parse_string_literal(r#""a\"b""#).as_deref(),
-            Some("a\"b")
-        );
+        assert_eq!(parse_string_literal(r#""a\"b""#).as_deref(), Some("a\"b"));
         assert_eq!(parse_string_literal(r#""a\\b""#).as_deref(), Some("a\\b"));
         assert!(parse_string_literal(r#""a"b""#).is_none());
         assert!(parse_string_literal("nope").is_none());

@@ -62,9 +62,7 @@ impl ResourceKind {
             "html" | "htm" => ResourceKind::Html,
             "css" => ResourceKind::Css,
             "js" | "mjs" => ResourceKind::Js,
-            "jpg" | "jpeg" | "png" | "gif" | "webp" | "svg" | "ico" | "avif" => {
-                ResourceKind::Image
-            }
+            "jpg" | "jpeg" | "png" | "gif" | "webp" | "svg" | "ico" | "avif" => ResourceKind::Image,
             "woff" | "woff2" | "ttf" | "otf" => ResourceKind::Font,
             "json" => ResourceKind::Json,
             _ => ResourceKind::Other,

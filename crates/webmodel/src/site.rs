@@ -135,12 +135,10 @@ impl Site {
             let change = if rng.gen::<f64>() < p_imm {
                 ChangeModel::Immutable
             } else {
-                let period_secs =
-                    sample_lognormal(&mut rng, med_period.as_secs_f64(), 1.0)
-                        .clamp(300.0, 365.0 * 86_400.0);
+                let period_secs = sample_lognormal(&mut rng, med_period.as_secs_f64(), 1.0)
+                    .clamp(300.0, 365.0 * 86_400.0);
                 let period = Duration::from_secs(period_secs as u64);
-                let phase =
-                    Duration::from_secs(rng.gen_range(0..period.as_secs().max(1)));
+                let phase = Duration::from_secs(rng.gen_range(0..period.as_secs().max(1)));
                 ChangeModel::Periodic { period, phase }
             };
             let path = format!("/assets/{kind}-{i:03}.{}", kind.extension());
@@ -159,7 +157,13 @@ impl Site {
             rspec.fingerprinted = fingerprinted;
             by_kind.entry(kind).or_default().push(path.clone());
             order.push(path.clone());
-            resources.insert(path, GeneratedResource { spec: rspec, policy });
+            resources.insert(
+                path,
+                GeneratedResource {
+                    spec: rspec,
+                    policy,
+                },
+            );
         }
 
         // --- 2. Wire the discovery graph. ---
@@ -176,17 +180,14 @@ impl Site {
                 let k = resources[p].spec.kind;
                 let eligible = match k {
                     ResourceKind::Js => Some(p != &js_paths[0]),
-                    ResourceKind::Image | ResourceKind::Json | ResourceKind::Other => {
-                        Some(true)
-                    }
+                    ResourceKind::Image | ResourceKind::Json | ResourceKind::Other => Some(true),
                     _ => None,
                 };
                 if eligible == Some(true) {
                     candidates.push(p.clone());
                 }
             }
-            let target = (spec.js_discovered_fraction * spec.n_resources as f64)
-                .round() as usize;
+            let target = (spec.js_discovered_fraction * spec.n_resources as f64).round() as usize;
             for p in candidates.into_iter().take(target) {
                 dynamic.push(p);
             }
@@ -222,9 +223,7 @@ impl Site {
             // dynamics (the Figure-1 b.js → c.js → d.jpg chain), but
             // chains stop there: homepage dependency graphs are
             // shallow (Butkiewicz et al.).
-            if resources[p].spec.kind == ResourceKind::Js
-                && static_js.contains(&parent)
-            {
+            if resources[p].spec.kind == ResourceKind::Js && static_js.contains(&parent) {
                 js_parents.push(p.clone());
             }
         }
@@ -309,8 +308,7 @@ impl Site {
                 format!("/page-{page_idx}.html")
             };
             let (_, med, sigma, _, base_period) = kind_params(ResourceKind::Html);
-            let html_size =
-                sample_lognormal(&mut rng, med, sigma).clamp(5_000.0, 300_000.0) as u64;
+            let html_size = sample_lognormal(&mut rng, med, sigma).clamp(5_000.0, 300_000.0) as u64;
             let page_change = ChangeModel::Periodic {
                 period: Duration::from_secs(
                     sample_lognormal(&mut rng, base_period.as_secs_f64(), 1.0)
@@ -369,9 +367,7 @@ impl Site {
         let mut pages: Vec<String> = self
             .resources
             .values()
-            .filter(|r| {
-                r.spec.kind == ResourceKind::Html && r.spec.discovery == Discovery::Base
-            })
+            .filter(|r| r.spec.kind == ResourceKind::Html && r.spec.discovery == Discovery::Base)
             .map(|r| r.spec.path.clone())
             .collect();
         pages.sort_by_key(|p| (p != &self.base_path, p.clone()));
@@ -386,8 +382,7 @@ impl Site {
     /// Inserts (or replaces) a resource. Used by hand-built sites like
     /// the Figure-1 example page.
     pub fn insert_resource(&mut self, resource: GeneratedResource) {
-        self.resources
-            .insert(resource.spec.path.clone(), resource);
+        self.resources.insert(resource.spec.path.clone(), resource);
     }
 
     /// All resources, in path order.
@@ -445,12 +440,9 @@ impl Site {
         let (canonical, pinned) = self.resolve_path(path)?;
         let r = self.resources.get(&canonical)?;
         let version = pinned.unwrap_or_else(|| r.spec.version_at(t_secs));
-        Some(render_body(
-            &self.spec.host,
-            &r.spec,
-            version,
-            &|child| self.link_text_at(child, t_secs),
-        ))
+        Some(render_body(&self.spec.host, &r.spec, version, &|child| {
+            self.link_text_at(child, t_secs)
+        }))
     }
 
     /// How a link to `child` is written inside markup: rooted path for
@@ -729,9 +721,7 @@ mod tests {
         });
         for page in site.pages() {
             let body = site.body_at(&page, 0).unwrap();
-            let links = crate::extract::extract_html_links(
-                std::str::from_utf8(&body).unwrap(),
-            );
+            let links = crate::extract::extract_html_links(std::str::from_utf8(&body).unwrap());
             assert_eq!(
                 links.len(),
                 site.get(&page).unwrap().spec.static_children.len(),
@@ -801,8 +791,10 @@ mod tests {
         assert_eq!(Site::fingerprint_path("/noext", 2), "/noext.v2");
         let site = small_site(6);
         // Non-fingerprinted paths never resolve as fingerprints.
-        assert!(site.resolve_path("/assets/js-000.v3.js").is_none()
-            || site.get("/assets/js-000.js").map(|r| r.spec.fingerprinted) == Some(true));
+        assert!(
+            site.resolve_path("/assets/js-000.v3.js").is_none()
+                || site.get("/assets/js-000.js").map(|r| r.spec.fingerprinted) == Some(true)
+        );
         assert!(site.resolve_path("/missing.v1.js").is_none());
     }
 

@@ -153,11 +153,8 @@ pub fn assign_policy_for_kind(
                 params.immutable_ttl_sigma,
             ),
             ChangeModel::Periodic { period, .. } => {
-                let fraction = sample_lognormal(
-                    rng,
-                    params.ttl_fraction_median,
-                    params.ttl_fraction_sigma,
-                );
+                let fraction =
+                    sample_lognormal(rng, params.ttl_fraction_median, params.ttl_fraction_sigma);
                 period.as_secs_f64() * fraction
             }
         }
@@ -208,9 +205,7 @@ mod tests {
         let mut conservative = 0;
         let mut total = 0;
         for _ in 0..10_000 {
-            if let HeaderPolicy::MaxAge(ttl) =
-                assign_policy(&mut rng, &params, &changing(period))
-            {
+            if let HeaderPolicy::MaxAge(ttl) = assign_policy(&mut rng, &params, &changing(period)) {
                 total += 1;
                 if ttl.as_secs() < 86_400 {
                     under_day += 1;
@@ -249,8 +244,14 @@ mod tests {
 
     #[test]
     fn header_rendering() {
-        assert_eq!(HeaderPolicy::NoStore.to_cache_control().to_string(), "no-store");
-        assert_eq!(HeaderPolicy::NoCache.to_cache_control().to_string(), "no-cache");
+        assert_eq!(
+            HeaderPolicy::NoStore.to_cache_control().to_string(),
+            "no-store"
+        );
+        assert_eq!(
+            HeaderPolicy::NoCache.to_cache_control().to_string(),
+            "no-cache"
+        );
         assert_eq!(
             HeaderPolicy::MaxAge(Duration::from_secs(60))
                 .to_cache_control()

@@ -19,9 +19,13 @@ async fn main() {
     let origin = Arc::new(OriginServer::new(example_site(), HeaderMode::Catalyst));
 
     // 1. A real TCP listener on loopback.
-    let server = TcpOrigin::bind("127.0.0.1:0", Arc::clone(&origin), watch_clock(clock_rx.clone()))
-        .await
-        .expect("bind loopback");
+    let server = TcpOrigin::bind(
+        "127.0.0.1:0",
+        Arc::clone(&origin),
+        watch_clock(clock_rx.clone()),
+    )
+    .await
+    .expect("bind loopback");
     println!("origin listening on http://{}\n", server.local_addr);
 
     let stream = TcpStream::connect(server.local_addr).await.unwrap();
@@ -32,7 +36,11 @@ async fn main() {
         .round_trip(&Request::get("/index.html").with_header("host", "example.org"))
         .await
         .unwrap();
-    println!("GET /index.html → {} ({} bytes)", resp.status, resp.body.len());
+    println!(
+        "GET /index.html → {} ({} bytes)",
+        resp.status,
+        resp.body.len()
+    );
     let config = EtagConfig::from_response(&resp).unwrap();
     println!("X-Etag-Config entries: {}", config.len());
     let css_tag = config.get("/a.css").unwrap().clone();
@@ -46,15 +54,20 @@ async fn main() {
     assert_eq!(resp.etag().unwrap(), css_tag);
 
     clock_tx.send(7200).unwrap(); // advance the virtual clock 2h
-    let revalidate = Request::get("/a.css")
-        .with_header("if-none-match", &css_tag.to_string());
+    let revalidate = Request::get("/a.css").with_header("if-none-match", &css_tag.to_string());
     let resp = client.round_trip(&revalidate).await.unwrap();
-    println!("GET /a.css (If-None-Match, +2h) → {} — unchanged, no body\n", resp.status);
+    println!(
+        "GET /a.css (If-None-Match, +2h) → {} — unchanged, no body\n",
+        resp.status
+    );
     assert_eq!(resp.status, StatusCode::NOT_MODIFIED);
 
     // 2. The same protocol through an emulated 5G-median access link.
     let cond = NetworkConditions::five_g_median();
-    println!("repeating the navigation through an emulated {} link…", cond.label());
+    println!(
+        "repeating the navigation through an emulated {} link…",
+        cond.label()
+    );
     let (client_end, server_end) = emulated_link(cond);
     let origin2 = Arc::clone(&origin);
     let clock = watch_clock(clock_rx);

@@ -30,30 +30,27 @@ fn main() {
             let mut base_plt = 0.0;
             let mut cat_plt = 0.0;
             for site in &sites {
-                let url = Url::parse(&format!(
-                    "http://{}{}",
-                    site.spec.host,
-                    site.base_path()
-                ))
-                .unwrap();
+                let url =
+                    Url::parse(&format!("http://{}{}", site.spec.host, site.base_path())).unwrap();
                 let t0: i64 = 35 * 86_400;
                 let t1 = t0 + delay.as_secs() as i64;
 
-                let origin =
-                    Arc::new(OriginServer::new(site.clone(), HeaderMode::Baseline));
+                let origin = Arc::new(OriginServer::new(site.clone(), HeaderMode::Baseline));
                 let up = SingleOrigin(origin);
                 let mut b = Browser::baseline();
                 b.load(&up, cond, &url, t0);
                 base_plt += b.load(&up, cond, &url, t1).plt_ms();
 
-                let origin =
-                    Arc::new(OriginServer::new(site.clone(), HeaderMode::Catalyst));
+                let origin = Arc::new(OriginServer::new(site.clone(), HeaderMode::Catalyst));
                 let up = SingleOrigin(origin);
                 let mut c = Browser::catalyst();
                 c.load(&up, cond, &url, t0);
                 cat_plt += c.load(&up, cond, &url, t1).plt_ms();
             }
-            print!("{:>8}", format!("{:.0}%", (base_plt - cat_plt) / base_plt * 100.0));
+            print!(
+                "{:>8}",
+                format!("{:.0}%", (base_plt - cat_plt) / base_plt * 100.0)
+            );
         }
         println!();
     }

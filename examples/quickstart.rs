@@ -22,8 +22,13 @@ fn main() {
     let mut browser = Browser::baseline();
     let cold = browser.load(&upstream, cond, &base, 0);
     let warm = browser.load(&upstream, cond, &base, revisit_at);
-    println!("status quo : cold {:7.1} ms | warm {:7.1} ms | {} requests, {} revalidations",
-        cold.plt_ms(), warm.plt_ms(), warm.network_requests(), warm.not_modified);
+    println!(
+        "status quo : cold {:7.1} ms | warm {:7.1} ms | {} requests, {} revalidations",
+        cold.plt_ms(),
+        warm.plt_ms(),
+        warm.network_requests(),
+        warm.not_modified
+    );
 
     // --- CacheCatalyst: X-Etag-Config + service worker ---
     let origin = Arc::new(OriginServer::new(example_site(), HeaderMode::Catalyst));
@@ -31,8 +36,13 @@ fn main() {
     let mut browser = Browser::catalyst();
     let cold = browser.load(&upstream, cond, &base, 0);
     let warm = browser.load(&upstream, cond, &base, revisit_at);
-    println!("catalyst   : cold {:7.1} ms | warm {:7.1} ms | {} requests, {} served by SW",
-        cold.plt_ms(), warm.plt_ms(), warm.network_requests(), warm.sw_hits);
+    println!(
+        "catalyst   : cold {:7.1} ms | warm {:7.1} ms | {} requests, {} served by SW",
+        cold.plt_ms(),
+        warm.plt_ms(),
+        warm.network_requests(),
+        warm.sw_hits
+    );
 
     println!("\nWarm-visit waterfall with CacheCatalyst:");
     println!("{}", warm.trace.render_waterfall(44));
@@ -41,7 +51,10 @@ fn main() {
     let origin = OriginServer::new(example_site(), HeaderMode::Catalyst);
     let resp = origin.handle(&Request::get("/index.html"), revisit_at);
     let config = EtagConfig::from_response(&resp).unwrap();
-    println!("X-Etag-Config carried by the base HTML ({} entries):", config.len());
+    println!(
+        "X-Etag-Config carried by the base HTML ({} entries):",
+        config.len()
+    );
     for (path, tag) in config.iter() {
         println!("  {path} = {tag}");
     }

@@ -26,7 +26,10 @@
 //!   TCP front end);
 //! * [`browser`] — the page-load engine measuring PLT;
 //! * [`proxies`] — Server Push, RDR-proxy and Extreme-Cache
-//!   comparators.
+//!   comparators;
+//! * [`telemetry`] — counters, latency histograms and structured
+//!   page-load events, exposed by the origin at `/metrics`
+//!   (Prometheus text format).
 //!
 //! ## Quickstart
 //!
@@ -54,11 +57,14 @@ pub use cachecatalyst_httpwire as httpwire;
 pub use cachecatalyst_netsim as netsim;
 pub use cachecatalyst_origin as origin;
 pub use cachecatalyst_proxies as proxies;
+pub use cachecatalyst_telemetry as telemetry;
 pub use cachecatalyst_webmodel as webmodel;
 
 /// The most common imports in one place.
 pub mod prelude {
-    pub use cachecatalyst_browser::{Browser, EngineConfig, LoadReport, MultiOrigin, SingleOrigin, Upstream};
+    pub use cachecatalyst_browser::{
+        Browser, EngineConfig, LoadReport, MultiOrigin, SingleOrigin, Upstream,
+    };
     pub use cachecatalyst_catalyst::{EtagConfig, ServiceWorker, SessionCapture};
     pub use cachecatalyst_httpcache::HttpCache;
     pub use cachecatalyst_httpwire::{

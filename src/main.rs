@@ -115,7 +115,12 @@ fn cmd_serve(args: &Args) {
         let server = TcpOrigin::bind(&format!("127.0.0.1:{port}"), origin, wall_clock())
             .await
             .expect("bind");
-        println!("serving {} ({} resources, mode {:?})", site.spec.host, site.len(), mode);
+        println!(
+            "serving {} ({} resources, mode {:?})",
+            site.spec.host,
+            site.len(),
+            mode
+        );
         println!("  http://{}{}", server.local_addr, site.base_path());
         println!("press ctrl-c to stop");
         tokio::signal::ctrl_c().await.ok();
@@ -243,12 +248,8 @@ fn cmd_sweep(args: &Args) {
             let mut base_plt = 0.0;
             let mut cat_plt = 0.0;
             for site in &sites {
-                let url = Url::parse(&format!(
-                    "http://{}{}",
-                    site.spec.host,
-                    site.base_path()
-                ))
-                .unwrap();
+                let url =
+                    Url::parse(&format!("http://{}{}", site.spec.host, site.base_path())).unwrap();
                 let t0: i64 = 35 * 86_400;
                 for (is_cat, acc) in [(false, &mut base_plt), (true, &mut cat_plt)] {
                     let mode = if is_cat {
@@ -311,8 +312,14 @@ mod tests {
 
     #[test]
     fn mode_parsing() {
-        assert_eq!(mode_of(&parse(&["x", "--mode", "baseline"])), HeaderMode::Baseline);
-        assert_eq!(mode_of(&parse(&["x", "--mode", "capture"])), HeaderMode::CatalystWithCapture);
+        assert_eq!(
+            mode_of(&parse(&["x", "--mode", "baseline"])),
+            HeaderMode::Baseline
+        );
+        assert_eq!(
+            mode_of(&parse(&["x", "--mode", "capture"])),
+            HeaderMode::CatalystWithCapture
+        );
         assert_eq!(mode_of(&parse(&["x"])), HeaderMode::Catalyst);
     }
 

@@ -17,8 +17,7 @@ fn cross_origin_extension_maps_and_serves_third_party() {
         ..Default::default()
     });
     let cdn_host = format!("cdn.{}", site.spec.host);
-    let base = Url::parse(&format!("http://{}{}", site.spec.host, site.base_path()))
-        .unwrap();
+    let base = Url::parse(&format!("http://{}{}", site.spec.host, site.base_path())).unwrap();
     let cond = NetworkConditions::five_g_median();
 
     // Paper behaviour: third-party references never mapped.
@@ -31,9 +30,8 @@ fn cross_origin_extension_maps_and_serves_third_party() {
     );
 
     // Extension: third-party entries appear, keyed by full URL.
-    let extended = Arc::new(
-        OriginServer::new(site.clone(), HeaderMode::Catalyst).with_cross_origin(),
-    );
+    let extended =
+        Arc::new(OriginServer::new(site.clone(), HeaderMode::Catalyst).with_cross_origin());
     let resp = extended.handle(&Request::get("/index.html"), 0);
     let config = EtagConfig::from_response(&resp).unwrap();
     let tp_entries: Vec<&str> = config
@@ -41,7 +39,10 @@ fn cross_origin_extension_maps_and_serves_third_party() {
         .map(|(p, _)| p)
         .filter(|p| p.starts_with("http://"))
         .collect();
-    assert!(!tp_entries.is_empty(), "extension must map third-party URLs");
+    assert!(
+        !tp_entries.is_empty(),
+        "extension must map third-party URLs"
+    );
     assert!(tp_entries.iter().all(|p| p.contains(&cdn_host)));
 
     // And the browser actually gets SW hits for them on an unchanged
@@ -113,10 +114,12 @@ fn capture_covers_js_resources_per_page() {
     assert!(!dynamic_paths.is_empty());
 
     let cond = NetworkConditions::five_g_median();
-    let origin = Arc::new(OriginServer::new(site.clone(), HeaderMode::CatalystWithCapture));
+    let origin = Arc::new(OriginServer::new(
+        site.clone(),
+        HeaderMode::CatalystWithCapture,
+    ));
     let up = SingleOrigin(origin);
-    let base = Url::parse(&format!("http://{}{}", site.spec.host, site.base_path()))
-        .unwrap();
+    let base = Url::parse(&format!("http://{}{}", site.spec.host, site.base_path())).unwrap();
     let mut browser = Browser::new(EngineConfig {
         use_http_cache: false,
         use_service_worker: true,
@@ -133,8 +136,7 @@ fn capture_covers_js_resources_per_page() {
         .iter()
         .filter(|f| {
             let path = Url::parse(&f.url).unwrap().path().to_owned();
-            dynamic_paths.contains(&path)
-                && f.outcome == FetchOutcome::ServiceWorkerHit
+            dynamic_paths.contains(&path) && f.outcome == FetchOutcome::ServiceWorkerHit
         })
         .count();
     // Expect a hit for every unchanged dynamic the SW was allowed to

@@ -14,8 +14,7 @@ fn run_once(seed: u64, mode: HeaderMode) -> (Vec<u64>, u64, String) {
         js_discovered_fraction: 0.1,
         ..Default::default()
     });
-    let url = Url::parse(&format!("http://{}{}", site.spec.host, site.base_path()))
-        .unwrap();
+    let url = Url::parse(&format!("http://{}{}", site.spec.host, site.base_path())).unwrap();
     let origin = Arc::new(OriginServer::new(site.clone(), mode));
     let up = SingleOrigin(origin);
     let mut browser = match mode {
@@ -25,7 +24,10 @@ fn run_once(seed: u64, mode: HeaderMode) -> (Vec<u64>, u64, String) {
     let cond = NetworkConditions::five_g_median();
     let cold = browser.load(&up, cond, &url, 1_000_000);
     let warm = browser.load(&up, cond, &url, 1_003_600);
-    let etag = site.etag_at(site.base_path(), 1_000_000).unwrap().to_string();
+    let etag = site
+        .etag_at(site.base_path(), 1_000_000)
+        .unwrap()
+        .to_string();
     (
         vec![cold.plt.as_nanos(), warm.plt.as_nanos()],
         cold.bytes_down + warm.bytes_down,

@@ -79,16 +79,20 @@ async fn catalyst_revisit_agrees_and_preserves_the_win() {
     let sim_cat = c.load(&SingleOrigin(Arc::clone(&origin_c)), cond, &base, t1);
 
     // --- live: same protocol over emulated links ---
-    let mut live_b =
-        LiveBrowser::new(dialer_for(Arc::clone(&origin_b), cond, 0), LiveMode::Baseline);
+    let mut live_b = LiveBrowser::new(
+        dialer_for(Arc::clone(&origin_b), cond, 0),
+        LiveMode::Baseline,
+    );
     live_b.load(&base).await.unwrap();
     // Reconnect at the revisit time (the old links embed t=0).
     let mut live_b = live_b.with_dialer(dialer_for(origin_b, cond, t1));
     live_b.now_secs = t1;
     let live_base = live_b.load(&base).await.unwrap();
 
-    let mut live_c =
-        LiveBrowser::new(dialer_for(Arc::clone(&origin_c), cond, 0), LiveMode::Catalyst);
+    let mut live_c = LiveBrowser::new(
+        dialer_for(Arc::clone(&origin_c), cond, 0),
+        LiveMode::Catalyst,
+    );
     live_c.load(&base).await.unwrap();
     let mut live_c = live_c.with_dialer(dialer_for(origin_c, cond, t1));
     live_c.now_secs = t1;
@@ -119,4 +123,3 @@ async fn catalyst_revisit_agrees_and_preserves_the_win() {
         );
     }
 }
-

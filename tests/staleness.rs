@@ -22,7 +22,10 @@ fn version_marker(body: &[u8]) -> Option<u64> {
                 .map(|_| i + 2)
         })
     })?;
-    let digits: String = text[idx..].chars().take_while(char::is_ascii_digit).collect();
+    let digits: String = text[idx..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
     digits.parse().ok()
 }
 
@@ -37,8 +40,7 @@ fn delivered_versions(
 ) -> Vec<(String, u64, u64)> {
     let origin = Arc::new(OriginServer::new(site.clone(), mode));
     let up = SingleOrigin(Arc::clone(&origin));
-    let url = Url::parse(&format!("http://{}{}", site.spec.host, site.base_path()))
-        .unwrap();
+    let url = Url::parse(&format!("http://{}{}", site.spec.host, site.base_path())).unwrap();
     browser.load(&up, NetworkConditions::five_g_median(), &url, t0);
     let warm = browser.load(&up, NetworkConditions::five_g_median(), &url, t1);
 

@@ -1,0 +1,322 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! The workspace vendors the narrow API subset it actually uses so it
+//! builds without a network registry. [`Bytes`] is a cheaply clonable
+//! immutable buffer (`Arc<[u8]>` under the hood); [`BytesMut`] is a
+//! growable buffer that freezes into one. Semantics match the real
+//! crate for every operation exercised here; zero-copy slicing of
+//! `Bytes` views is not implemented because nothing needs it.
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
+
+/// A cheaply clonable immutable byte buffer.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+}
+
+impl Bytes {
+    pub fn new() -> Bytes {
+        Bytes {
+            data: Arc::from(&[][..]),
+        }
+    }
+
+    pub fn from_static(bytes: &'static [u8]) -> Bytes {
+        Bytes {
+            data: Arc::from(bytes),
+        }
+    }
+
+    pub fn copy_from_slice(data: &[u8]) -> Bytes {
+        Bytes {
+            data: Arc::from(data),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data.to_vec()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl Borrow<[u8]> for Bytes {
+    fn borrow(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.data.hash(state)
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.data[..] == other.data[..]
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Bytes) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bytes {
+    fn cmp(&self, other: &Bytes) -> std::cmp::Ordering {
+        self.data[..].cmp(&other.data[..])
+    }
+}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.data[..] == *other
+    }
+}
+
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.data[..] == **other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.data[..] == other[..]
+    }
+}
+
+impl PartialEq<str> for Bytes {
+    fn eq(&self, other: &str) -> bool {
+        self.data[..] == *other.as_bytes()
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        debug_bytes(&self.data, f)
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        Bytes { data: Arc::from(v) }
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(s: String) -> Bytes {
+        Bytes::from(s.into_bytes())
+    }
+}
+
+impl From<&'static str> for Bytes {
+    fn from(s: &'static str) -> Bytes {
+        Bytes::from_static(s.as_bytes())
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(s: &'static [u8]) -> Bytes {
+        Bytes::from_static(s)
+    }
+}
+
+impl From<BytesMut> for Bytes {
+    fn from(b: BytesMut) -> Bytes {
+        b.freeze()
+    }
+}
+
+impl FromIterator<u8> for Bytes {
+    fn from_iter<I: IntoIterator<Item = u8>>(iter: I) -> Bytes {
+        Bytes::from(iter.into_iter().collect::<Vec<u8>>())
+    }
+}
+
+/// A growable byte buffer that can be frozen into [`Bytes`].
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    pub fn new() -> BytesMut {
+        BytesMut { data: Vec::new() }
+    }
+
+    pub fn with_capacity(capacity: usize) -> BytesMut {
+        BytesMut {
+            data: Vec::with_capacity(capacity),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.data.capacity()
+    }
+
+    pub fn clear(&mut self) {
+        self.data.clear()
+    }
+
+    pub fn reserve(&mut self, additional: usize) {
+        self.data.reserve(additional)
+    }
+
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src)
+    }
+
+    /// Splits off and returns the first `at` bytes.
+    pub fn split_to(&mut self, at: usize) -> BytesMut {
+        let rest = self.data.split_off(at);
+        BytesMut {
+            data: std::mem::replace(&mut self.data, rest),
+        }
+    }
+
+    pub fn split_off(&mut self, at: usize) -> BytesMut {
+        BytesMut {
+            data: self.data.split_off(at),
+        }
+    }
+
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        debug_bytes(&self.data, f)
+    }
+}
+
+impl From<Vec<u8>> for BytesMut {
+    fn from(v: Vec<u8>) -> BytesMut {
+        BytesMut { data: v }
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(s: &[u8]) -> BytesMut {
+        BytesMut { data: s.to_vec() }
+    }
+}
+
+/// Sink for buffer writes (the subset of the real trait in use).
+pub trait BufMut {
+    fn put_slice(&mut self, src: &[u8]);
+
+    fn put_u8(&mut self, n: u8) {
+        self.put_slice(&[n]);
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src)
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src)
+    }
+}
+
+/// Mirrors the real crate's escaped-ASCII `Debug` rendering closely
+/// enough for test diagnostics.
+fn debug_bytes(data: &[u8], f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    write!(f, "b\"")?;
+    for &b in data {
+        match b {
+            b'"' => write!(f, "\\\"")?,
+            b'\\' => write!(f, "\\\\")?,
+            b'\n' => write!(f, "\\n")?,
+            b'\r' => write!(f, "\\r")?,
+            b'\t' => write!(f, "\\t")?,
+            0x20..=0x7e => write!(f, "{}", b as char)?,
+            _ => write!(f, "\\x{b:02x}")?,
+        }
+    }
+    write!(f, "\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_and_freeze() {
+        let mut buf = BytesMut::with_capacity(8);
+        buf.put_slice(b"hello world");
+        let head = buf.split_to(6);
+        assert_eq!(&head[..], b"hello ");
+        assert_eq!(&buf[..], b"world");
+        let frozen = buf.freeze();
+        assert_eq!(frozen, *b"world".as_slice());
+        assert_eq!(frozen.clone(), frozen);
+    }
+
+    #[test]
+    fn debug_escapes() {
+        let b = Bytes::copy_from_slice(b"a\"\n\x01");
+        assert_eq!(format!("{b:?}"), "b\"a\\\"\\n\\x01\"");
+    }
+}

@@ -1,0 +1,195 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Keeps the workspace's benches compiling and *running* without the
+//! real crate: each benchmark is warmed up briefly, timed over a
+//! fixed wall-clock budget, and reported as mean ns/iter (plus
+//! throughput when configured). No outlier analysis, no HTML reports.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const WARMUP: Duration = Duration::from_millis(50);
+const MEASURE: Duration = Duration::from_millis(300);
+
+/// Measurement context handed to bench closures.
+pub struct Bencher {
+    iters: u64,
+    total: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: also estimates per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < WARMUP {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = WARMUP.as_nanos().max(1) / u128::from(warm_iters.max(1));
+        let batch = (MEASURE.as_nanos() / per_iter.max(1)).clamp(1, 10_000_000) as u64;
+
+        let start = Instant::now();
+        for _ in 0..batch {
+            black_box(f());
+        }
+        self.total = start.elapsed();
+        self.iters = batch;
+    }
+}
+
+/// Identifies a parameterised benchmark.
+pub struct BenchmarkId {
+    repr: String,
+}
+
+impl BenchmarkId {
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            repr: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter<P: Display>(parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            repr: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything usable as a benchmark name.
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.repr
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Top-level bench driver.
+#[derive(Default)]
+pub struct Criterion;
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _c: self,
+            group: name.to_owned(),
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Criterion {
+        run_one(id, None, f);
+        self
+    }
+
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    pub fn final_summary(&self) {}
+}
+
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    group: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<I, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        F: FnMut(&mut Bencher),
+    {
+        let name = format!("{}/{}", self.group, id.into_benchmark_id());
+        run_one(&name, self.throughput, f);
+        self
+    }
+
+    pub fn bench_with_input<I, P, F>(&mut self, id: I, input: &P, mut f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        P: ?Sized,
+        F: FnMut(&mut Bencher, &P),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, throughput: Option<Throughput>, mut f: F) {
+    let mut b = Bencher {
+        iters: 0,
+        total: Duration::ZERO,
+    };
+    f(&mut b);
+    if b.iters == 0 {
+        println!("{name:<40} (no measurement)");
+        return;
+    }
+    let ns = b.total.as_nanos() as f64 / b.iters as f64;
+    match throughput {
+        Some(Throughput::Bytes(n)) => {
+            let mibps = n as f64 / (ns / 1e9) / (1024.0 * 1024.0);
+            println!("{name:<40} {ns:>12.1} ns/iter  {mibps:>10.1} MiB/s");
+        }
+        Some(Throughput::Elements(n)) => {
+            let eps = n as f64 / (ns / 1e9);
+            println!("{name:<40} {ns:>12.1} ns/iter  {eps:>10.0} elem/s");
+        }
+        None => println!("{name:<40} {ns:>12.1} ns/iter"),
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

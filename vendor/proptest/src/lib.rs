@@ -1,0 +1,111 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the generation-side subset the workspace's property
+//! tests use: `Strategy` with `prop_map`, string strategies from a
+//! regex subset, integer/float range strategies, tuples, collections,
+//! `prop_oneof!`, `any::<T>()`, and the `proptest!` test macro. Each
+//! test runs a fixed number of deterministically seeded cases
+//! (seed = FNV-1a of the test name mixed with the case index), so
+//! failures reproduce exactly. There is **no shrinking**: a failing
+//! case asserts immediately with the generated inputs in the panic
+//! message via std `assert!`.
+
+pub mod regex;
+pub mod rng;
+pub mod strategy;
+
+pub use strategy::{any, BoxedStrategy, Strategy};
+
+/// Number of cases each property runs. The real crate defaults to
+/// 256; 64 keeps the suite quick while still probing the space.
+pub const CASES: u32 = 64;
+
+/// `prop::` namespace as the prelude exposes it.
+pub mod prop {
+    pub mod collection {
+        pub use crate::strategy::{btree_map, vec};
+    }
+
+    pub mod option {
+        pub use crate::strategy::option_of as of;
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{any, BoxedStrategy, Strategy};
+    pub use crate::{prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr) => { assert_eq!($lhs, $rhs) };
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => { assert_eq!($lhs, $rhs, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr) => { assert_ne!($lhs, $rhs) };
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => { assert_ne!($lhs, $rhs, $($fmt)+) };
+}
+
+/// Uniform choice between heterogeneous strategies of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// The test-defining macro. Bodies run under plain `#[test]`; the
+/// `#[test]` attribute itself is written by the caller inside the
+/// macro invocation (as with real proptest). Arguments are either
+/// `pat in strategy` or `name: Type` (sugar for `any::<Type>()`),
+/// freely mixed; bindings are sequential, so later strategies may
+/// reference earlier values.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($args:tt)*) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                for case in 0..$crate::CASES {
+                    let mut rng = $crate::rng::TestRng::for_case(stringify!($name), case);
+                    $crate::__proptest_bind!(rng; $($args)*);
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Internal muncher behind `proptest!` — binds one argument per step.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident;) => {};
+    ($rng:ident; $arg:ident : $ty:ty) => {
+        let $arg: $ty = $crate::strategy::Arbitrary::arbitrary(&mut $rng);
+    };
+    ($rng:ident; $arg:ident : $ty:ty, $($rest:tt)*) => {
+        let $arg: $ty = $crate::strategy::Arbitrary::arbitrary(&mut $rng);
+        $crate::__proptest_bind!($rng; $($rest)*);
+    };
+    ($rng:ident; $arg:pat in $strategy:expr) => {
+        let $arg = $crate::Strategy::generate(&($strategy), &mut $rng);
+    };
+    ($rng:ident; $arg:pat in $strategy:expr, $($rest:tt)*) => {
+        let $arg = $crate::Strategy::generate(&($strategy), &mut $rng);
+        $crate::__proptest_bind!($rng; $($rest)*);
+    };
+}

@@ -1,0 +1,268 @@
+//! Generator for the regex subset proptest string strategies use.
+//!
+//! Supported syntax: literals, `\`-escaped literals, character
+//! classes `[a-z0-9_-]` (ranges + literal members, `\`-escapes),
+//! groups `(...)` with alternation `|`, and the quantifiers `?`,
+//! `*`, `+`, `{n}`, `{m,n}`. Unbounded repetition is capped at 8.
+//! Anything else fails loudly at generation time — better a panic
+//! naming the construct than silently wrong test data.
+
+use crate::rng::TestRng;
+
+const UNBOUNDED_CAP: u32 = 8;
+
+#[derive(Debug, Clone)]
+enum Node {
+    Literal(char),
+    /// Inclusive character ranges; single members are `(c, c)`.
+    Class(Vec<(char, char)>),
+    /// Alternation of sequences (a group body).
+    Group(Vec<Vec<Node>>),
+    Repeat {
+        node: Box<Node>,
+        min: u32,
+        max: u32,
+    },
+}
+
+/// Generates one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let nodes = Parser {
+        chars: pattern.chars().collect(),
+        pos: 0,
+        pattern,
+    }
+    .parse_alternation();
+    let mut out = String::new();
+    // Top level may itself be alternation.
+    let pick = rng.below(nodes.len() as u64) as usize;
+    for node in &nodes[pick] {
+        emit(node, rng, &mut out);
+    }
+    out
+}
+
+fn emit(node: &Node, rng: &mut TestRng, out: &mut String) {
+    match node {
+        Node::Literal(c) => out.push(*c),
+        Node::Class(ranges) => {
+            let total: u64 = ranges.iter().map(|(lo, hi)| span(*lo, *hi)).sum();
+            let mut idx = rng.below(total);
+            for (lo, hi) in ranges {
+                let n = span(*lo, *hi);
+                if idx < n {
+                    let c = char::from_u32(*lo as u32 + idx as u32)
+                        .expect("class range stays in scalar values");
+                    out.push(c);
+                    return;
+                }
+                idx -= n;
+            }
+            unreachable!("index within total weight");
+        }
+        Node::Group(alts) => {
+            let pick = rng.below(alts.len() as u64) as usize;
+            for n in &alts[pick] {
+                emit(n, rng, out);
+            }
+        }
+        Node::Repeat { node, min, max } => {
+            let count = *min + rng.below(u64::from(*max - *min + 1)) as u32;
+            for _ in 0..count {
+                emit(node, rng, out);
+            }
+        }
+    }
+}
+
+fn span(lo: char, hi: char) -> u64 {
+    u64::from(hi as u32 - lo as u32 + 1)
+}
+
+struct Parser<'p> {
+    chars: Vec<char>,
+    pos: usize,
+    pattern: &'p str,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        self.pos += 1;
+        c
+    }
+
+    fn fail(&self, what: &str) -> ! {
+        panic!(
+            "regex stub: unsupported {what} at position {} in {:?}",
+            self.pos, self.pattern
+        );
+    }
+
+    /// alternation := sequence ('|' sequence)*
+    fn parse_alternation(&mut self) -> Vec<Vec<Node>> {
+        let mut alts = vec![self.parse_sequence()];
+        while self.peek() == Some('|') {
+            self.bump();
+            alts.push(self.parse_sequence());
+        }
+        alts
+    }
+
+    fn parse_sequence(&mut self) -> Vec<Node> {
+        let mut seq = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            let atom = self.parse_atom();
+            seq.push(self.parse_quantifier(atom));
+        }
+        seq
+    }
+
+    fn parse_atom(&mut self) -> Node {
+        match self.bump().expect("non-empty atom") {
+            '(' => {
+                let alts = self.parse_alternation();
+                if self.bump() != Some(')') {
+                    self.fail("unclosed group");
+                }
+                Node::Group(alts)
+            }
+            '[' => self.parse_class(),
+            '\\' => Node::Literal(self.escaped()),
+            '.' => Node::Class(vec![(' ', '~')]),
+            c @ ('*' | '+' | '?' | '{') => self.fail(&format!("dangling quantifier {c:?}")),
+            c => Node::Literal(c),
+        }
+    }
+
+    fn escaped(&mut self) -> char {
+        match self.bump() {
+            Some('n') => '\n',
+            Some('r') => '\r',
+            Some('t') => '\t',
+            Some(c) => c, // \- \? \. \\ etc: the literal itself
+            None => self.fail("trailing backslash"),
+        }
+    }
+
+    fn parse_class(&mut self) -> Node {
+        let mut ranges = Vec::new();
+        if self.peek() == Some('^') {
+            self.fail("negated class");
+        }
+        loop {
+            let lo = match self.bump() {
+                Some(']') => break,
+                Some('\\') => self.escaped(),
+                Some(c) => c,
+                None => self.fail("unclosed class"),
+            };
+            // Range iff '-' followed by a non-']' member.
+            if self.peek() == Some('-') && self.chars.get(self.pos + 1) != Some(&']') {
+                self.bump();
+                let hi = match self.bump() {
+                    Some('\\') => self.escaped(),
+                    Some(c) => c,
+                    None => self.fail("unclosed class range"),
+                };
+                assert!(lo <= hi, "regex stub: inverted range in {:?}", self.pattern);
+                ranges.push((lo, hi));
+            } else {
+                ranges.push((lo, lo));
+            }
+        }
+        if ranges.is_empty() {
+            self.fail("empty class");
+        }
+        Node::Class(ranges)
+    }
+
+    fn parse_quantifier(&mut self, node: Node) -> Node {
+        let (min, max) = match self.peek() {
+            Some('?') => (0, 1),
+            Some('*') => (0, UNBOUNDED_CAP),
+            Some('+') => (1, UNBOUNDED_CAP),
+            Some('{') => {
+                self.bump();
+                let mut first = String::new();
+                while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                    first.push(self.bump().expect("digit"));
+                }
+                let min: u32 = first.parse().unwrap_or_else(|_| self.fail("bad {m,n}"));
+                let max = match self.bump() {
+                    Some('}') => min,
+                    Some(',') => {
+                        let mut second = String::new();
+                        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                            second.push(self.bump().expect("digit"));
+                        }
+                        if self.bump() != Some('}') {
+                            self.fail("unclosed {m,n}");
+                        }
+                        if second.is_empty() {
+                            min + UNBOUNDED_CAP
+                        } else {
+                            second.parse().unwrap_or_else(|_| self.fail("bad {m,n}"))
+                        }
+                    }
+                    _ => self.fail("unclosed {m,n}"),
+                };
+                return Node::Repeat {
+                    node: Box::new(node),
+                    min,
+                    max,
+                };
+            }
+            _ => return node,
+        };
+        self.bump();
+        Node::Repeat {
+            node: Box::new(node),
+            min,
+            max,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(pattern: &str, verify: impl Fn(&str) -> bool) {
+        let mut rng = TestRng::new(1);
+        for _ in 0..200 {
+            let s = generate(pattern, &mut rng);
+            assert!(verify(&s), "pattern {pattern:?} produced {s:?}");
+        }
+    }
+
+    #[test]
+    fn workspace_patterns() {
+        check("(/[a-zA-Z0-9._%,= -]{1,16}){1,3}", |s| {
+            s.starts_with('/') && s.len() >= 2 && s.len() <= 51
+        });
+        check("[a-zA-Z0-9+/=._-]{1,24}", |s| {
+            !s.is_empty()
+                && s.len() <= 24
+                && s.chars()
+                    .all(|c| c.is_ascii_alphanumeric() || "+/=._-".contains(c))
+        });
+        check("[a-zA-Z][a-zA-Z0-9\\-]{0,15}", |s| {
+            s.chars().next().is_some_and(|c| c.is_ascii_alphabetic())
+        });
+        check("[!-~]([ -~]{0,30}[!-~])?", |s| {
+            !s.is_empty() && !s.starts_with(' ') && !s.ends_with(' ')
+        });
+        check("(/[a-z0-9._\\-]{1,12}){1,4}(\\?[a-z0-9=&]{1,20})?", |s| {
+            s.starts_with('/')
+        });
+        check("a|bb|ccc", |s| matches!(s, "a" | "bb" | "ccc"));
+    }
+}

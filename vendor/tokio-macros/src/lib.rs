@@ -1,0 +1,53 @@
+//! Offline stand-in for `tokio-macros`.
+//!
+//! Implements `#[tokio::main]` and `#[tokio::test]` by a textual
+//! transform (no `syn`/`quote`): the annotated `async fn NAME` is kept
+//! verbatim as an inner item of a synchronous wrapper of the same
+//! name, which drives it with `tokio::runtime::Runtime::block_on`.
+//! Attribute arguments (`flavor`, `worker_threads`, `start_paused`)
+//! are accepted and ignored — the vendored runtime has a single
+//! thread-per-task flavor and runs timers on the wall clock.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_attribute]
+pub fn main(_attr: TokenStream, item: TokenStream) -> TokenStream {
+    wrap(item, false)
+}
+
+#[proc_macro_attribute]
+pub fn test(_attr: TokenStream, item: TokenStream) -> TokenStream {
+    wrap(item, true)
+}
+
+fn wrap(item: TokenStream, is_test: bool) -> TokenStream {
+    let src = item.to_string();
+    let Some(name) = fn_name(&src) else {
+        panic!("#[tokio::main]/#[tokio::test] expects an `async fn`");
+    };
+    let test_attr = if is_test {
+        "#[::core::prelude::v1::test]\n"
+    } else {
+        ""
+    };
+    // The original async fn becomes an inner item and shadows the
+    // wrapper inside its own body, so `NAME()` resolves to it.
+    let out = format!(
+        "{test_attr}fn {name}() {{\n{src}\n::tokio::runtime::Runtime::new()\
+         .expect(\"build stub tokio runtime\").block_on({name}());\n}}"
+    );
+    out.parse().expect("generated wrapper parses")
+}
+
+/// Extracts the function name following the (first) `async fn`.
+fn fn_name(src: &str) -> Option<&str> {
+    // `to_string` on a TokenStream separates tokens with spaces, so
+    // "async fn" is stable; doc attributes above the fn are fine.
+    let idx = src.find("async fn")?;
+    let rest = src[idx + "async fn".len()..].trim_start();
+    let end = rest.find(|c: char| !(c.is_alphanumeric() || c == '_'))?;
+    if end == 0 {
+        return None;
+    }
+    Some(&rest[..end])
+}

@@ -1,0 +1,492 @@
+//! Async IO traits, extension methods, duplex pipes, and splitting.
+
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll};
+
+use bytes::BytesMut;
+
+/// Destination buffer for [`AsyncRead::poll_read`] (tokio-shaped).
+pub struct ReadBuf<'a> {
+    buf: &'a mut [u8],
+    filled: usize,
+}
+
+impl<'a> ReadBuf<'a> {
+    pub fn new(buf: &'a mut [u8]) -> ReadBuf<'a> {
+        ReadBuf { buf, filled: 0 }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.filled
+    }
+
+    pub fn filled(&self) -> &[u8] {
+        &self.buf[..self.filled]
+    }
+
+    pub fn initialize_unfilled(&mut self) -> &mut [u8] {
+        &mut self.buf[self.filled..]
+    }
+
+    pub fn advance(&mut self, n: usize) {
+        assert!(self.filled + n <= self.buf.len());
+        self.filled += n;
+    }
+
+    pub fn put_slice(&mut self, data: &[u8]) {
+        self.buf[self.filled..self.filled + data.len()].copy_from_slice(data);
+        self.filled += data.len();
+    }
+}
+
+pub trait AsyncRead {
+    fn poll_read(
+        self: Pin<&mut Self>,
+        cx: &mut Context<'_>,
+        buf: &mut ReadBuf<'_>,
+    ) -> Poll<std::io::Result<()>>;
+}
+
+pub trait AsyncWrite {
+    fn poll_write(
+        self: Pin<&mut Self>,
+        cx: &mut Context<'_>,
+        buf: &[u8],
+    ) -> Poll<std::io::Result<usize>>;
+
+    fn poll_flush(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<std::io::Result<()>>;
+
+    fn poll_shutdown(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<std::io::Result<()>>;
+}
+
+impl<T: ?Sized + AsyncRead + Unpin> AsyncRead for Box<T> {
+    fn poll_read(
+        mut self: Pin<&mut Self>,
+        cx: &mut Context<'_>,
+        buf: &mut ReadBuf<'_>,
+    ) -> Poll<std::io::Result<()>> {
+        Pin::new(&mut **self).poll_read(cx, buf)
+    }
+}
+
+impl<T: ?Sized + AsyncRead + Unpin> AsyncRead for &mut T {
+    fn poll_read(
+        mut self: Pin<&mut Self>,
+        cx: &mut Context<'_>,
+        buf: &mut ReadBuf<'_>,
+    ) -> Poll<std::io::Result<()>> {
+        Pin::new(&mut **self).poll_read(cx, buf)
+    }
+}
+
+impl<T: ?Sized + AsyncWrite + Unpin> AsyncWrite for Box<T> {
+    fn poll_write(
+        mut self: Pin<&mut Self>,
+        cx: &mut Context<'_>,
+        buf: &[u8],
+    ) -> Poll<std::io::Result<usize>> {
+        Pin::new(&mut **self).poll_write(cx, buf)
+    }
+
+    fn poll_flush(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<std::io::Result<()>> {
+        Pin::new(&mut **self).poll_flush(cx)
+    }
+
+    fn poll_shutdown(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<std::io::Result<()>> {
+        Pin::new(&mut **self).poll_shutdown(cx)
+    }
+}
+
+impl<T: ?Sized + AsyncWrite + Unpin> AsyncWrite for &mut T {
+    fn poll_write(
+        mut self: Pin<&mut Self>,
+        cx: &mut Context<'_>,
+        buf: &[u8],
+    ) -> Poll<std::io::Result<usize>> {
+        Pin::new(&mut **self).poll_write(cx, buf)
+    }
+
+    fn poll_flush(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<std::io::Result<()>> {
+        Pin::new(&mut **self).poll_flush(cx)
+    }
+
+    fn poll_shutdown(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<std::io::Result<()>> {
+        Pin::new(&mut **self).poll_shutdown(cx)
+    }
+}
+
+// ---------------------------------------------------------------- ext
+
+pub trait AsyncReadExt: AsyncRead {
+    fn read<'a>(&'a mut self, buf: &'a mut [u8]) -> Read<'a, Self>
+    where
+        Self: Unpin,
+    {
+        Read { io: self, buf }
+    }
+
+    fn read_exact<'a>(&'a mut self, buf: &'a mut [u8]) -> ReadExact<'a, Self>
+    where
+        Self: Unpin,
+    {
+        ReadExact {
+            io: self,
+            buf,
+            done: 0,
+        }
+    }
+
+    /// Reads once, appending to `buf`. Returns bytes read (0 = EOF).
+    fn read_buf<'a>(&'a mut self, buf: &'a mut BytesMut) -> ReadBufFut<'a, Self>
+    where
+        Self: Unpin,
+    {
+        ReadBufFut { io: self, buf }
+    }
+}
+
+impl<T: AsyncRead + ?Sized> AsyncReadExt for T {}
+
+pub trait AsyncWriteExt: AsyncWrite {
+    fn write_all<'a>(&'a mut self, src: &'a [u8]) -> WriteAll<'a, Self>
+    where
+        Self: Unpin,
+    {
+        WriteAll { io: self, src }
+    }
+
+    fn flush(&mut self) -> Flush<'_, Self>
+    where
+        Self: Unpin,
+    {
+        Flush { io: self }
+    }
+
+    fn shutdown(&mut self) -> Shutdown<'_, Self>
+    where
+        Self: Unpin,
+    {
+        Shutdown { io: self }
+    }
+}
+
+impl<T: AsyncWrite + ?Sized> AsyncWriteExt for T {}
+
+pub struct Read<'a, T: ?Sized> {
+    io: &'a mut T,
+    buf: &'a mut [u8],
+}
+
+impl<T: AsyncRead + Unpin + ?Sized> Future for Read<'_, T> {
+    type Output = std::io::Result<usize>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        let mut rb = ReadBuf::new(this.buf);
+        match Pin::new(&mut *this.io).poll_read(cx, &mut rb) {
+            Poll::Ready(Ok(())) => Poll::Ready(Ok(rb.filled)),
+            Poll::Ready(Err(e)) => Poll::Ready(Err(e)),
+            Poll::Pending => Poll::Pending,
+        }
+    }
+}
+
+pub struct ReadExact<'a, T: ?Sized> {
+    io: &'a mut T,
+    buf: &'a mut [u8],
+    done: usize,
+}
+
+impl<T: AsyncRead + Unpin + ?Sized> Future for ReadExact<'_, T> {
+    type Output = std::io::Result<usize>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        while this.done < this.buf.len() {
+            let mut rb = ReadBuf::new(&mut this.buf[this.done..]);
+            match Pin::new(&mut *this.io).poll_read(cx, &mut rb) {
+                Poll::Ready(Ok(())) => {
+                    let n = rb.filled().len();
+                    if n == 0 {
+                        return Poll::Ready(Err(std::io::Error::new(
+                            std::io::ErrorKind::UnexpectedEof,
+                            "early eof",
+                        )));
+                    }
+                    this.done += n;
+                }
+                Poll::Ready(Err(e)) => return Poll::Ready(Err(e)),
+                Poll::Pending => return Poll::Pending,
+            }
+        }
+        Poll::Ready(Ok(this.done))
+    }
+}
+
+pub struct ReadBufFut<'a, T: ?Sized> {
+    io: &'a mut T,
+    buf: &'a mut BytesMut,
+}
+
+impl<T: AsyncRead + Unpin + ?Sized> Future for ReadBufFut<'_, T> {
+    type Output = std::io::Result<usize>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        let mut tmp = [0u8; 16 * 1024];
+        let mut rb = ReadBuf::new(&mut tmp);
+        match Pin::new(&mut *this.io).poll_read(cx, &mut rb) {
+            Poll::Ready(Ok(())) => {
+                this.buf.extend_from_slice(rb.filled());
+                Poll::Ready(Ok(rb.filled().len()))
+            }
+            Poll::Ready(Err(e)) => Poll::Ready(Err(e)),
+            Poll::Pending => Poll::Pending,
+        }
+    }
+}
+
+pub struct WriteAll<'a, T: ?Sized> {
+    io: &'a mut T,
+    src: &'a [u8],
+}
+
+impl<T: AsyncWrite + Unpin + ?Sized> Future for WriteAll<'_, T> {
+    type Output = std::io::Result<()>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        while !this.src.is_empty() {
+            match Pin::new(&mut *this.io).poll_write(cx, this.src) {
+                Poll::Ready(Ok(0)) => {
+                    return Poll::Ready(Err(std::io::Error::new(
+                        std::io::ErrorKind::WriteZero,
+                        "write zero",
+                    )))
+                }
+                Poll::Ready(Ok(n)) => this.src = &this.src[n..],
+                Poll::Ready(Err(e)) => return Poll::Ready(Err(e)),
+                Poll::Pending => return Poll::Pending,
+            }
+        }
+        Poll::Ready(Ok(()))
+    }
+}
+
+pub struct Flush<'a, T: ?Sized> {
+    io: &'a mut T,
+}
+
+impl<T: AsyncWrite + Unpin + ?Sized> Future for Flush<'_, T> {
+    type Output = std::io::Result<()>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        Pin::new(&mut *this.io).poll_flush(cx)
+    }
+}
+
+pub struct Shutdown<'a, T: ?Sized> {
+    io: &'a mut T,
+}
+
+impl<T: AsyncWrite + Unpin + ?Sized> Future for Shutdown<'_, T> {
+    type Output = std::io::Result<()>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        Pin::new(&mut *this.io).poll_shutdown(cx)
+    }
+}
+
+// ------------------------------------------------------------- duplex
+
+struct PipeState {
+    buf: std::collections::VecDeque<u8>,
+    capacity: usize,
+    writer_closed: bool,
+    reader_closed: bool,
+}
+
+struct Pipe {
+    state: Mutex<PipeState>,
+}
+
+impl Pipe {
+    fn new(capacity: usize) -> Arc<Pipe> {
+        Arc::new(Pipe {
+            state: Mutex::new(PipeState {
+                buf: std::collections::VecDeque::new(),
+                capacity,
+                writer_closed: false,
+                reader_closed: false,
+            }),
+        })
+    }
+}
+
+/// One endpoint of an in-memory, capacity-bounded byte pipe pair.
+pub struct DuplexStream {
+    incoming: Arc<Pipe>,
+    outgoing: Arc<Pipe>,
+}
+
+/// Creates a connected pair of bidirectional in-memory streams.
+pub fn duplex(max_buf_size: usize) -> (DuplexStream, DuplexStream) {
+    let a_to_b = Pipe::new(max_buf_size);
+    let b_to_a = Pipe::new(max_buf_size);
+    (
+        DuplexStream {
+            incoming: Arc::clone(&b_to_a),
+            outgoing: Arc::clone(&a_to_b),
+        },
+        DuplexStream {
+            incoming: a_to_b,
+            outgoing: b_to_a,
+        },
+    )
+}
+
+impl Drop for DuplexStream {
+    fn drop(&mut self) {
+        // Peer reads see EOF; peer writes see BrokenPipe.
+        self.outgoing
+            .state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .writer_closed = true;
+        self.incoming
+            .state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .reader_closed = true;
+    }
+}
+
+impl AsyncRead for DuplexStream {
+    fn poll_read(
+        self: Pin<&mut Self>,
+        _cx: &mut Context<'_>,
+        buf: &mut ReadBuf<'_>,
+    ) -> Poll<std::io::Result<()>> {
+        let mut state = self
+            .incoming
+            .state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        if state.buf.is_empty() {
+            return if state.writer_closed {
+                Poll::Ready(Ok(())) // EOF
+            } else {
+                Poll::Pending
+            };
+        }
+        let n = state.buf.len().min(buf.remaining());
+        for _ in 0..n {
+            let byte = state.buf.pop_front().expect("checked non-empty");
+            buf.put_slice(&[byte]);
+        }
+        Poll::Ready(Ok(()))
+    }
+}
+
+impl AsyncWrite for DuplexStream {
+    fn poll_write(
+        self: Pin<&mut Self>,
+        _cx: &mut Context<'_>,
+        buf: &[u8],
+    ) -> Poll<std::io::Result<usize>> {
+        let mut state = self
+            .outgoing
+            .state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        if state.reader_closed {
+            return Poll::Ready(Err(std::io::ErrorKind::BrokenPipe.into()));
+        }
+        let space = state.capacity - state.buf.len();
+        if space == 0 {
+            return Poll::Pending;
+        }
+        let n = space.min(buf.len());
+        state.buf.extend(&buf[..n]);
+        Poll::Ready(Ok(n))
+    }
+
+    fn poll_flush(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<std::io::Result<()>> {
+        Poll::Ready(Ok(()))
+    }
+
+    fn poll_shutdown(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<std::io::Result<()>> {
+        self.outgoing
+            .state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .writer_closed = true;
+        Poll::Ready(Ok(()))
+    }
+}
+
+// -------------------------------------------------------------- split
+
+/// Read half of a [`split`] stream.
+pub struct ReadHalf<T> {
+    inner: Arc<Mutex<T>>,
+}
+
+/// Write half of a [`split`] stream.
+pub struct WriteHalf<T> {
+    inner: Arc<Mutex<T>>,
+}
+
+/// Splits a stream into independently usable read and write halves.
+pub fn split<T>(stream: T) -> (ReadHalf<T>, WriteHalf<T>)
+where
+    T: AsyncRead + AsyncWrite + Unpin,
+{
+    let inner = Arc::new(Mutex::new(stream));
+    (
+        ReadHalf {
+            inner: Arc::clone(&inner),
+        },
+        WriteHalf { inner },
+    )
+}
+
+impl<T: AsyncRead + Unpin> AsyncRead for ReadHalf<T> {
+    fn poll_read(
+        self: Pin<&mut Self>,
+        cx: &mut Context<'_>,
+        buf: &mut ReadBuf<'_>,
+    ) -> Poll<std::io::Result<()>> {
+        let mut guard = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        Pin::new(&mut *guard).poll_read(cx, buf)
+    }
+}
+
+impl<T: AsyncWrite + Unpin> AsyncWrite for WriteHalf<T> {
+    fn poll_write(
+        self: Pin<&mut Self>,
+        cx: &mut Context<'_>,
+        buf: &[u8],
+    ) -> Poll<std::io::Result<usize>> {
+        let mut guard = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        Pin::new(&mut *guard).poll_write(cx, buf)
+    }
+
+    fn poll_flush(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<std::io::Result<()>> {
+        let mut guard = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        Pin::new(&mut *guard).poll_flush(cx)
+    }
+
+    fn poll_shutdown(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<std::io::Result<()>> {
+        let mut guard = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        Pin::new(&mut *guard).poll_shutdown(cx)
+    }
+}

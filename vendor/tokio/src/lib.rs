@@ -1,0 +1,92 @@
+//! Offline stand-in for `tokio`.
+//!
+//! The workspace vendors the subset of tokio it uses so it builds and
+//! tests without a network registry. The execution model is honest but
+//! simple: every spawned task is an OS thread driving its future with
+//! a `block_on` loop, and instead of an epoll reactor, a task whose
+//! future returns `Pending` re-polls on a short `park_timeout` tick
+//! (wakers still cut the latency when a peer thread signals). That
+//! trades scalability for zero dependencies — plenty for the test
+//! suites and demos here, which run dozens of tasks, not millions.
+//!
+//! Semantics preserved: nonblocking sockets, duplex pipes with
+//! capacity, watch/mpsc channel close behavior, JoinHandle detach on
+//! drop, async Mutex/Semaphore, wall-clock timers. `start_paused`
+//! test time is NOT virtualized — timers run in real time.
+
+pub mod io;
+pub mod net;
+pub mod runtime;
+pub mod signal;
+pub mod sync;
+pub mod task;
+pub mod time;
+
+pub use task::spawn;
+
+/// `#[tokio::main]` / `#[tokio::test]`.
+pub use tokio_macros::{main, test};
+
+#[doc(hidden)]
+pub mod macros_support {
+    use std::future::Future;
+    use std::pin::Pin;
+    use std::task::{Context, Poll};
+
+    pub enum Either<A, B> {
+        A(A),
+        B(B),
+    }
+
+    /// Polls two futures, completing with whichever is ready first
+    /// (left-biased on simultaneous readiness).
+    pub struct Select2<'a, FA, FB> {
+        pub a: Pin<&'a mut FA>,
+        pub b: Pin<&'a mut FB>,
+    }
+
+    impl<FA: Future, FB: Future> Future for Select2<'_, FA, FB> {
+        type Output = Either<FA::Output, FB::Output>;
+
+        fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+            let this = self.get_mut();
+            if let Poll::Ready(v) = this.a.as_mut().poll(cx) {
+                return Poll::Ready(Either::A(v));
+            }
+            if let Poll::Ready(v) = this.b.as_mut().poll(cx) {
+                return Poll::Ready(Either::B(v));
+            }
+            Poll::Pending
+        }
+    }
+}
+
+/// Two-branch `select!` — the only arity the workspace uses.
+#[macro_export]
+macro_rules! select {
+    ($p1:pat = $f1:expr => $b1:block $p2:pat = $f2:expr => $b2:expr $(,)?) => {
+        $crate::select!($p1 = $f1 => $b1, $p2 = $f2 => $b2)
+    };
+    ($p1:pat = $f1:expr => $b1:block $p2:pat = $f2:expr => $b2:block) => {
+        $crate::select!($p1 = $f1 => $b1, $p2 = $f2 => $b2)
+    };
+    ($p1:pat = $f1:expr => $b1:expr, $p2:pat = $f2:expr => $b2:expr $(,)?) => {{
+        let mut __select_a = ::std::boxed::Box::pin($f1);
+        let mut __select_b = ::std::boxed::Box::pin($f2);
+        match ($crate::macros_support::Select2 {
+            a: __select_a.as_mut(),
+            b: __select_b.as_mut(),
+        })
+        .await
+        {
+            $crate::macros_support::Either::A(__v) => {
+                let $p1 = __v;
+                $b1
+            }
+            $crate::macros_support::Either::B(__v) => {
+                let $p2 = __v;
+                $b2
+            }
+        }
+    }};
+}

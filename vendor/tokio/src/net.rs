@@ -1,0 +1,127 @@
+//! TCP types over nonblocking std sockets.
+
+use std::future::Future;
+use std::io::{Read as _, Write as _};
+use std::net::SocketAddr;
+use std::pin::Pin;
+use std::task::{Context, Poll};
+
+use crate::io::{AsyncRead, AsyncWrite, ReadBuf};
+
+pub struct TcpListener {
+    inner: std::net::TcpListener,
+}
+
+impl TcpListener {
+    pub async fn bind<A: std::net::ToSocketAddrs>(addr: A) -> std::io::Result<TcpListener> {
+        let inner = std::net::TcpListener::bind(addr)?;
+        inner.set_nonblocking(true)?;
+        Ok(TcpListener { inner })
+    }
+
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.inner.local_addr()
+    }
+
+    pub fn accept(&self) -> Accept<'_> {
+        Accept { listener: self }
+    }
+}
+
+pub struct Accept<'a> {
+    listener: &'a TcpListener,
+}
+
+impl Future for Accept<'_> {
+    type Output = std::io::Result<(TcpStream, SocketAddr)>;
+
+    fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<Self::Output> {
+        match self.listener.inner.accept() {
+            Ok((stream, peer)) => {
+                if let Err(e) = stream.set_nonblocking(true) {
+                    return Poll::Ready(Err(e));
+                }
+                Poll::Ready(Ok((TcpStream { inner: stream }, peer)))
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => Poll::Pending,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => Poll::Pending,
+            Err(e) => Poll::Ready(Err(e)),
+        }
+    }
+}
+
+pub struct TcpStream {
+    inner: std::net::TcpStream,
+}
+
+impl TcpStream {
+    /// Connects with a blocking handshake (instant on loopback, which
+    /// is all this workspace dials), then switches to nonblocking IO.
+    pub async fn connect<A: std::net::ToSocketAddrs>(addr: A) -> std::io::Result<TcpStream> {
+        let inner = std::net::TcpStream::connect(addr)?;
+        inner.set_nonblocking(true)?;
+        Ok(TcpStream { inner })
+    }
+
+    pub fn set_nodelay(&self, nodelay: bool) -> std::io::Result<()> {
+        self.inner.set_nodelay(nodelay)
+    }
+
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.inner.local_addr()
+    }
+
+    pub fn peer_addr(&self) -> std::io::Result<SocketAddr> {
+        self.inner.peer_addr()
+    }
+}
+
+impl AsyncRead for TcpStream {
+    fn poll_read(
+        self: Pin<&mut Self>,
+        _cx: &mut Context<'_>,
+        buf: &mut ReadBuf<'_>,
+    ) -> Poll<std::io::Result<()>> {
+        let dst = buf.initialize_unfilled();
+        match (&self.inner).read(dst) {
+            Ok(n) => {
+                buf.advance(n);
+                Poll::Ready(Ok(()))
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => Poll::Pending,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => Poll::Pending,
+            Err(e) => Poll::Ready(Err(e)),
+        }
+    }
+}
+
+impl AsyncWrite for TcpStream {
+    fn poll_write(
+        self: Pin<&mut Self>,
+        _cx: &mut Context<'_>,
+        buf: &[u8],
+    ) -> Poll<std::io::Result<usize>> {
+        match (&self.inner).write(buf) {
+            Ok(n) => Poll::Ready(Ok(n)),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => Poll::Pending,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => Poll::Pending,
+            Err(e) => Poll::Ready(Err(e)),
+        }
+    }
+
+    fn poll_flush(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<std::io::Result<()>> {
+        match (&self.inner).flush() {
+            Ok(()) => Poll::Ready(Ok(())),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => Poll::Pending,
+            Err(e) => Poll::Ready(Err(e)),
+        }
+    }
+
+    fn poll_shutdown(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<std::io::Result<()>> {
+        match self.inner.shutdown(std::net::Shutdown::Write) {
+            Ok(()) => Poll::Ready(Ok(())),
+            Err(e) if e.kind() == std::io::ErrorKind::NotConnected => Poll::Ready(Ok(())),
+            Err(e) => Poll::Ready(Err(e)),
+        }
+    }
+}

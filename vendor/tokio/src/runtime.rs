@@ -1,0 +1,106 @@
+//! The executor: a `block_on` poll loop with a park-timeout tick.
+
+use std::future::Future;
+use std::pin::pin;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::task::{Context, Poll, Wake, Waker};
+use std::thread::Thread;
+use std::time::Duration;
+
+/// How often a pending task re-polls when nothing wakes it. This is
+/// the reactor substitute: IO readiness and timer expiry are detected
+/// by re-polling, so this bounds their added latency.
+const POLL_TICK: Duration = Duration::from_micros(250);
+
+struct ThreadWaker {
+    thread: Thread,
+    woken: AtomicBool,
+}
+
+impl Wake for ThreadWaker {
+    fn wake(self: Arc<Self>) {
+        self.woken.store(true, Ordering::Release);
+        self.thread.unpark();
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.woken.store(true, Ordering::Release);
+        self.thread.unpark();
+    }
+}
+
+/// Drives a future to completion on the current thread.
+pub(crate) fn block_on<F: Future>(future: F) -> F::Output {
+    let waker_state = Arc::new(ThreadWaker {
+        thread: std::thread::current(),
+        woken: AtomicBool::new(false),
+    });
+    let waker = Waker::from(Arc::clone(&waker_state));
+    let mut cx = Context::from_waker(&waker);
+    let mut future = pin!(future);
+    loop {
+        match future.as_mut().poll(&mut cx) {
+            Poll::Ready(v) => return v,
+            Poll::Pending => {
+                // Skip the park if a wake raced in during the poll.
+                if !waker_state.woken.swap(false, Ordering::Acquire) {
+                    std::thread::park_timeout(POLL_TICK);
+                    waker_state.woken.store(false, Ordering::Release);
+                }
+            }
+        }
+    }
+}
+
+/// The tokio `Runtime` façade. All flavors behave identically here.
+#[derive(Debug)]
+pub struct Runtime {
+    _priv: (),
+}
+
+impl Runtime {
+    pub fn new() -> std::io::Result<Runtime> {
+        Ok(Runtime { _priv: () })
+    }
+
+    pub fn block_on<F: Future>(&self, future: F) -> F::Output {
+        block_on(future)
+    }
+
+    pub fn spawn<F>(&self, future: F) -> crate::task::JoinHandle<F::Output>
+    where
+        F: Future + Send + 'static,
+        F::Output: Send + 'static,
+    {
+        crate::task::spawn(future)
+    }
+}
+
+/// Accepted for API compatibility; both flavors are thread-per-task.
+#[derive(Debug, Default)]
+pub struct Builder {
+    _priv: (),
+}
+
+impl Builder {
+    pub fn new_current_thread() -> Builder {
+        Builder::default()
+    }
+
+    pub fn new_multi_thread() -> Builder {
+        Builder::default()
+    }
+
+    pub fn worker_threads(&mut self, _n: usize) -> &mut Builder {
+        self
+    }
+
+    pub fn enable_all(&mut self) -> &mut Builder {
+        self
+    }
+
+    pub fn build(&mut self) -> std::io::Result<Runtime> {
+        Runtime::new()
+    }
+}

@@ -1,0 +1,8 @@
+//! Signal handling. The stub installs no handler: awaiting
+//! [`ctrl_c`] parks forever, and an actual Ctrl-C terminates the
+//! process through the default disposition — acceptable for the CLI
+//! demo loops that `await` this purely to idle.
+
+pub async fn ctrl_c() -> std::io::Result<()> {
+    std::future::pending::<std::io::Result<()>>().await
+}

@@ -1,0 +1,450 @@
+//! Synchronization primitives: watch/mpsc channels, async Mutex,
+//! Semaphore. All futures here return `Pending` without registering
+//! wakers and rely on the executor's poll tick; close/drop semantics
+//! match tokio for the operations the workspace performs.
+
+use std::cell::UnsafeCell;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::task::{Context, Poll};
+
+pub mod watch {
+    use super::*;
+
+    struct Shared<T> {
+        value: std::sync::Mutex<T>,
+        version: AtomicU64,
+        senders: AtomicUsize,
+        receivers: AtomicUsize,
+    }
+
+    pub fn channel<T>(init: T) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            value: std::sync::Mutex::new(init),
+            version: AtomicU64::new(0),
+            senders: AtomicUsize::new(1),
+            receivers: AtomicUsize::new(1),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared, seen: 0 },
+        )
+    }
+
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError(());
+
+    impl std::fmt::Display for RecvError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "watch channel closed")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            if self.shared.receivers.load(Ordering::Acquire) == 0 {
+                return Err(SendError(value));
+            }
+            *self.shared.value.lock().unwrap_or_else(|e| e.into_inner()) = value;
+            self.shared.version.fetch_add(1, Ordering::Release);
+            Ok(())
+        }
+
+        pub fn subscribe(&self) -> Receiver<T> {
+            self.shared.receivers.fetch_add(1, Ordering::Relaxed);
+            Receiver {
+                shared: Arc::clone(&self.shared),
+                seen: self.shared.version.load(Ordering::Acquire),
+            }
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Sender<T> {
+            self.shared.senders.fetch_add(1, Ordering::Relaxed);
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            self.shared.senders.fetch_sub(1, Ordering::Release);
+        }
+    }
+
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+        seen: u64,
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Receiver<T> {
+            self.shared.receivers.fetch_add(1, Ordering::Relaxed);
+            Receiver {
+                shared: Arc::clone(&self.shared),
+                seen: self.seen,
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.shared.receivers.fetch_sub(1, Ordering::Release);
+        }
+    }
+
+    /// Borrowed view of the latest value.
+    pub struct Ref<'a, T> {
+        guard: std::sync::MutexGuard<'a, T>,
+    }
+
+    impl<T> std::ops::Deref for Ref<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.guard
+        }
+    }
+
+    impl<T> Receiver<T> {
+        pub fn borrow(&self) -> Ref<'_, T> {
+            Ref {
+                guard: self.shared.value.lock().unwrap_or_else(|e| e.into_inner()),
+            }
+        }
+
+        pub fn borrow_and_update(&mut self) -> Ref<'_, T> {
+            self.seen = self.shared.version.load(Ordering::Acquire);
+            self.borrow()
+        }
+
+        /// Completes when a value newer than the last seen arrives.
+        pub fn changed(&mut self) -> Changed<'_, T> {
+            Changed { rx: self }
+        }
+    }
+
+    pub struct Changed<'a, T> {
+        rx: &'a mut Receiver<T>,
+    }
+
+    impl<T> Future for Changed<'_, T> {
+        type Output = Result<(), RecvError>;
+
+        fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<Self::Output> {
+            let rx = &mut self.get_mut().rx;
+            let version = rx.shared.version.load(Ordering::Acquire);
+            if version != rx.seen {
+                rx.seen = version;
+                return Poll::Ready(Ok(()));
+            }
+            if rx.shared.senders.load(Ordering::Acquire) == 0 {
+                return Poll::Ready(Err(RecvError(())));
+            }
+            Poll::Pending
+        }
+    }
+}
+
+pub mod mpsc {
+    use super::*;
+
+    struct Shared<T> {
+        queue: std::sync::Mutex<std::collections::VecDeque<T>>,
+        capacity: usize,
+        senders: AtomicUsize,
+        rx_alive: AtomicBool,
+    }
+
+    pub fn channel<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+        assert!(capacity > 0, "mpsc bounded channel requires capacity > 0");
+        let shared = Arc::new(Shared {
+            queue: std::sync::Mutex::new(std::collections::VecDeque::new()),
+            capacity,
+            senders: AtomicUsize::new(1),
+            rx_alive: AtomicBool::new(true),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Sender<T> {
+            self.shared.senders.fetch_add(1, Ordering::Relaxed);
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            self.shared.senders.fetch_sub(1, Ordering::Release);
+        }
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, value: T) -> Send<'_, T> {
+            Send {
+                shared: &self.shared,
+                value: Some(value),
+            }
+        }
+    }
+
+    pub struct Send<'a, T> {
+        shared: &'a Shared<T>,
+        value: Option<T>,
+    }
+
+    // The future never holds self-references; the Option is plain data.
+    impl<T> Unpin for Send<'_, T> {}
+
+    impl<T> Future for Send<'_, T> {
+        type Output = Result<(), SendError<T>>;
+
+        fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<Self::Output> {
+            let this = self.get_mut();
+            if !this.shared.rx_alive.load(Ordering::Acquire) {
+                let v = this.value.take().expect("polled after completion");
+                return Poll::Ready(Err(SendError(v)));
+            }
+            let mut queue = this.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            if queue.len() < this.shared.capacity {
+                queue.push_back(this.value.take().expect("polled after completion"));
+                Poll::Ready(Ok(()))
+            } else {
+                Poll::Pending
+            }
+        }
+    }
+
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.shared.rx_alive.store(false, Ordering::Release);
+        }
+    }
+
+    impl<T> Receiver<T> {
+        pub fn recv(&mut self) -> Recv<'_, T> {
+            Recv {
+                shared: &self.shared,
+            }
+        }
+    }
+
+    pub struct Recv<'a, T> {
+        shared: &'a Shared<T>,
+    }
+
+    impl<T> Future for Recv<'_, T> {
+        type Output = Option<T>;
+
+        fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<Self::Output> {
+            let mut queue = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(v) = queue.pop_front() {
+                return Poll::Ready(Some(v));
+            }
+            drop(queue);
+            if self.shared.senders.load(Ordering::Acquire) == 0 {
+                return Poll::Ready(None);
+            }
+            Poll::Pending
+        }
+    }
+}
+
+// --------------------------------------------------------- async Mutex
+
+/// Async mutex. Guards are `Send`, so they may legally live across
+/// `.await` points in spawned tasks.
+pub struct Mutex<T: ?Sized> {
+    locked: AtomicBool,
+    data: UnsafeCell<T>,
+}
+
+unsafe impl<T: ?Sized + Send> Send for Mutex<T> {}
+unsafe impl<T: ?Sized + Send> Sync for Mutex<T> {}
+
+impl<T> Mutex<T> {
+    pub fn new(value: T) -> Mutex<T> {
+        Mutex {
+            locked: AtomicBool::new(false),
+            data: UnsafeCell::new(value),
+        }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    pub fn lock(&self) -> Lock<'_, T> {
+        Lock { mutex: self }
+    }
+
+    pub fn try_lock(&self) -> Result<MutexGuard<'_, T>, TryLockError> {
+        if self
+            .locked
+            .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+        {
+            Ok(MutexGuard { mutex: self })
+        } else {
+            Err(TryLockError(()))
+        }
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.data.get_mut()
+    }
+}
+
+#[derive(Debug)]
+pub struct TryLockError(());
+
+impl std::fmt::Display for TryLockError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "mutex is locked")
+    }
+}
+
+impl std::error::Error for TryLockError {}
+
+pub struct Lock<'a, T: ?Sized> {
+    mutex: &'a Mutex<T>,
+}
+
+impl<'a, T: ?Sized> Future for Lock<'a, T> {
+    type Output = MutexGuard<'a, T>;
+
+    fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<Self::Output> {
+        match self.mutex.try_lock() {
+            Ok(guard) => Poll::Ready(guard),
+            Err(_) => Poll::Pending,
+        }
+    }
+}
+
+pub struct MutexGuard<'a, T: ?Sized> {
+    mutex: &'a Mutex<T>,
+}
+
+unsafe impl<T: ?Sized + Send> Send for MutexGuard<'_, T> {}
+unsafe impl<T: ?Sized + Sync> Sync for MutexGuard<'_, T> {}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        unsafe { &*self.mutex.data.get() }
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        unsafe { &mut *self.mutex.data.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        self.mutex.locked.store(false, Ordering::Release);
+    }
+}
+
+// ----------------------------------------------------------- Semaphore
+
+/// Counting semaphore. Never closed in this stub, so
+/// [`Semaphore::acquire`] only errs in type, not in practice.
+pub struct Semaphore {
+    permits: std::sync::Mutex<usize>,
+}
+
+#[derive(Debug)]
+pub struct AcquireError(());
+
+impl std::fmt::Display for AcquireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "semaphore closed")
+    }
+}
+
+impl std::error::Error for AcquireError {}
+
+impl Semaphore {
+    pub fn new(permits: usize) -> Semaphore {
+        Semaphore {
+            permits: std::sync::Mutex::new(permits),
+        }
+    }
+
+    pub fn available_permits(&self) -> usize {
+        *self.permits.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    pub fn acquire(&self) -> Acquire<'_> {
+        Acquire { sem: self }
+    }
+
+    pub fn add_permits(&self, n: usize) {
+        *self.permits.lock().unwrap_or_else(|e| e.into_inner()) += n;
+    }
+}
+
+pub struct Acquire<'a> {
+    sem: &'a Semaphore,
+}
+
+impl<'a> Future for Acquire<'a> {
+    type Output = Result<SemaphorePermit<'a>, AcquireError>;
+
+    fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let mut permits = self.sem.permits.lock().unwrap_or_else(|e| e.into_inner());
+        if *permits > 0 {
+            *permits -= 1;
+            Poll::Ready(Ok(SemaphorePermit { sem: self.sem }))
+        } else {
+            Poll::Pending
+        }
+    }
+}
+
+pub struct SemaphorePermit<'a> {
+    sem: &'a Semaphore,
+}
+
+impl Drop for SemaphorePermit<'_> {
+    fn drop(&mut self) {
+        self.sem.add_permits(1);
+    }
+}

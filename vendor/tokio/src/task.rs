@@ -1,0 +1,154 @@
+//! Tasks: one OS thread per spawn, joinable through a shared slot.
+
+use std::fmt;
+use std::future::Future;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::pin::Pin;
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll};
+
+/// The spawned task panicked (the only failure a detached-thread task
+/// can report; the stub has no cancellation).
+pub struct JoinError {
+    message: String,
+}
+
+impl JoinError {
+    fn panicked(payload: Box<dyn std::any::Any + Send>) -> JoinError {
+        let message = payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "task panicked".to_owned());
+        JoinError { message }
+    }
+
+    pub fn is_panic(&self) -> bool {
+        true
+    }
+}
+
+impl fmt::Debug for JoinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JoinError::Panic({:?})", self.message)
+    }
+}
+
+impl fmt::Display for JoinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "task panicked: {}", self.message)
+    }
+}
+
+impl std::error::Error for JoinError {}
+
+type Slot<T> = Arc<Mutex<Option<Result<T, JoinError>>>>;
+
+/// Awaitable handle to a spawned task. Dropping it detaches the task
+/// (it keeps running), matching tokio.
+pub struct JoinHandle<T> {
+    slot: Slot<T>,
+}
+
+impl<T> Unpin for JoinHandle<T> {}
+
+impl<T> Future for JoinHandle<T> {
+    type Output = Result<T, JoinError>;
+
+    fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<Self::Output> {
+        match self.slot.lock().unwrap_or_else(|e| e.into_inner()).take() {
+            Some(result) => Poll::Ready(result),
+            None => Poll::Pending,
+        }
+    }
+}
+
+impl<T> JoinHandle<T> {
+    pub fn is_finished(&self) -> bool {
+        self.slot
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .is_some()
+    }
+}
+
+/// Spawns `future` on its own thread, polled by the thread's own
+/// `block_on` loop.
+pub fn spawn<F>(future: F) -> JoinHandle<F::Output>
+where
+    F: Future + Send + 'static,
+    F::Output: Send + 'static,
+{
+    let slot: Slot<F::Output> = Arc::new(Mutex::new(None));
+    let task_slot = Arc::clone(&slot);
+    std::thread::Builder::new()
+        .name("tokio-stub-task".to_owned())
+        .spawn(move || {
+            let result = catch_unwind(AssertUnwindSafe(|| crate::runtime::block_on(future)));
+            *task_slot.lock().unwrap_or_else(|e| e.into_inner()) =
+                Some(result.map_err(JoinError::panicked));
+        })
+        .expect("spawn task thread");
+    JoinHandle { slot }
+}
+
+/// A dynamic collection of tasks joined in completion order.
+pub struct JoinSet<T> {
+    handles: Vec<JoinHandle<T>>,
+}
+
+impl<T> Default for JoinSet<T> {
+    fn default() -> JoinSet<T> {
+        JoinSet {
+            handles: Vec::new(),
+        }
+    }
+}
+
+impl<T: Send + 'static> JoinSet<T> {
+    pub fn new() -> JoinSet<T> {
+        JoinSet::default()
+    }
+
+    pub fn spawn<F>(&mut self, future: F)
+    where
+        F: Future<Output = T> + Send + 'static,
+    {
+        self.handles.push(spawn(future));
+    }
+
+    pub fn len(&self) -> usize {
+        self.handles.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.handles.is_empty()
+    }
+
+    /// Waits for the next task to finish; `None` when the set is empty.
+    pub fn join_next(&mut self) -> JoinNext<'_, T> {
+        JoinNext { set: self }
+    }
+}
+
+pub struct JoinNext<'a, T> {
+    set: &'a mut JoinSet<T>,
+}
+
+impl<T> Future for JoinNext<'_, T> {
+    type Output = Option<Result<T, JoinError>>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let set = &mut self.get_mut().set;
+        if set.handles.is_empty() {
+            return Poll::Ready(None);
+        }
+        for i in 0..set.handles.len() {
+            if let Poll::Ready(result) = Pin::new(&mut set.handles[i]).poll(cx) {
+                set.handles.swap_remove(i);
+                return Poll::Ready(Some(result));
+            }
+        }
+        Poll::Pending
+    }
+}

@@ -1,0 +1,42 @@
+//! Wall-clock timers. The executor's park-timeout tick re-polls
+//! pending sleeps, so expiry is detected within ~a quarter
+//! millisecond without a timer wheel.
+
+use std::future::Future;
+use std::pin::Pin;
+use std::task::{Context, Poll};
+use std::time::Duration;
+
+pub use std::time::Instant;
+
+pub struct Sleep {
+    deadline: Instant,
+}
+
+impl Sleep {
+    pub fn deadline(&self) -> Instant {
+        self.deadline
+    }
+}
+
+impl Future for Sleep {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<()> {
+        if Instant::now() >= self.deadline {
+            Poll::Ready(())
+        } else {
+            Poll::Pending
+        }
+    }
+}
+
+pub fn sleep(duration: Duration) -> Sleep {
+    Sleep {
+        deadline: Instant::now() + duration,
+    }
+}
+
+pub fn sleep_until(deadline: Instant) -> Sleep {
+    Sleep { deadline }
+}
