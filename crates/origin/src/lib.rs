@@ -15,4 +15,7 @@ pub mod server;
 pub mod tcp;
 
 pub use server::{HeaderMode, OriginMetrics, OriginServer};
-pub use tcp::{fixed_clock, serve_stream, wall_clock, watch_clock, Clock, TcpOrigin};
+pub use tcp::{
+    fixed_clock, fixed_clock_ms, serve_stream, serve_stream_with_ops, wall_clock, watch_clock,
+    watch_clock_ms, Clock, TcpOrigin,
+};

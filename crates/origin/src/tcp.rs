@@ -7,9 +7,9 @@
 use std::sync::Arc;
 
 use cachecatalyst_httpwire::aio::{ConnError, ServerConn};
-use cachecatalyst_httpwire::{HeaderName, HttpDate, Response};
+use cachecatalyst_httpwire::{HeaderName, HttpDate, Method, Response};
 use tokio::io::{AsyncRead, AsyncWrite};
-use tokio::net::{TcpListener, TcpStream};
+use tokio::net::TcpListener;
 use tokio::sync::watch;
 
 use crate::server::OriginServer;
@@ -53,15 +53,30 @@ pub fn wall_clock() -> Clock {
     Clock::from_millis_fn(move || start.elapsed().as_millis() as i64)
 }
 
-/// A fixed virtual clock.
+/// A fixed virtual clock, pinned to a whole second. Convenient for
+/// HTTP-date tests; telemetry timestamps from this clock quantize to
+/// 1s — use [`fixed_clock_ms`] when sub-second telemetry matters.
 pub fn fixed_clock(t_secs: i64) -> Clock {
-    Clock::from_millis_fn(move || t_secs.saturating_mul(1000))
+    fixed_clock_ms(t_secs.saturating_mul(1000))
 }
 
-/// A clock readable through a watch channel carrying virtual seconds
-/// (tests advance it).
+/// A fixed virtual clock at millisecond resolution.
+pub fn fixed_clock_ms(t_ms: i64) -> Clock {
+    Clock::from_millis_fn(move || t_ms)
+}
+
+/// A clock readable through a watch channel carrying virtual
+/// **seconds** (tests advance it). Telemetry timestamps from this
+/// clock quantize to whole seconds — use [`watch_clock_ms`] when the
+/// channel should drive sub-second telemetry.
 pub fn watch_clock(rx: watch::Receiver<i64>) -> Clock {
     Clock::from_millis_fn(move || rx.borrow().saturating_mul(1000))
+}
+
+/// A clock readable through a watch channel carrying virtual
+/// **milliseconds**: full telemetry resolution under virtual time.
+pub fn watch_clock_ms(rx: watch::Receiver<i64>) -> Clock {
+    Clock::from_millis_fn(move || *rx.borrow())
 }
 
 /// A running TCP origin.
@@ -73,11 +88,36 @@ pub struct TcpOrigin {
 
 impl TcpOrigin {
     /// Binds `addr` (e.g. `127.0.0.1:0`) and serves `server` until
-    /// [`TcpOrigin::shutdown`] is called.
+    /// [`TcpOrigin::shutdown`] is called. Only site traffic is served;
+    /// the operational endpoints are opt-in via
+    /// [`TcpOrigin::bind_with_ops`].
     pub async fn bind(
         addr: &str,
         server: Arc<OriginServer>,
         clock: Clock,
+    ) -> std::io::Result<TcpOrigin> {
+        Self::bind_inner(addr, server, clock, false).await
+    }
+
+    /// Like [`TcpOrigin::bind`], additionally answering the
+    /// operational endpoints `GET /metrics` (Prometheus text
+    /// exposition of the server's telemetry registry) and
+    /// `GET /healthz` — but never shadowing the site: a site resource
+    /// at either path wins, and non-GET methods always go to site
+    /// dispatch.
+    pub async fn bind_with_ops(
+        addr: &str,
+        server: Arc<OriginServer>,
+        clock: Clock,
+    ) -> std::io::Result<TcpOrigin> {
+        Self::bind_inner(addr, server, clock, true).await
+    }
+
+    async fn bind_inner(
+        addr: &str,
+        server: Arc<OriginServer>,
+        clock: Clock,
+        ops_endpoints: bool,
     ) -> std::io::Result<TcpOrigin> {
         let listener = TcpListener::bind(addr).await?;
         let local_addr = listener.local_addr()?;
@@ -90,7 +130,8 @@ impl TcpOrigin {
                         let server = Arc::clone(&server);
                         let clock = clock.clone();
                         tokio::spawn(async move {
-                            let _ = serve_connection(stream, server, clock).await;
+                            stream.set_nodelay(true).ok();
+                            let _ = serve_stream_inner(stream, server, clock, ops_endpoints).await;
                         });
                     }
                     _ = shutdown_rx.changed() => break,
@@ -112,25 +153,41 @@ impl TcpOrigin {
     }
 }
 
-async fn serve_connection(
-    stream: TcpStream,
-    server: Arc<OriginServer>,
-    clock: Clock,
-) -> Result<(), ConnError> {
-    stream.set_nodelay(true).ok();
-    serve_stream(stream, server, clock).await
-}
-
 /// Serves HTTP/1.1 on any byte stream (TCP, duplex pipe, emulated
 /// link) until the peer closes or requests `Connection: close`.
-///
-/// Two operational endpoints are answered before site dispatch:
-/// `/metrics` (Prometheus text exposition of the server's telemetry
-/// registry) and `/healthz`.
+/// Site traffic only; for the operational endpoints use
+/// [`serve_stream_with_ops`].
 pub async fn serve_stream<S>(
     stream: S,
     server: Arc<OriginServer>,
     clock: Clock,
+) -> Result<(), ConnError>
+where
+    S: AsyncRead + AsyncWrite + Unpin,
+{
+    serve_stream_inner(stream, server, clock, false).await
+}
+
+/// Like [`serve_stream`], additionally answering `GET /metrics`
+/// (Prometheus text exposition) and `GET /healthz`. The endpoints
+/// never shadow the site: a site resource at either path wins, and
+/// non-GET methods fall through to site dispatch.
+pub async fn serve_stream_with_ops<S>(
+    stream: S,
+    server: Arc<OriginServer>,
+    clock: Clock,
+) -> Result<(), ConnError>
+where
+    S: AsyncRead + AsyncWrite + Unpin,
+{
+    serve_stream_inner(stream, server, clock, true).await
+}
+
+async fn serve_stream_inner<S>(
+    stream: S,
+    server: Arc<OriginServer>,
+    clock: Clock,
+    ops_endpoints: bool,
 ) -> Result<(), ConnError>
 where
     S: AsyncRead + AsyncWrite + Unpin,
@@ -143,16 +200,44 @@ where
             Err(e) => return Err(e),
         };
         let close = req.headers.wants_close();
-        let resp = match req.target.path() {
-            "/metrics" => metrics_response(&server, &clock),
-            "/healthz" => health_response(&clock),
-            _ => server.handle(&req, clock.secs()),
+        let resp = match ops_endpoint_of(&server, &req, ops_endpoints) {
+            Some(OpsEndpoint::Metrics) => metrics_response(&server, &clock),
+            Some(OpsEndpoint::Health) => health_response(&clock),
+            None => server.handle(&req, clock.secs()),
         };
         conn.write_response(&resp).await?;
         if close {
             return Ok(());
         }
     }
+}
+
+enum OpsEndpoint {
+    Metrics,
+    Health,
+}
+
+/// Which operational endpoint (if any) answers `req`: only when the
+/// endpoints are enabled, only for GET, and only for paths the site
+/// itself does not define (site resources are never shadowed).
+fn ops_endpoint_of(
+    server: &OriginServer,
+    req: &cachecatalyst_httpwire::Request,
+    enabled: bool,
+) -> Option<OpsEndpoint> {
+    if !enabled || req.method != Method::Get {
+        return None;
+    }
+    let path = req.target.path();
+    let endpoint = match path {
+        "/metrics" => OpsEndpoint::Metrics,
+        "/healthz" => OpsEndpoint::Health,
+        _ => return None,
+    };
+    if server.site().get(path).is_some() {
+        return None;
+    }
+    Some(endpoint)
 }
 
 /// Renders the origin's telemetry registry in the Prometheus text
@@ -188,6 +273,7 @@ mod tests {
     use cachecatalyst_httpwire::aio::ClientConn;
     use cachecatalyst_httpwire::{Request, StatusCode};
     use cachecatalyst_webmodel::example_site;
+    use tokio::net::TcpStream;
 
     fn origin() -> Arc<OriginServer> {
         Arc::new(OriginServer::new(example_site(), HeaderMode::Catalyst))
@@ -280,11 +366,21 @@ mod tests {
         // Negative times floor, not truncate toward zero.
         let c = Clock::from_millis_fn(|| -500);
         assert_eq!(c.secs(), -1);
+        // The ms-carrying constructors keep sub-second precision end
+        // to end (the seconds-carrying ones quantize by design).
+        let c = fixed_clock_ms(1500);
+        assert_eq!(c.millis(), 1500);
+        assert_eq!(c.secs(), 1);
+        let (tx, rx) = watch::channel(0i64);
+        let c = watch_clock_ms(rx);
+        tx.send(60_500).unwrap();
+        assert_eq!(c.millis(), 60_500);
+        assert_eq!(c.secs(), 60);
     }
 
     #[tokio::test]
-    async fn metrics_and_healthz_served_before_site_dispatch() {
-        let server = TcpOrigin::bind("127.0.0.1:0", origin(), fixed_clock(0))
+    async fn metrics_and_healthz_served_when_opted_in() {
+        let server = TcpOrigin::bind_with_ops("127.0.0.1:0", origin(), fixed_clock(0))
             .await
             .unwrap();
         let stream = TcpStream::connect(server.local_addr).await.unwrap();
@@ -309,6 +405,74 @@ mod tests {
             "{text}"
         );
         assert!(text.contains("origin_clock_milliseconds 0"));
+        server.shutdown().await;
+    }
+
+    #[tokio::test]
+    async fn ops_endpoints_are_off_by_default() {
+        let server = TcpOrigin::bind("127.0.0.1:0", origin(), fixed_clock(0))
+            .await
+            .unwrap();
+        let stream = TcpStream::connect(server.local_addr).await.unwrap();
+        let mut client = ClientConn::new(stream);
+        for path in ["/metrics", "/healthz"] {
+            let resp = client.round_trip(&Request::get(path)).await.unwrap();
+            assert_eq!(resp.status, StatusCode::NOT_FOUND, "{path}");
+        }
+        server.shutdown().await;
+    }
+
+    #[tokio::test]
+    async fn ops_endpoints_answer_get_only() {
+        let server = TcpOrigin::bind_with_ops("127.0.0.1:0", origin(), fixed_clock(0))
+            .await
+            .unwrap();
+        let stream = TcpStream::connect(server.local_addr).await.unwrap();
+        let mut client = ClientConn::new(stream);
+        let mut post = Request::get("/metrics");
+        post.method = Method::Post;
+        // Non-GET goes to site dispatch, which rejects the method.
+        let resp = client.round_trip(&post).await.unwrap();
+        assert_eq!(resp.status, StatusCode::METHOD_NOT_ALLOWED);
+        server.shutdown().await;
+    }
+
+    #[tokio::test]
+    async fn site_resource_at_metrics_path_is_not_shadowed() {
+        use cachecatalyst_webmodel::{
+            ChangeModel, Discovery, GeneratedResource, HeaderPolicy, ResourceKind, ResourceSpec,
+        };
+        let mut site = example_site();
+        site.insert_resource(GeneratedResource {
+            spec: ResourceSpec::leaf(
+                "/metrics",
+                ResourceKind::Js,
+                1_000,
+                Discovery::Static {
+                    parent: "/index.html".into(),
+                },
+                ChangeModel::Immutable,
+            ),
+            policy: HeaderPolicy::NoCache,
+        });
+        let origin = Arc::new(OriginServer::new(site, HeaderMode::Catalyst));
+        let server = TcpOrigin::bind_with_ops("127.0.0.1:0", origin, fixed_clock(0))
+            .await
+            .unwrap();
+        let stream = TcpStream::connect(server.local_addr).await.unwrap();
+        let mut client = ClientConn::new(stream);
+        // The site's own /metrics resource wins over the scrape
+        // endpoint; /healthz (not a site path) still answers.
+        let resp = client.round_trip(&Request::get("/metrics")).await.unwrap();
+        assert_eq!(resp.status, StatusCode::OK);
+        assert_eq!(
+            resp.headers.get("content-type"),
+            Some("application/javascript")
+        );
+        assert!(resp.etag().is_some(), "site response carries validators");
+        let health = client.round_trip(&Request::get("/healthz")).await.unwrap();
+        assert_eq!(health.status, StatusCode::OK);
+        assert_eq!(health.body.as_ref(), b"ok\n");
         server.shutdown().await;
     }
 

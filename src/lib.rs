@@ -28,8 +28,8 @@
 //! * [`proxies`] — Server Push, RDR-proxy and Extreme-Cache
 //!   comparators;
 //! * [`telemetry`] — counters, latency histograms and structured
-//!   page-load events, exposed by the origin at `/metrics`
-//!   (Prometheus text format).
+//!   page-load events, exposed by the origin at `/metrics` (Prometheus
+//!   text format; opt-in via `TcpOrigin::bind_with_ops`).
 //!
 //! ## Quickstart
 //!

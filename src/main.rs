@@ -112,7 +112,9 @@ fn cmd_serve(args: &Args) {
     let rt = tokio::runtime::Runtime::new().expect("tokio runtime");
     rt.block_on(async move {
         let origin = Arc::new(OriginServer::new(site.clone(), mode));
-        let server = TcpOrigin::bind(&format!("127.0.0.1:{port}"), origin, wall_clock())
+        // The CLI server opts into the operational endpoints; library
+        // users get them only via `bind_with_ops`.
+        let server = TcpOrigin::bind_with_ops(&format!("127.0.0.1:{port}"), origin, wall_clock())
             .await
             .expect("bind");
         println!(
@@ -122,6 +124,10 @@ fn cmd_serve(args: &Args) {
             mode
         );
         println!("  http://{}{}", server.local_addr, site.base_path());
+        println!(
+            "  http://{}/metrics (Prometheus), /healthz",
+            server.local_addr
+        );
         println!("press ctrl-c to stop");
         tokio::signal::ctrl_c().await.ok();
         server.shutdown().await;

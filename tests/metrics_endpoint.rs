@@ -6,16 +6,19 @@
 use std::sync::Arc;
 
 use cachecatalyst::httpwire::aio::ClientConn;
-use cachecatalyst::origin::{watch_clock, TcpOrigin};
+use cachecatalyst::origin::{watch_clock_ms, TcpOrigin};
 use cachecatalyst::prelude::*;
 use cachecatalyst::telemetry::JsonlRecorder;
 use tokio::net::TcpStream;
 use tokio::sync::watch;
 
+/// Starts an origin with the operational endpoints enabled (they are
+/// opt-in: `TcpOrigin::bind` serves site traffic only). The returned
+/// sender drives a millisecond-resolution virtual clock.
 async fn start_origin(mode: HeaderMode) -> (TcpOrigin, watch::Sender<i64>) {
     let (tx, rx) = watch::channel(0i64);
     let origin = Arc::new(OriginServer::new(example_site(), mode));
-    let server = TcpOrigin::bind("127.0.0.1:0", origin, watch_clock(rx))
+    let server = TcpOrigin::bind_with_ops("127.0.0.1:0", origin, watch_clock_ms(rx))
         .await
         .expect("bind");
     (server, tx)
@@ -52,8 +55,10 @@ async fn metrics_cover_a_full_page_load() {
         etags.push(resp.etag().expect("validator").to_string());
     }
 
-    // Revisit one minute later: everything revalidates to 304.
-    clock.send(60).unwrap();
+    // Revisit one minute later (the clock carries milliseconds; the
+    // extra 500 ms checks sub-second resolution survives end to end):
+    // everything revalidates to 304.
+    clock.send(60_500).unwrap();
     for (path, tag) in paths.iter().zip(&etags) {
         let resp = conn
             .round_trip(&Request::get(path).with_header("if-none-match", tag))
@@ -81,6 +86,9 @@ async fn metrics_cover_a_full_page_load() {
     // The 304 ratio of this run is computable and equals one half.
     let nm = sample(&text, "origin_not_modified_total").unwrap();
     assert_eq!(nm / requests, 0.5);
+    // The scrape publishes the virtual clock at full ms resolution
+    // (a seconds-quantizing clock would read 60000 here).
+    assert_eq!(sample(&text, "origin_clock_milliseconds"), Some(60_500.0));
     // Map building happened and its cost is accounted.
     assert_eq!(sample(&text, "origin_map_entries"), Some(2.0));
     assert!(sample(&text, "origin_map_build_seconds_count").unwrap() >= 1.0);

@@ -1,4 +1,5 @@
-//! Offline stand-in for `rand` 0.8.
+//! Offline stand-in for `rand` 0.8 — **opt-in only**, never part of a
+//! default build (see `.cargo/offline.toml` and `vendor/README.md`).
 //!
 //! Provides [`rngs::StdRng`] seeded via [`SeedableRng::seed_from_u64`]
 //! and the [`Rng`] methods the workspace uses (`gen`, `gen_range`,
@@ -6,6 +7,16 @@
 //! but statistically solid for simulation workloads and fully
 //! deterministic for a given seed, which is what the sites/corpus
 //! generators and their tests rely on.
+//!
+//! # ⚠ Not stream-compatible with real `rand`
+//!
+//! Real `rand` 0.8's `StdRng` is ChaCha12; this stub is splitmix64.
+//! For the same seed the two produce **different random streams**, so
+//! seeded site/corpus generation — and any number derived from it —
+//! differs between stub builds and real-dependency builds. Results are
+//! deterministic *within* each flavour, but figures and golden numbers
+//! are only comparable to runs of the same flavour. Publishable runs
+//! must use the default (real-dependency) build.
 
 /// Low-level 64-bit generator.
 pub trait RngCore {

@@ -1,4 +1,15 @@
 //! The executor: a `block_on` poll loop with a park-timeout tick.
+//!
+//! # ⚠ Timing fidelity
+//!
+//! There is no reactor: IO readiness and timer expiry are detected by
+//! re-polling every [`POLL_TICK`] (250µs), and `TcpStream::connect`
+//! blocks. Every live-TCP latency measurement taken on a stub build
+//! (origin handle time over sockets, live-loader RTT/HAR timings)
+//! therefore carries up to one poll tick of noise **per await point**.
+//! Latency numbers intended for comparison or publication must come
+//! from real-tokio (default) builds; the discrete-event simulator is
+//! unaffected because it uses virtual time.
 
 use std::future::Future;
 use std::pin::pin;
