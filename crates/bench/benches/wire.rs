@@ -57,7 +57,7 @@ fn bench_etag_config(c: &mut Criterion) {
         let mut config = EtagConfig::new();
         for i in 0..n {
             config.insert(
-                &format!("/assets/resource-{i:04}.js"),
+                format!("/assets/resource-{i:04}.js"),
                 EntityTag::strong(format!("{i:016x}")).unwrap(),
             );
         }

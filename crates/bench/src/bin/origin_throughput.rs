@@ -1,0 +1,217 @@
+//! E18 — origin hot-path throughput: hammers `OriginServer::handle`
+//! from M worker threads across the header-mode matrix and reports
+//! req/s, p50/p99 handle latency (from the server's own telemetry
+//! histogram), and allocations per request (counting global
+//! allocator).
+//!
+//! The workload is the paper's §6 stress case: *revisits across
+//! virtual seconds*. Every request carries a globally unique `t_secs`
+//! inside one churn epoch of the example site (all subresource
+//! versions constant below 5400 s), so a `(page, t)`-keyed config
+//! cache misses every request while an epoch-keyed cache hits every
+//! request after the first — exactly the gap this suite tracks.
+//!
+//! Usage:
+//!   origin_throughput [--smoke] [--threads M] [--iters N] [--label L]
+//!
+//! Appends a labelled section to `results/origin_throughput.txt` and
+//! rewrites `BENCH_origin.json` (repo root) with machine-readable
+//! rows `{mode, threads, reqs_per_sec, p50_us, p99_us}`.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use cachecatalyst_httpwire::Request;
+use cachecatalyst_origin::{HeaderMode, OriginServer};
+use cachecatalyst_webmodel::example_site;
+
+/// Counts every heap allocation made by the process so the harness
+/// can report allocations per request (frees are not interesting
+/// here; the hot path's cost is in the malloc calls).
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates to `System`; the counter is a relaxed atomic.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// One measured configuration.
+struct Row {
+    mode: &'static str,
+    threads: usize,
+    reqs_per_sec: f64,
+    p50_us: f64,
+    p99_us: f64,
+    allocs_per_req: f64,
+}
+
+/// All versions of the example site's resources are constant for
+/// `t in [0, 5400)` (index.html's 90-minute period is the shortest),
+/// so every `t` below this bound lies in one churn epoch.
+const EPOCH_SECS: i64 = 5400;
+
+fn run_mode(mode: HeaderMode, threads: usize, iters_per_thread: usize) -> Row {
+    let server = Arc::new(OriginServer::new(example_site(), mode));
+
+    // Warm-up: one request primes lazy state (telemetry families,
+    // caches) without polluting the measured allocation count much.
+    server.handle(&request_for(mode, 0), 0);
+
+    let alloc_before = ALLOCATIONS.load(Ordering::Relaxed);
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for thread_id in 0..threads {
+            let server = Arc::clone(&server);
+            scope.spawn(move || {
+                for i in 0..iters_per_thread {
+                    // Globally unique t per request, all inside one
+                    // churn epoch: the revisit-across-seconds case.
+                    let t = ((thread_id * iters_per_thread + i) as i64) % EPOCH_SECS;
+                    let resp = server.handle(&request_for(mode, t), t);
+                    assert!(resp.status.as_u16() < 400, "unexpected {}", resp.status);
+                }
+            });
+        }
+    });
+    let elapsed = started.elapsed();
+    let alloc_after = ALLOCATIONS.load(Ordering::Relaxed);
+
+    // Sanity line (stderr, not part of the recorded table): the
+    // epoch-keyed cache should build once and hit everything else.
+    let m = server.metrics();
+    eprintln!(
+        "# {}: config cache {} built / {} hits over {} requests",
+        mode.label(),
+        m.configs_built,
+        m.config_cache_hits,
+        m.requests
+    );
+    let total = (threads * iters_per_thread) as f64;
+    let hist = server.telemetry().histogram(
+        "origin_handle_seconds",
+        "Sans-IO request handling latency",
+        &[("mode", mode.label())],
+    );
+    Row {
+        mode: mode.label(),
+        threads,
+        reqs_per_sec: total / elapsed.as_secs_f64(),
+        p50_us: hist.quantile(0.50) * 1e6,
+        p99_us: hist.quantile(0.99) * 1e6,
+        allocs_per_req: (alloc_after - alloc_before) as f64 / total,
+    }
+}
+
+/// The page request for one iteration. Capture mode carries a session
+/// cookie (so the per-session store engages); aggregate mode needs
+/// only the visit itself.
+fn request_for(mode: HeaderMode, _t: i64) -> Request {
+    let req = Request::get("/index.html").with_header("host", "bench.example");
+    match mode {
+        HeaderMode::CatalystWithCapture => req.with_header("cookie", "cc-session=bench"),
+        _ => req,
+    }
+}
+
+fn render_table(rows: &[Row], threads: usize, iters: usize, label: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "## {label} — {threads} threads x {iters} iters/thread, revisit-at-new-t workload"
+    );
+    let _ = writeln!(
+        out,
+        "{:<20} {:>12} {:>10} {:>10} {:>12}",
+        "mode", "reqs/sec", "p50_us", "p99_us", "allocs/req"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<20} {:>12.0} {:>10.1} {:>10.1} {:>12.1}",
+            r.mode, r.reqs_per_sec, r.p50_us, r.p99_us, r.allocs_per_req
+        );
+    }
+    out
+}
+
+fn render_json(rows: &[Row], label: &str) -> String {
+    let mut out = String::from("{\n  \"bench\": \"origin_throughput\",\n");
+    let _ = writeln!(out, "  \"label\": \"{label}\",");
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"mode\": \"{}\", \"threads\": {}, \"reqs_per_sec\": {:.0}, \
+             \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"allocs_per_req\": {:.1}}}{comma}",
+            r.mode, r.threads, r.reqs_per_sec, r.p50_us, r.p99_us, r.allocs_per_req
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let flag = |name: &str| args.iter().any(|a| a == name);
+    let opt = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+
+    let smoke = flag("--smoke");
+    let threads: usize = opt("--threads")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if smoke { 2 } else { 8 });
+    let iters: usize = opt("--iters")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if smoke { 50 } else { 600 });
+    let label = opt("--label").unwrap_or_else(|| "run".to_owned());
+
+    let modes = [
+        HeaderMode::Baseline,
+        HeaderMode::Catalyst,
+        HeaderMode::CatalystWithCapture,
+        HeaderMode::CatalystAggregate,
+    ];
+    let rows: Vec<Row> = modes.iter().map(|&m| run_mode(m, threads, iters)).collect();
+
+    let table = render_table(&rows, threads, iters, &label);
+    print!("{table}");
+
+    if smoke {
+        // Smoke runs exist to prove the binary works (CI); their
+        // numbers are noise and must not overwrite recorded results.
+        return;
+    }
+    std::fs::create_dir_all("results").expect("create results/");
+    use std::io::Write as _;
+    let mut txt = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open("results/origin_throughput.txt")
+        .expect("open results/origin_throughput.txt");
+    txt.write_all(table.as_bytes()).expect("append results");
+    std::fs::write("BENCH_origin.json", render_json(&rows, &label))
+        .expect("write BENCH_origin.json");
+}

@@ -149,7 +149,7 @@ mod tests {
     fn nav_with(entries: &[(&str, &str)]) -> Response {
         let mut config = EtagConfig::new();
         for (p, e) in entries {
-            config.insert(p, tag(e));
+            config.insert(*p, tag(e));
         }
         let mut resp = Response::ok("<html>");
         config.apply_to(&mut resp, 4096);

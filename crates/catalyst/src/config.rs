@@ -38,9 +38,21 @@ impl EtagConfig {
         self.entries.is_empty()
     }
 
-    /// Inserts or replaces the tag for `path`.
-    pub fn insert(&mut self, path: &str, etag: EntityTag) {
-        self.entries.insert(path.to_owned(), etag);
+    /// Inserts or replaces the tag for `path`. Takes anything
+    /// string-like, so callers holding an owned path move it in
+    /// without re-allocating.
+    pub fn insert(&mut self, path: impl Into<String>, etag: EntityTag) {
+        self.entries.insert(path.into(), etag);
+    }
+
+    /// Merges `other` into `self`, moving its entries (no tag clones).
+    /// Entries from `other` win on path collisions.
+    pub fn merge(&mut self, other: EtagConfig) {
+        if self.entries.is_empty() {
+            self.entries = other.entries;
+        } else {
+            self.entries.extend(other.entries);
+        }
     }
 
     /// The current tag for `path`.
@@ -252,7 +264,7 @@ mod tests {
         let mut c = EtagConfig::new();
         for i in 0..50 {
             c.insert(
-                &format!("/assets/resource-{i:03}.js"),
+                format!("/assets/resource-{i:03}.js"),
                 tag(&format!("{i:016x}")),
             );
         }
@@ -270,7 +282,7 @@ mod tests {
     fn apply_and_extract_from_response() {
         let mut c = EtagConfig::new();
         for i in 0..40 {
-            c.insert(&format!("/r{i}"), tag(&format!("{i}")));
+            c.insert(format!("/r{i}"), tag(&format!("{i}")));
         }
         let mut resp = Response::ok("html");
         c.apply_to(&mut resp, 200);
@@ -292,6 +304,20 @@ mod tests {
     }
 
     #[test]
+    fn merge_moves_entries_and_overwrites() {
+        let mut a = EtagConfig::new();
+        a.insert("/a", tag("1"));
+        a.insert("/b", tag("old"));
+        let mut b = EtagConfig::new();
+        b.insert("/b", tag("new"));
+        b.insert("/c", tag("3"));
+        a.merge(b);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.get("/b").unwrap(), &tag("new"));
+        assert_eq!(a.get("/a").unwrap(), &tag("1"));
+    }
+
+    #[test]
     fn deterministic_ordering() {
         let mut a = EtagConfig::new();
         a.insert("/z", tag("1"));
@@ -307,10 +333,7 @@ mod tests {
         let mut c = EtagConfig::new();
         let mut sizes = Vec::new();
         for i in 0..100 {
-            c.insert(
-                &format!("/assets/file-{i:04}.js"),
-                tag(&format!("{i:016x}")),
-            );
+            c.insert(format!("/assets/file-{i:04}.js"), tag(&format!("{i:016x}")));
             sizes.push(c.wire_size());
         }
         // Roughly linear: each entry ≈ path + etag + separators.

@@ -49,11 +49,19 @@ impl From<WireError> for ConnError {
 
 const READ_CHUNK: usize = 16 * 1024;
 
+/// Bodies at or below this size are copied into the write buffer so
+/// head + body go out in one `write_all`; larger bodies are written
+/// as a second uncopied slice (the `Bytes` is shared, not cloned).
+const INLINE_BODY_MAX: usize = 4 * 1024;
+
 /// Server side of an HTTP/1.1 connection.
 #[derive(Debug)]
 pub struct ServerConn<S> {
     stream: S,
     buf: BytesMut,
+    /// Reused across responses: heads are encoded into this buffer, so
+    /// steady-state writes allocate nothing.
+    write_buf: BytesMut,
     limits: ParseLimits,
 }
 
@@ -66,6 +74,7 @@ impl<S: AsyncRead + AsyncWrite + Unpin> ServerConn<S> {
         ServerConn {
             stream,
             buf: BytesMut::with_capacity(READ_CHUNK),
+            write_buf: BytesMut::with_capacity(1024),
             limits,
         }
     }
@@ -92,10 +101,20 @@ impl<S: AsyncRead + AsyncWrite + Unpin> ServerConn<S> {
         }
     }
 
-    /// Writes a response and flushes it.
+    /// Writes a response and flushes it. The head is encoded into a
+    /// buffer reused across responses; small bodies ride along in the
+    /// same write, large bodies are written from their shared `Bytes`
+    /// without being copied.
     pub async fn write_response(&mut self, resp: &Response) -> Result<(), ConnError> {
-        let wire = codec::encode_response(resp);
-        self.stream.write_all(&wire).await?;
+        self.write_buf.clear();
+        codec::encode_response_head_into(resp, &mut self.write_buf);
+        if resp.body.len() <= INLINE_BODY_MAX {
+            self.write_buf.extend_from_slice(&resp.body);
+            self.stream.write_all(&self.write_buf).await?;
+        } else {
+            self.stream.write_all(&self.write_buf).await?;
+            self.stream.write_all(&resp.body).await?;
+        }
         self.stream.flush().await?;
         Ok(())
     }

@@ -307,18 +307,48 @@ pub fn encode_request(req: &Request) -> Bytes {
 /// Serializes a response to wire format. The body is emitted verbatim;
 /// the caller is responsible for consistent framing headers (the
 /// constructors in [`crate::message`] take care of that).
+///
+/// Exactly one allocation: the output buffer is sized up front from
+/// [`response_head_len`], so head and body land in a single buffer
+/// without regrowth.
 pub fn encode_response(resp: &Response) -> Bytes {
-    let mut out = BytesMut::with_capacity(256 + resp.body.len());
+    let mut out = BytesMut::with_capacity(response_head_len(resp) + resp.body.len());
+    encode_response_head_into(resp, &mut out);
+    out.put_slice(&resp.body);
+    out.freeze()
+}
+
+/// Serializes only the head (status line + headers + blank line) into
+/// `out`. Lets a transport write head and body separately — the body
+/// `Bytes` goes to the socket as-is, uncopied.
+pub fn encode_response_head_into(resp: &Response, out: &mut BytesMut) {
+    out.reserve(response_head_len(resp));
     out.put_slice(resp.version.as_str().as_bytes());
     out.put_u8(b' ');
-    out.put_slice(resp.status.to_string().as_bytes());
+    // Status codes are validated to 100..=599: always three digits.
+    let code = resp.status.as_u16();
+    out.put_u8(b'0' + (code / 100) as u8);
+    out.put_u8(b'0' + (code / 10 % 10) as u8);
+    out.put_u8(b'0' + (code % 10) as u8);
     out.put_u8(b' ');
     out.put_slice(resp.status.canonical_reason().as_bytes());
     out.put_slice(b"\r\n");
-    encode_headers(&resp.headers, &mut out);
+    encode_headers(&resp.headers, out);
     out.put_slice(b"\r\n");
-    out.put_slice(&resp.body);
-    out.freeze()
+}
+
+/// The exact serialized size of a response head, by arithmetic rather
+/// than by encoding (validated against `encode_response` in tests).
+pub fn response_head_len(resp: &Response) -> usize {
+    // "HTTP/1.1 200 OK\r\n" = version + SP + 3 digits + SP + reason + CRLF
+    let status_line =
+        resp.version.as_str().len() + 1 + 3 + 1 + resp.status.canonical_reason().len() + 2;
+    let headers: usize = resp
+        .headers
+        .iter()
+        .map(|(name, value)| name.as_str().len() + 2 + value.as_str().len() + 2)
+        .sum();
+    status_line + headers + 2
 }
 
 fn encode_headers(headers: &HeaderMap, out: &mut BytesMut) {
@@ -511,6 +541,30 @@ mod tests {
             parse_request(wire, &small),
             Err(WireError::BodyTooLarge { .. })
         ));
+    }
+
+    #[test]
+    fn head_length_arithmetic_matches_encoder() {
+        let cases = [
+            Response::ok("hello world").with_header("etag", "\"h1\""),
+            Response::empty(StatusCode::NOT_FOUND),
+            Response::not_modified(None),
+            Response::ok("")
+                .with_header("x-etag-config", "/a.css=\"t1\", /b.js=\"t2\"")
+                .with_header("cache-control", "no-cache"),
+        ];
+        for resp in cases {
+            let wire = encode_response(&resp);
+            assert_eq!(
+                response_head_len(&resp),
+                wire.len() - resp.body.len(),
+                "{resp:?}"
+            );
+            let mut head = BytesMut::new();
+            encode_response_head_into(&resp, &mut head);
+            assert_eq!(&head[..], &wire[..head.len()]);
+            assert_eq!(resp.wire_len(), wire.len());
+        }
     }
 
     #[test]

@@ -5,14 +5,16 @@ use crate::etag::EntityTag;
 use crate::message::Request;
 
 /// The validators of the representation currently held by the server.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Validators {
-    pub etag: Option<EntityTag>,
+/// Borrows the ETag — evaluation is read-only, so servers on the hot
+/// path pass their stored tag without cloning its opaque string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Validators<'a> {
+    pub etag: Option<&'a EntityTag>,
     pub last_modified: Option<HttpDate>,
 }
 
-impl Validators {
-    pub fn new(etag: Option<EntityTag>, last_modified: Option<HttpDate>) -> Validators {
+impl<'a> Validators<'a> {
+    pub fn new(etag: Option<&'a EntityTag>, last_modified: Option<HttpDate>) -> Validators<'a> {
         Validators {
             etag,
             last_modified,
@@ -32,9 +34,9 @@ pub enum Disposition {
 /// Evaluates `If-None-Match` / `If-Modified-Since` for a safe request
 /// against the current validators, in the precedence order of
 /// RFC 9110 §13.2.2.
-pub fn evaluate(req: &Request, current: &Validators) -> Disposition {
+pub fn evaluate(req: &Request, current: &Validators<'_>) -> Disposition {
     if let Some(inm) = req.if_none_match() {
-        let matched = match &current.etag {
+        let matched = match current.etag {
             Some(tag) => inm.matches(tag),
             // `If-None-Match: *` matches if *any* representation
             // exists; a listed tag can only match if we have one.
@@ -58,15 +60,24 @@ pub fn evaluate(req: &Request, current: &Validators) -> Disposition {
 mod tests {
     use super::*;
 
-    fn validators(etag: &str, lm: i64) -> Validators {
-        Validators::new(Some(EntityTag::strong(etag).unwrap()), Some(HttpDate(lm)))
+    /// Owns the tag so tests can borrow `Validators` from it.
+    struct Held(EntityTag, HttpDate);
+
+    impl Held {
+        fn v(&self) -> Validators<'_> {
+            Validators::new(Some(&self.0), Some(self.1))
+        }
+    }
+
+    fn validators(etag: &str, lm: i64) -> Held {
+        Held(EntityTag::strong(etag).unwrap(), HttpDate(lm))
     }
 
     #[test]
     fn matching_etag_yields_304() {
         let req = Request::get("/x").with_header("if-none-match", "\"v1\"");
         assert_eq!(
-            evaluate(&req, &validators("v1", 100)),
+            evaluate(&req, &validators("v1", 100).v()),
             Disposition::NotModified
         );
     }
@@ -74,14 +85,17 @@ mod tests {
     #[test]
     fn non_matching_etag_yields_full() {
         let req = Request::get("/x").with_header("if-none-match", "\"v1\"");
-        assert_eq!(evaluate(&req, &validators("v2", 100)), Disposition::Full);
+        assert_eq!(
+            evaluate(&req, &validators("v2", 100).v()),
+            Disposition::Full
+        );
     }
 
     #[test]
     fn weak_comparison_is_used() {
         let req = Request::get("/x").with_header("if-none-match", "W/\"v1\"");
         assert_eq!(
-            evaluate(&req, &validators("v1", 100)),
+            evaluate(&req, &validators("v1", 100).v()),
             Disposition::NotModified
         );
     }
@@ -92,7 +106,10 @@ mod tests {
         let req = Request::get("/x")
             .with_header("if-none-match", "\"old\"")
             .with_header("if-modified-since", &HttpDate(200).to_imf_fixdate());
-        assert_eq!(evaluate(&req, &validators("new", 100)), Disposition::Full);
+        assert_eq!(
+            evaluate(&req, &validators("new", 100).v()),
+            Disposition::Full
+        );
     }
 
     #[test]
@@ -100,7 +117,7 @@ mod tests {
         let req =
             Request::get("/x").with_header("if-modified-since", &HttpDate(150).to_imf_fixdate());
         assert_eq!(
-            evaluate(&req, &validators("v", 100)),
+            evaluate(&req, &validators("v", 100).v()),
             Disposition::NotModified
         );
     }
@@ -109,20 +126,20 @@ mod tests {
     fn if_modified_since_modified() {
         let req =
             Request::get("/x").with_header("if-modified-since", &HttpDate(50).to_imf_fixdate());
-        assert_eq!(evaluate(&req, &validators("v", 100)), Disposition::Full);
+        assert_eq!(evaluate(&req, &validators("v", 100).v()), Disposition::Full);
     }
 
     #[test]
     fn unconditional_request_is_full() {
         let req = Request::get("/x");
-        assert_eq!(evaluate(&req, &validators("v", 100)), Disposition::Full);
+        assert_eq!(evaluate(&req, &validators("v", 100).v()), Disposition::Full);
     }
 
     #[test]
     fn star_matches_when_representation_exists() {
         let req = Request::get("/x").with_header("if-none-match", "*");
         assert_eq!(
-            evaluate(&req, &validators("v", 100)),
+            evaluate(&req, &validators("v", 100).v()),
             Disposition::NotModified
         );
         assert_eq!(

@@ -188,9 +188,10 @@ impl Response {
     }
 
     /// Total size on the wire of head + body (used by the transfer
-    /// model; exact, since we serialize deterministically).
+    /// model; exact, since we serialize deterministically). Computed
+    /// arithmetically — no serialization, no allocation.
     pub fn wire_len(&self) -> usize {
-        crate::codec::encode_response(self).len()
+        crate::codec::response_head_len(self) + self.body.len()
     }
 }
 

@@ -11,6 +11,7 @@
 //! * [`tcp`] — a tokio TCP front end with keep-alive, serving the same
 //!   handler over real connections.
 
+pub mod hotpath;
 pub mod server;
 pub mod tcp;
 

@@ -10,18 +10,20 @@
 //! discrete-event transport calls it with virtual time; the tokio TCP
 //! front end (see [`crate::tcp`]) calls it with wall time.
 
-use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
 
+use bytes::Bytes;
 use cachecatalyst_catalyst::{
     build_config_for_site, inject_registration, AggregateCapture, EtagConfig, ExtractOptions,
     SessionCapture, SW_SCRIPT, SW_SCRIPT_PATH,
 };
 use cachecatalyst_httpwire::conditional::{evaluate, Disposition, Validators};
 use cachecatalyst_httpwire::{HeaderName, HttpDate, Method, Request, Response, StatusCode};
-use cachecatalyst_telemetry::{Event, NullRecorder, Recorder, Registry};
+use cachecatalyst_telemetry::{Counter, Event, Gauge, Histogram, NullRecorder, Recorder, Registry};
 use cachecatalyst_webmodel::{ChangeModel, HeaderPolicy, ResourceKind, Site};
 use parking_lot::Mutex;
-use std::sync::Arc;
+
+use crate::hotpath::{ChurnEpochs, ShardedCache};
 
 /// How the origin sets caching headers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -67,7 +69,8 @@ impl HeaderMode {
     }
 }
 
-/// Counters for served traffic.
+/// Counters for served traffic (a point-in-time snapshot of the
+/// registry-backed atomics; see [`OriginServer::metrics`]).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct OriginMetrics {
     pub requests: u64,
@@ -79,19 +82,134 @@ pub struct OriginMetrics {
     pub config_cache_hits: u64,
 }
 
+/// The per-request metric handles, resolved from the registry once —
+/// on the first handled request — so the hot path touches only
+/// atomics, never the registry's name-lookup mutex. Resolution is
+/// deferred (not done at construction) so a server that has seen no
+/// site traffic exposes no traffic series on `/metrics`.
+struct HotMetrics {
+    requests: Arc<Counter>,
+    responses_2xx: Arc<Counter>,
+    responses_3xx: Arc<Counter>,
+    responses_4xx: Arc<Counter>,
+    responses_5xx: Arc<Counter>,
+    not_modified: Arc<Counter>,
+    not_found: Arc<Counter>,
+    full_responses: Arc<Counter>,
+    bytes_sent: Arc<Counter>,
+    config_header_bytes: Arc<Counter>,
+    handle_seconds: Arc<Histogram>,
+    configs_built: Arc<Counter>,
+    config_cache_hits: Arc<Counter>,
+    map_build_seconds: Arc<Histogram>,
+    map_entries: Arc<Gauge>,
+}
+
+impl HotMetrics {
+    fn resolve(telemetry: &Registry, mode: &'static str) -> HotMetrics {
+        let class = |c: &'static str| {
+            telemetry.counter(
+                "origin_responses_total",
+                "Responses by status class",
+                &[("class", c)],
+            )
+        };
+        HotMetrics {
+            requests: telemetry.counter(
+                "origin_requests_total",
+                "Requests handled by the origin",
+                &[("mode", mode)],
+            ),
+            responses_2xx: class("2xx"),
+            responses_3xx: class("3xx"),
+            responses_4xx: class("4xx"),
+            responses_5xx: class("5xx"),
+            not_modified: telemetry.counter(
+                "origin_not_modified_total",
+                "Conditional requests answered 304",
+                &[],
+            ),
+            not_found: telemetry.counter(
+                "origin_not_found_total",
+                "Requests for paths the site does not contain",
+                &[],
+            ),
+            full_responses: telemetry.counter(
+                "origin_full_responses_total",
+                "Requests answered with a full 200 body",
+                &[],
+            ),
+            bytes_sent: telemetry.counter(
+                "origin_bytes_sent_total",
+                "Response bytes on the wire",
+                &[],
+            ),
+            config_header_bytes: telemetry.counter(
+                "origin_etag_config_header_bytes_total",
+                "X-Etag-Config header bytes sent",
+                &[],
+            ),
+            handle_seconds: telemetry.histogram(
+                "origin_handle_seconds",
+                "Sans-IO request handling latency",
+                &[("mode", mode)],
+            ),
+            configs_built: telemetry.counter(
+                "origin_configs_built_total",
+                "X-Etag-Config maps built (config-cache misses)",
+                &[],
+            ),
+            config_cache_hits: telemetry.counter(
+                "origin_config_cache_hits_total",
+                "Config-cache hits (no rebuild needed)",
+                &[],
+            ),
+            map_build_seconds: telemetry.histogram(
+                "origin_map_build_seconds",
+                "Time to build one X-Etag-Config map",
+                &[],
+            ),
+            map_entries: telemetry.gauge(
+                "origin_map_entries",
+                "Entries in the most recently built X-Etag-Config map",
+                &[],
+            ),
+        }
+    }
+}
+
+/// A built page config plus its pre-split header values, shared
+/// across requests behind `Arc`s: a cache hit clones two pointers.
+#[derive(Clone)]
+struct CachedConfig {
+    config: Arc<EtagConfig>,
+    /// `to_header_values(max_len)` output, computed once per build.
+    values: Arc<Vec<String>>,
+    /// The `max_header_len` the values were split with; if the server
+    /// field has been changed since, the fast path re-splits.
+    max_len: usize,
+}
+
 /// The origin server for one site.
 pub struct OriginServer {
     site: Site,
     mode: HeaderMode,
     extract_opts: ExtractOptions,
-    /// Cache of built configs keyed by (page, virtual time). Page
-    /// loads hit the same `t`, so this avoids re-walking the DOM per
-    /// subresource-bearing revisit (the paper flags server compute as
-    /// a concern; this is the obvious mitigation).
-    config_cache: Mutex<HashMap<(String, i64), EtagConfig>>,
+    /// Per-resource churn epochs: precomputed dependency closures
+    /// whose version fold decides cache validity at any `t`.
+    epochs: ChurnEpochs,
+    /// Built configs keyed by page path, validated by churn epoch. A
+    /// revisit at any `t` in the same epoch is a hit; an epoch change
+    /// replaces the entry in place, so the cache never exceeds one
+    /// entry per page (the old `(page, t)` key leaked per second).
+    config_cache: ShardedCache<CachedConfig>,
+    /// Rendered (and, in catalyst modes, registration-injected)
+    /// bodies keyed the same way — refcounted slices shared across
+    /// requests instead of per-request renders.
+    body_cache: ShardedCache<Bytes>,
     capture: Mutex<SessionCapture>,
     aggregate: Mutex<AggregateCapture>,
-    metrics: Mutex<OriginMetrics>,
+    hot: OnceLock<HotMetrics>,
     telemetry: Arc<Registry>,
     recorder: Arc<dyn Recorder>,
     /// Maximum bytes per X-Etag-Config header value before splitting.
@@ -104,19 +222,28 @@ pub struct OriginServer {
 
 impl OriginServer {
     pub fn new(site: Site, mode: HeaderMode) -> OriginServer {
+        let epochs = ChurnEpochs::new(&site);
         OriginServer {
             site,
             mode,
             extract_opts: ExtractOptions::default(),
-            config_cache: Mutex::new(HashMap::new()),
+            epochs,
+            config_cache: ShardedCache::new(),
+            body_cache: ShardedCache::new(),
             capture: Mutex::new(SessionCapture::new(10_000)),
             aggregate: Mutex::new(AggregateCapture::default()),
-            metrics: Mutex::new(OriginMetrics::default()),
+            hot: OnceLock::new(),
             telemetry: Arc::new(Registry::new()),
             recorder: Arc::new(NullRecorder),
             max_header_len: 6 * 1024,
             use_expires_header: false,
         }
+    }
+
+    /// The pre-resolved metric handles (first call registers them).
+    fn hot(&self) -> &HotMetrics {
+        self.hot
+            .get_or_init(|| HotMetrics::resolve(&self.telemetry, self.mode.label()))
     }
 
     /// Routes structured telemetry events (map builds) to `recorder`.
@@ -146,8 +273,28 @@ impl OriginServer {
         self.mode
     }
 
+    /// A snapshot of the traffic counters. Reads the same atomics the
+    /// Prometheus endpoint renders; before the first request every
+    /// field is zero.
     pub fn metrics(&self) -> OriginMetrics {
-        *self.metrics.lock()
+        let Some(hot) = self.hot.get() else {
+            return OriginMetrics::default();
+        };
+        OriginMetrics {
+            requests: hot.requests.get(),
+            full_responses: hot.full_responses.get(),
+            not_modified: hot.not_modified.get(),
+            not_found: hot.not_found.get(),
+            bytes_sent: hot.bytes_sent.get(),
+            configs_built: hot.configs_built.get(),
+            config_cache_hits: hot.config_cache_hits.get(),
+        }
+    }
+
+    /// Live entries in the page-config cache (diagnostics; bounded by
+    /// the number of pages, regardless of elapsed virtual time).
+    pub fn config_cache_len(&self) -> usize {
+        self.config_cache.len()
     }
 
     /// Handles one request at virtual time `t_secs`.
@@ -160,92 +307,57 @@ impl OriginServer {
 
     /// Per-request telemetry: mode-labelled request count, status
     /// class, 304s, bytes, handler latency, and the `X-Etag-Config`
-    /// header overhead actually put on the wire.
+    /// header overhead actually put on the wire. Pure atomic
+    /// increments — no registry lookups, no locks.
     fn observe_request(&self, resp: &Response, took: std::time::Duration) {
-        let mode = self.mode.label();
-        self.telemetry
-            .counter(
-                "origin_requests_total",
-                "Requests handled by the origin",
-                &[("mode", mode)],
-            )
-            .inc();
+        let hot = self.hot();
+        hot.requests.inc();
         let class = match resp.status.as_u16() {
-            200..=299 => "2xx",
-            300..=399 => "3xx",
-            400..=499 => "4xx",
-            _ => "5xx",
+            200..=299 => &hot.responses_2xx,
+            300..=399 => &hot.responses_3xx,
+            400..=499 => &hot.responses_4xx,
+            _ => &hot.responses_5xx,
         };
-        self.telemetry
-            .counter(
-                "origin_responses_total",
-                "Responses by status class",
-                &[("class", class)],
-            )
-            .inc();
+        class.inc();
         if resp.status == StatusCode::NOT_MODIFIED {
-            self.telemetry
-                .counter(
-                    "origin_not_modified_total",
-                    "Conditional requests answered 304",
-                    &[],
-                )
-                .inc();
+            hot.not_modified.inc();
         }
-        self.telemetry
-            .counter("origin_bytes_sent_total", "Response bytes on the wire", &[])
-            .add(resp.wire_len() as u64);
-        self.telemetry
-            .histogram(
-                "origin_handle_seconds",
-                "Sans-IO request handling latency",
-                &[("mode", mode)],
-            )
-            .observe(took);
+        hot.bytes_sent.add(resp.wire_len() as u64);
+        hot.handle_seconds.observe(took);
         let config_bytes: usize = resp
             .headers
             .get_all(HeaderName::X_ETAG_CONFIG)
             .map(str::len)
             .sum();
         if config_bytes > 0 {
-            self.telemetry
-                .counter(
-                    "origin_etag_config_header_bytes_total",
-                    "X-Etag-Config header bytes sent",
-                    &[],
-                )
-                .add(config_bytes as u64);
+            hot.config_header_bytes.add(config_bytes as u64);
         }
     }
 
     fn handle_inner(&self, req: &Request, t_secs: i64) -> Response {
-        let mut m = self.metrics.lock();
-        m.requests += 1;
-        drop(m);
-
         if req.method != Method::Get && req.method != Method::Head {
             return Response::empty(StatusCode::METHOD_NOT_ALLOWED);
         }
-        let path = req.target.path().to_owned();
+        let path = req.target.path();
 
         // The service-worker script itself.
         if path == SW_SCRIPT_PATH {
-            let resp = Response::ok(SW_SCRIPT)
+            let resp = Response::ok(Bytes::from_static(SW_SCRIPT.as_bytes()))
                 .with_header(HeaderName::CONTENT_TYPE, "application/javascript")
                 .with_header(HeaderName::CACHE_CONTROL, "max-age=86400")
                 .with_header(HeaderName::DATE, &HttpDate(t_secs).to_imf_fixdate());
             return self.finish(resp, req);
         }
 
-        let Some(resource) = self.site.get(&path) else {
-            self.metrics.lock().not_found += 1;
+        let Some((resource, pinned)) = self.site.lookup(path) else {
+            self.hot().not_found.inc();
             return Response::empty(StatusCode::NOT_FOUND)
                 .with_header(HeaderName::DATE, &HttpDate(t_secs).to_imf_fixdate());
         };
 
         let etag = self
             .site
-            .etag_at(&path, t_secs)
+            .etag_at(path, t_secs)
             .expect("resource exists, etag exists");
         let last_modified = last_change_time(&resource.spec.change, t_secs);
 
@@ -255,46 +367,45 @@ impl OriginServer {
         if self.mode == HeaderMode::CatalystWithCapture {
             if let Some(session) = session_of(req) {
                 let page = page_of(req).unwrap_or_else(|| self.site.base_path().to_owned());
-                self.capture.lock().record(&session, &page, &path);
+                self.capture.lock().record(&session, &page, path);
             }
         }
         if self.mode == HeaderMode::CatalystAggregate {
             let mut agg = self.aggregate.lock();
             if resource.spec.kind == ResourceKind::Html {
-                agg.record_visit(&path);
+                agg.record_visit(path);
             } else {
                 let page = page_of(req).unwrap_or_else(|| self.site.base_path().to_owned());
-                agg.record(&page, &path);
+                agg.record(&page, path);
             }
         }
 
-        // Conditional request?
-        let validators = Validators::new(Some(etag.clone()), Some(HttpDate(last_modified)));
+        let is_html = resource.spec.kind == ResourceKind::Html;
+
+        // Conditional request? The stored tag is borrowed, not cloned.
+        let validators = Validators::new(Some(&etag), Some(HttpDate(last_modified)));
         if evaluate(req, &validators) == Disposition::NotModified {
-            self.metrics.lock().not_modified += 1;
             let mut resp = Response::not_modified(Some(&etag))
                 .with_header(HeaderName::DATE, &HttpDate(t_secs).to_imf_fixdate());
             // Even an unchanged base document must deliver the *fresh*
             // token map: subresources may have changed independently.
-            if resource.spec.kind == ResourceKind::Html && self.mode.is_catalyst() {
-                let config = self.full_config(&path, req, t_secs);
-                config.apply_to(&mut resp, self.max_header_len);
+            if is_html && self.mode.is_catalyst() {
+                self.attach_config(&mut resp, path, req, t_secs);
             }
             let resp = self.apply_cache_headers(resp, &resource.policy, resource.spec.kind);
             return self.finish(resp, req);
         }
 
-        // Full response.
-        let body = self
-            .site
-            .body_at(&path, t_secs)
-            .expect("resource exists, body exists");
-        let is_html = resource.spec.kind == ResourceKind::Html;
-        let body = if is_html && self.mode.is_catalyst() {
-            let html = String::from_utf8_lossy(&body).into_owned();
-            bytes::Bytes::from(inject_registration(&html))
-        } else {
-            body
+        // Full response. Bodies are rendered once per churn epoch and
+        // shared as refcounted `Bytes` slices; only fingerprinted
+        // request URLs (version pinned in the path, not derived from
+        // `t`) fall through to a direct render.
+        let body = match pinned {
+            None => self.body_for(path, t_secs, is_html),
+            Some(_) => self
+                .site
+                .body_at(path, t_secs)
+                .expect("resource exists, body exists"),
         };
 
         let mut resp = Response::ok(body)
@@ -311,6 +422,7 @@ impl OriginServer {
                     HeaderName::EXPIRES,
                     &HttpDate(t_secs + ttl.as_secs() as i64).to_imf_fixdate(),
                 );
+                self.hot().full_responses.inc();
                 return self.finish(resp, req);
             }
         }
@@ -318,39 +430,74 @@ impl OriginServer {
 
         // CacheCatalyst: HTML responses carry the validation-token map.
         if is_html && self.mode.is_catalyst() {
-            let config = self.full_config(&path, req, t_secs);
-            config.apply_to(&mut resp, self.max_header_len);
+            self.attach_config(&mut resp, path, req, t_secs);
         }
 
-        self.metrics.lock().full_responses += 1;
+        self.hot().full_responses.inc();
         self.finish(resp, req)
     }
 
-    /// The full config for a page request: static extraction plus any
-    /// session-captured paths.
-    fn full_config(&self, page: &str, req: &Request, t_secs: i64) -> EtagConfig {
-        let mut config = self.config_for(page, t_secs);
-        if self.mode == HeaderMode::CatalystWithCapture {
-            if let Some(session) = session_of(req) {
-                let extra = self
-                    .capture
+    /// The body served for `path` at `t_secs`: the epoch-keyed cache
+    /// hit when valid, else one render (plus, for catalyst HTML, the
+    /// service-worker registration injection) stored for the epoch.
+    fn body_for(&self, path: &str, t_secs: i64, is_html: bool) -> Bytes {
+        let epoch = self
+            .epochs
+            .epoch_at(path, t_secs)
+            .expect("resource exists, epoch exists");
+        if let Some(body) = self.body_cache.get(path, epoch) {
+            return body;
+        }
+        let body = self
+            .site
+            .body_at(path, t_secs)
+            .expect("resource exists, body exists");
+        let body = if is_html && self.mode.is_catalyst() {
+            let html = String::from_utf8_lossy(&body).into_owned();
+            Bytes::from(inject_registration(&html))
+        } else {
+            body
+        };
+        self.body_cache.insert(path, epoch, body.clone());
+        body
+    }
+
+    /// Attaches the `X-Etag-Config` header(s) for a page request:
+    /// the cached static-extraction config, extended with any
+    /// session-captured or aggregate-learned paths.
+    fn attach_config(&self, resp: &mut Response, page: &str, req: &Request, t_secs: i64) {
+        let cached = self.config_for(page, t_secs);
+        let extra = match self.mode {
+            HeaderMode::CatalystWithCapture => session_of(req).map(|session| {
+                self.capture
                     .lock()
-                    .config_for(&session, page, &|p| self.site.etag_at(p, t_secs));
-                for (p, tag) in extra.iter() {
-                    config.insert(p, tag.clone());
+                    .config_for(&session, page, &|p| self.site.etag_at(p, t_secs))
+            }),
+            HeaderMode::CatalystAggregate => Some(
+                self.aggregate
+                    .lock()
+                    .config_for(page, &|p| self.site.etag_at(p, t_secs)),
+            ),
+            _ => None,
+        };
+        match extra {
+            Some(extra) if !extra.is_empty() => {
+                // Session- or population-specific map: merge (moving
+                // the extra entries) and serialize for this response.
+                let mut config = (*cached.config).clone();
+                config.merge(extra);
+                config.apply_to(resp, self.max_header_len);
+            }
+            _ if cached.max_len == self.max_header_len => {
+                // The common case: pre-split header values, shared
+                // across every request in the epoch.
+                resp.headers.remove(HeaderName::X_ETAG_CONFIG);
+                for value in cached.values.iter() {
+                    resp.headers.append(HeaderName::X_ETAG_CONFIG, value);
                 }
             }
+            _ => cached.config.apply_to(resp, self.max_header_len),
         }
-        if self.mode == HeaderMode::CatalystAggregate {
-            let extra = self
-                .aggregate
-                .lock()
-                .config_for(page, &|p| self.site.etag_at(p, t_secs));
-            for (p, tag) in extra.iter() {
-                config.insert(p, tag.clone());
-            }
-        }
-        config
     }
 
     /// The aggregate store's memory footprint (diagnostics, E11).
@@ -358,31 +505,25 @@ impl OriginServer {
         self.aggregate.lock().memory_footprint()
     }
 
-    /// Builds (or reuses) the static-extraction config for a page.
-    fn config_for(&self, page: &str, t_secs: i64) -> EtagConfig {
-        let key = (page.to_owned(), t_secs);
-        if let Some(hit) = self.config_cache.lock().get(&key) {
-            self.metrics.lock().config_cache_hits += 1;
-            return hit.clone();
+    /// Builds (or reuses) the static-extraction config for a page. A
+    /// hit costs one shard read-lock and two `Arc` bumps; any `t`
+    /// within the page's current churn epoch hits.
+    fn config_for(&self, page: &str, t_secs: i64) -> CachedConfig {
+        let epoch = self
+            .epochs
+            .epoch_at(page, t_secs)
+            .expect("page is a site resource");
+        if let Some(hit) = self.config_cache.get(page, epoch) {
+            self.hot().config_cache_hits.inc();
+            return hit;
         }
         let build_start = std::time::Instant::now();
         let (config, _stats) = build_config_for_site(&self.site, page, t_secs, &self.extract_opts);
         let build = build_start.elapsed();
-        self.metrics.lock().configs_built += 1;
-        self.telemetry
-            .histogram(
-                "origin_map_build_seconds",
-                "Time to build one X-Etag-Config map",
-                &[],
-            )
-            .observe(build);
-        self.telemetry
-            .gauge(
-                "origin_map_entries",
-                "Entries in the most recently built X-Etag-Config map",
-                &[],
-            )
-            .set(config.len() as f64);
+        let hot = self.hot();
+        hot.configs_built.inc();
+        hot.map_build_seconds.observe(build);
+        hot.map_entries.set(config.len() as f64);
         self.recorder.record(&Event::MapBuilt {
             page: page.to_owned(),
             t_ms: t_secs as f64 * 1000.0,
@@ -390,8 +531,13 @@ impl OriginServer {
             header_bytes: config.wire_size(),
             build_micros: build.as_micros() as u64,
         });
-        self.config_cache.lock().insert(key, config.clone());
-        config
+        let cached = CachedConfig {
+            values: Arc::new(config.to_header_values(self.max_header_len)),
+            max_len: self.max_header_len,
+            config: Arc::new(config),
+        };
+        self.config_cache.insert(page, epoch, cached.clone());
+        cached
     }
 
     fn apply_cache_headers(
@@ -426,10 +572,10 @@ impl OriginServer {
         resp.headers
             .insert(HeaderName::SERVER, "cachecatalyst-origin");
         if req.method == Method::Head {
-            resp.body = bytes::Bytes::new();
+            resp.body = Bytes::new();
         }
-        let mut m = self.metrics.lock();
-        m.bytes_sent += resp.wire_len() as u64;
+        // Byte accounting happens once, in `observe_request` (the
+        // wire length is arithmetic now — no serialization).
         resp
     }
 }
@@ -568,6 +714,67 @@ mod tests {
         let m = s.metrics();
         assert_eq!(m.configs_built, 1);
         assert_eq!(m.config_cache_hits, 1);
+    }
+
+    #[test]
+    fn revisit_at_new_time_within_epoch_is_cache_hit() {
+        let s = server(HeaderMode::Catalyst);
+        // The example site's shortest period in /index.html's closure
+        // is 90 minutes; every second below 5400 is one churn epoch.
+        s.handle(&Request::get("/index.html"), 0);
+        for t in [1, 60, 3600, 5399] {
+            s.handle(&Request::get("/index.html"), t);
+        }
+        let m = s.metrics();
+        assert_eq!(m.configs_built, 1, "one build covers the whole epoch");
+        assert_eq!(m.config_cache_hits, 4);
+        // Crossing the epoch boundary (index.html changes at t=5400)
+        // rebuilds exactly once.
+        s.handle(&Request::get("/index.html"), 5401);
+        assert_eq!(s.metrics().configs_built, 2);
+    }
+
+    #[test]
+    fn config_cache_stays_bounded_across_epochs() {
+        let s = server(HeaderMode::Catalyst);
+        // Sweep a week of virtual time: hundreds of distinct `t`s and
+        // dozens of epoch changes. The old `(page, t)` keying grew one
+        // entry per distinct `t`; the page-keyed cache replaces in
+        // place, so it never exceeds one entry per page.
+        for i in 0..500 {
+            s.handle(&Request::get("/index.html"), i * 1200);
+        }
+        assert_eq!(s.config_cache_len(), 1);
+        assert!(s.metrics().configs_built > 10, "epochs did roll over");
+    }
+
+    #[test]
+    fn config_reflects_subresource_change_within_page_version() {
+        // /d.jpg (period 100 min) is in /index.html's closure via
+        // b.js → c.js, so its churn must invalidate the cached config
+        // even when the page document itself is unchanged. The page
+        // changes at 5400; d.jpg at 6000. Between those instants the
+        // cached entry from t=5401 must be evicted at t=6001.
+        let s = server(HeaderMode::Catalyst);
+        s.handle(&Request::get("/index.html"), 5401);
+        assert_eq!(s.metrics().configs_built, 1);
+        s.handle(&Request::get("/index.html"), 6001);
+        assert_eq!(
+            s.metrics().configs_built,
+            2,
+            "subresource churn must rebuild the map"
+        );
+    }
+
+    #[test]
+    fn bodies_are_shared_not_recopied() {
+        let s = server(HeaderMode::Baseline);
+        let a = s.handle(&Request::get("/a.css"), 0);
+        let b = s.handle(&Request::get("/a.css"), 30);
+        // Same epoch → the two responses share one buffer (Bytes
+        // pointer equality), not equal copies.
+        assert_eq!(a.body, b.body);
+        assert_eq!(a.body.as_ptr(), b.body.as_ptr());
     }
 
     #[test]

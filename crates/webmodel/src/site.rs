@@ -402,18 +402,33 @@ impl Site {
     /// Looks up one resource by path (fingerprinted request paths
     /// resolve to their canonical resource).
     pub fn get(&self, path: &str) -> Option<&GeneratedResource> {
+        self.lookup(path).map(|(r, _)| r)
+    }
+
+    /// The borrow-only resolution every accessor builds on: resolves a
+    /// possibly-fingerprinted request path to `(resource,
+    /// pinned_version)`. Exact-match paths — the hot-path case —
+    /// allocate nothing; only a `.vN` fingerprint strip builds the
+    /// canonical key.
+    pub fn lookup(&self, path: &str) -> Option<(&GeneratedResource, Option<u64>)> {
         if let Some(r) = self.resources.get(path) {
-            return Some(r);
+            return Some((r, None));
         }
-        let (canonical, _) = self.resolve_path(path)?;
-        self.resources.get(&canonical)
+        // Try to strip a `.vN` fingerprint segment.
+        let dot = path.rfind('.')?;
+        let stem = &path[..dot];
+        let ext = &path[dot..];
+        let vdot = stem.rfind(".v")?;
+        let version: u64 = stem[vdot + 2..].parse().ok()?;
+        let canonical = format!("{}{}", &stem[..vdot], ext);
+        let r = self.resources.get(&canonical)?;
+        r.spec.fingerprinted.then_some((r, Some(version)))
     }
 
     /// The content version of `path` at absolute site time `t_secs`.
     /// Fingerprinted request paths return their pinned version.
     pub fn version_at(&self, path: &str, t_secs: i64) -> Option<u64> {
-        let (canonical, pinned) = self.resolve_path(path)?;
-        let r = self.resources.get(&canonical)?;
+        let (r, pinned) = self.lookup(path)?;
         Some(pinned.unwrap_or_else(|| r.spec.version_at(t_secs)))
     }
 
@@ -421,9 +436,9 @@ impl Site {
     /// `(host, path, version)`, strong, 16 hex digits — the shape the
     /// modified origin server hands out.
     pub fn etag_at(&self, path: &str, t_secs: i64) -> Option<EntityTag> {
-        let (canonical, _) = self.resolve_path(path)?;
-        let version = self.version_at(path, t_secs)?;
-        Some(self.make_etag(&canonical, version))
+        let (r, pinned) = self.lookup(path)?;
+        let version = pinned.unwrap_or_else(|| r.spec.version_at(t_secs));
+        Some(self.make_etag(&r.spec.path, version))
     }
 
     fn make_etag(&self, path: &str, version: u64) -> EntityTag {
@@ -437,8 +452,7 @@ impl Site {
     /// The body of `path` at `t_secs`. Fingerprinted request paths
     /// (`….vN.ext`) resolve to that pinned version of the asset.
     pub fn body_at(&self, path: &str, t_secs: i64) -> Option<Bytes> {
-        let (canonical, pinned) = self.resolve_path(path)?;
-        let r = self.resources.get(&canonical)?;
+        let (r, pinned) = self.lookup(path)?;
         let version = pinned.unwrap_or_else(|| r.spec.version_at(t_secs));
         Some(render_body(&self.spec.host, &r.spec, version, &|child| {
             self.link_text_at(child, t_secs)
@@ -478,20 +492,11 @@ impl Site {
     }
 
     /// Resolves a possibly-fingerprinted request path to
-    /// `(canonical_path, pinned_version)`.
+    /// `(canonical_path, pinned_version)`. Allocating form of
+    /// [`Site::lookup`], kept for callers that want an owned key.
     pub fn resolve_path(&self, path: &str) -> Option<(String, Option<u64>)> {
-        if self.resources.contains_key(path) {
-            return Some((path.to_owned(), None));
-        }
-        // Try to strip a `.vN` fingerprint segment.
-        let dot = path.rfind('.')?;
-        let stem = &path[..dot];
-        let ext = &path[dot..];
-        let vdot = stem.rfind(".v")?;
-        let version: u64 = stem[vdot + 2..].parse().ok()?;
-        let canonical = format!("{}{}", &stem[..vdot], ext);
-        let r = self.resources.get(&canonical)?;
-        r.spec.fingerprinted.then_some((canonical, Some(version)))
+        self.lookup(path)
+            .map(|(r, pinned)| (r.spec.path.clone(), pinned))
     }
 
     /// The single CDN origin used for third-party resources.
