@@ -13,10 +13,18 @@
 //!
 //! Usage:
 //!   origin_throughput [--smoke] [--threads M] [--iters N] [--label L]
+//!                     [--spans off|always]
+//!
+//! `--spans always` runs the matrix with every request carrying an
+//! `x-cc-trace` context against a recording span sink — the worst
+//! case for the tracing layer. Full (non-smoke) runs additionally
+//! measure the catalyst mode both ways and record the spans-off vs
+//! spans-on delta.
 //!
 //! Appends a labelled section to `results/origin_throughput.txt` and
 //! rewrites `BENCH_origin.json` (repo root) with machine-readable
-//! rows `{mode, threads, reqs_per_sec, p50_us, p99_us}`.
+//! rows `{mode, threads, reqs_per_sec, p50_us, p99_us}` plus the
+//! tracing-overhead measurement.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::fmt::Write as _;
@@ -24,8 +32,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-use cachecatalyst_httpwire::Request;
+use cachecatalyst_httpwire::{tracectx, Request};
 use cachecatalyst_origin::{HeaderMode, OriginServer};
+use cachecatalyst_telemetry::span::{Sampling, SpanId, SpanSink, TraceContext, TraceId};
 use cachecatalyst_webmodel::example_site;
 
 /// Counts every heap allocation made by the process so the harness
@@ -54,6 +63,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
 static GLOBAL: CountingAlloc = CountingAlloc;
 
 /// One measured configuration.
+#[derive(Clone)]
 struct Row {
     mode: &'static str,
     threads: usize,
@@ -68,12 +78,16 @@ struct Row {
 /// so every `t` below this bound lies in one churn epoch.
 const EPOCH_SECS: i64 = 5400;
 
-fn run_mode(mode: HeaderMode, threads: usize, iters_per_thread: usize) -> Row {
-    let server = Arc::new(OriginServer::new(example_site(), mode));
+fn run_mode(mode: HeaderMode, threads: usize, iters_per_thread: usize, traced: bool) -> Row {
+    let mut server = OriginServer::new(example_site(), mode);
+    if traced {
+        server = server.with_span_sink(Arc::new(SpanSink::new(Sampling::Always)));
+    }
+    let server = Arc::new(server);
 
     // Warm-up: one request primes lazy state (telemetry families,
     // caches) without polluting the measured allocation count much.
-    server.handle(&request_for(mode, 0), 0);
+    server.handle(&request_for(mode, 0, traced), 0);
 
     let alloc_before = ALLOCATIONS.load(Ordering::Relaxed);
     let started = Instant::now();
@@ -85,7 +99,7 @@ fn run_mode(mode: HeaderMode, threads: usize, iters_per_thread: usize) -> Row {
                     // Globally unique t per request, all inside one
                     // churn epoch: the revisit-across-seconds case.
                     let t = ((thread_id * iters_per_thread + i) as i64) % EPOCH_SECS;
-                    let resp = server.handle(&request_for(mode, t), t);
+                    let resp = server.handle(&request_for(mode, t, traced), t);
                     assert!(resp.status.as_u16() < 400, "unexpected {}", resp.status);
                 }
             });
@@ -122,20 +136,43 @@ fn run_mode(mode: HeaderMode, threads: usize, iters_per_thread: usize) -> Row {
 
 /// The page request for one iteration. Capture mode carries a session
 /// cookie (so the per-session store engages); aggregate mode needs
-/// only the visit itself.
-fn request_for(mode: HeaderMode, _t: i64) -> Request {
-    let req = Request::get("/index.html").with_header("host", "bench.example");
-    match mode {
-        HeaderMode::CatalystWithCapture => req.with_header("cookie", "cc-session=bench"),
-        _ => req,
+/// only the visit itself. Traced iterations stamp a fresh sampled
+/// `x-cc-trace` context per request (the tracing layer's worst case).
+fn request_for(mode: HeaderMode, t: i64, traced: bool) -> Request {
+    let mut req = Request::get("/index.html").with_header("host", "bench.example");
+    if let HeaderMode::CatalystWithCapture = mode {
+        req = req.with_header("cookie", "cc-session=bench");
+    }
+    if traced {
+        let ctx = TraceContext::new(TraceId::next(), SpanId::next()).at(t as f64 * 1000.0);
+        tracectx::inject(&mut req, &ctx);
+    }
+    req
+}
+
+/// The spans-off vs spans-on throughput comparison (catalyst mode).
+struct SpansDelta {
+    off_reqs_per_sec: f64,
+    on_reqs_per_sec: f64,
+}
+
+impl SpansDelta {
+    /// Percent of throughput lost with tracing on for every request.
+    fn overhead_percent(&self) -> f64 {
+        if self.off_reqs_per_sec <= 0.0 {
+            return 0.0;
+        }
+        (self.off_reqs_per_sec - self.on_reqs_per_sec) / self.off_reqs_per_sec * 100.0
     }
 }
 
-fn render_table(rows: &[Row], threads: usize, iters: usize, label: &str) -> String {
+fn render_table(rows: &[Row], threads: usize, iters: usize, label: &str, spans: bool) -> String {
     let mut out = String::new();
+    let spans_note = if spans { ", spans=always" } else { "" };
     let _ = writeln!(
         out,
-        "## {label} — {threads} threads x {iters} iters/thread, revisit-at-new-t workload"
+        "## {label} — {threads} threads x {iters} iters/thread, \
+         revisit-at-new-t workload{spans_note}"
     );
     let _ = writeln!(
         out,
@@ -152,7 +189,7 @@ fn render_table(rows: &[Row], threads: usize, iters: usize, label: &str) -> Stri
     out
 }
 
-fn render_json(rows: &[Row], label: &str) -> String {
+fn render_json(rows: &[Row], label: &str, spans: Option<&SpansDelta>) -> String {
     let mut out = String::from("{\n  \"bench\": \"origin_throughput\",\n");
     let _ = writeln!(out, "  \"label\": \"{label}\",");
     out.push_str("  \"rows\": [\n");
@@ -165,7 +202,20 @@ fn render_json(rows: &[Row], label: &str) -> String {
             r.mode, r.threads, r.reqs_per_sec, r.p50_us, r.p99_us, r.allocs_per_req
         );
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ]");
+    if let Some(d) = spans {
+        out.push_str(",\n  \"spans\": {\n");
+        let _ = writeln!(
+            out,
+            "    \"mode\": \"catalyst\",\n    \"off_reqs_per_sec\": {:.0},\n    \
+             \"on_reqs_per_sec\": {:.0},\n    \"overhead_percent\": {:.1}",
+            d.off_reqs_per_sec,
+            d.on_reqs_per_sec,
+            d.overhead_percent()
+        );
+        out.push_str("  }");
+    }
+    out.push_str("\n}\n");
     out
 }
 
@@ -187,6 +237,11 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(if smoke { 50 } else { 600 });
     let label = opt("--label").unwrap_or_else(|| "run".to_owned());
+    let spans_on = match opt("--spans").as_deref() {
+        None | Some("off") => false,
+        Some("always") => true,
+        Some(other) => panic!("--spans takes off|always, got {other:?}"),
+    };
 
     let modes = [
         HeaderMode::Baseline,
@@ -194,9 +249,12 @@ fn main() {
         HeaderMode::CatalystWithCapture,
         HeaderMode::CatalystAggregate,
     ];
-    let rows: Vec<Row> = modes.iter().map(|&m| run_mode(m, threads, iters)).collect();
+    let rows: Vec<Row> = modes
+        .iter()
+        .map(|&m| run_mode(m, threads, iters, spans_on))
+        .collect();
 
-    let table = render_table(&rows, threads, iters, &label);
+    let table = render_table(&rows, threads, iters, &label, spans_on);
     print!("{table}");
 
     if smoke {
@@ -204,6 +262,31 @@ fn main() {
         // numbers are noise and must not overwrite recorded results.
         return;
     }
+
+    // The tracing-overhead measurement: catalyst mode with sampling
+    // off vs a fresh traced run of the same shape. The off side
+    // reuses the matrix row when the matrix itself ran untraced.
+    let catalyst_off = if spans_on {
+        run_mode(HeaderMode::Catalyst, threads, iters, false)
+    } else {
+        rows[1].clone()
+    };
+    let catalyst_on = if spans_on {
+        rows[1].clone()
+    } else {
+        run_mode(HeaderMode::Catalyst, threads, iters, true)
+    };
+    let delta = SpansDelta {
+        off_reqs_per_sec: catalyst_off.reqs_per_sec,
+        on_reqs_per_sec: catalyst_on.reqs_per_sec,
+    };
+    println!(
+        "spans overhead (catalyst): off {:.0} req/s, on {:.0} req/s, {:+.1}%",
+        delta.off_reqs_per_sec,
+        delta.on_reqs_per_sec,
+        -delta.overhead_percent()
+    );
+
     std::fs::create_dir_all("results").expect("create results/");
     use std::io::Write as _;
     let mut txt = std::fs::OpenOptions::new()
@@ -212,6 +295,9 @@ fn main() {
         .open("results/origin_throughput.txt")
         .expect("open results/origin_throughput.txt");
     txt.write_all(table.as_bytes()).expect("append results");
-    std::fs::write("BENCH_origin.json", render_json(&rows, &label))
-        .expect("write BENCH_origin.json");
+    std::fs::write(
+        "BENCH_origin.json",
+        render_json(&rows, &label, Some(&delta)),
+    )
+    .expect("write BENCH_origin.json");
 }

@@ -1,0 +1,65 @@
+//! E20 — trace a page load end to end: runs a cold visit plus a warm
+//! revisit with sampling forced on and writes the full evidence set
+//! for each client kind:
+//!
+//! * `results/trace_<kind>.txt` — the span trees rendered as
+//!   indented text (browser fetch phases, proxy hops, origin handling
+//!   with config-cache hit/miss and churn epoch);
+//! * `results/trace_<kind>.jsonl` — every telemetry event, one JSON
+//!   object per line: page-load events, per-resource cache-decision
+//!   audits, and the spans themselves;
+//! * `results/waterfall_<kind>.txt` — the classic Figure-1-style
+//!   waterfalls of both visits for side-by-side reading.
+//!
+//! Usage: trace_page [--delay SECS]
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use cachecatalyst_bench::runner::visit_pair_traced;
+use cachecatalyst_bench::ClientKind;
+use cachecatalyst_netsim::NetworkConditions;
+use cachecatalyst_webmodel::example_site;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let delay_secs: u64 = args
+        .iter()
+        .position(|a| a == "--delay")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3600);
+
+    let site = example_site();
+    let cond = NetworkConditions::five_g_median();
+    std::fs::create_dir_all("results").expect("create results/");
+
+    for (kind, name) in [
+        (ClientKind::Baseline, "baseline"),
+        (ClientKind::Catalyst, "catalyst"),
+    ] {
+        let traced = visit_pair_traced(&site, kind, cond, Duration::from_secs(delay_secs));
+
+        let mut waterfalls = String::new();
+        let _ = writeln!(waterfalls, "# {name} cold visit");
+        waterfalls.push_str(&traced.pair.cold.trace.render_waterfall(72));
+        let _ = writeln!(waterfalls, "\n# {name} warm revisit (+{delay_secs}s)");
+        waterfalls.push_str(&traced.pair.warm.trace.render_waterfall(72));
+
+        std::fs::write(format!("results/trace_{name}.txt"), &traced.trace_text)
+            .expect("write trace text");
+        std::fs::write(format!("results/trace_{name}.jsonl"), &traced.jsonl)
+            .expect("write trace jsonl");
+        std::fs::write(format!("results/waterfall_{name}.txt"), &waterfalls)
+            .expect("write waterfalls");
+
+        println!(
+            "{name}: {} spans over 2 traces, cold PLT {:.1} ms, warm PLT {:.1} ms",
+            traced.spans.len(),
+            traced.pair.cold.plt_ms(),
+            traced.pair.warm.plt_ms(),
+        );
+        println!("{}", traced.trace_text);
+    }
+    println!("wrote results/trace_*.txt, results/trace_*.jsonl, results/waterfall_*.txt");
+}

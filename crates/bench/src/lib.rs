@@ -7,6 +7,10 @@
 
 pub mod runner;
 pub mod table;
+pub mod tracefmt;
 
-pub use runner::{visit_pair, ClientKind, ExperimentGrid, GridCell, VisitPair, REVISIT_DELAYS};
+pub use runner::{
+    visit_pair, visit_pair_traced, ClientKind, ExperimentGrid, GridCell, TracedVisits, VisitPair,
+    REVISIT_DELAYS,
+};
 pub use table::{render_series, render_table};

@@ -9,7 +9,8 @@ use cachecatalyst_browser::{
 use cachecatalyst_httpwire::Url;
 use cachecatalyst_netsim::NetworkConditions;
 use cachecatalyst_origin::{HeaderMode, OriginServer};
-use cachecatalyst_telemetry::JsonlRecorder;
+use cachecatalyst_telemetry::span::{Sampling, Span, SpanSink};
+use cachecatalyst_telemetry::{Event, JsonlRecorder, Recorder};
 use cachecatalyst_webmodel::stats::derive_seed;
 use cachecatalyst_webmodel::Site;
 
@@ -115,21 +116,52 @@ pub fn visit_pair_with(
     VisitPair { cold, warm }
 }
 
-/// [`visit_pair`] with event capture: both visits are recorded as a
-/// JSONL trace (one telemetry event per line, virtual-time stamped),
-/// ready to be written to disk for offline analysis.
+/// Everything [`visit_pair_traced`] captures for one cold+warm pair.
+#[derive(Debug, Clone)]
+pub struct TracedVisits {
+    pub pair: VisitPair,
+    /// One telemetry event per line, virtual-time stamped: page-load
+    /// events, per-resource cache-decision audits, and every span.
+    pub jsonl: String,
+    /// The raw span trees (one trace per visit), timeline-sorted.
+    pub spans: Vec<Span>,
+    /// The spans rendered as an indented per-trace tree
+    /// ([`crate::tracefmt::render`]).
+    pub trace_text: String,
+}
+
+/// [`visit_pair`] with full capture: both visits run with sampling
+/// forced on, a span sink shared between the browser and the origin
+/// (so `origin.handle` spans nest under the browser's fetch spans via
+/// the propagated `x-cc-trace` context), and a JSONL recorder.
 pub fn visit_pair_traced(
     site: &Site,
     kind: ClientKind,
     cond: NetworkConditions,
     delay: Duration,
-) -> (VisitPair, String) {
-    let origin = Arc::new(OriginServer::new(site.clone(), kind.header_mode()));
+) -> TracedVisits {
+    let sink = Arc::new(SpanSink::new(Sampling::Always));
+    let origin = Arc::new(
+        OriginServer::new(site.clone(), kind.header_mode()).with_span_sink(Arc::clone(&sink)),
+    );
     let upstream = SingleOrigin(origin);
     let recorder = Arc::new(JsonlRecorder::new());
-    let browser = kind.browser().with_recorder(recorder.clone());
+    let browser = kind
+        .browser()
+        .with_recorder(recorder.clone())
+        .with_span_sink(Arc::clone(&sink));
     let pair = visit_pair_with(&upstream, site, browser, cond, delay);
-    (pair, recorder.drain())
+    let spans = sink.drain();
+    for span in &spans {
+        recorder.record(&Event::Span(span.clone()));
+    }
+    let trace_text = crate::tracefmt::render(&spans);
+    TracedVisits {
+        pair,
+        jsonl: recorder.drain(),
+        spans,
+        trace_text,
+    }
 }
 
 /// One cell of the Figure-3 grid: the mean warm-visit PLT of two
@@ -325,12 +357,13 @@ mod tests {
             n_resources: 12,
             ..Default::default()
         });
-        let (pair, jsonl) = visit_pair_traced(
+        let traced = visit_pair_traced(
             &site,
             ClientKind::Catalyst,
             NetworkConditions::five_g_median(),
             Duration::from_secs(60),
         );
+        let (pair, jsonl) = (&traced.pair, &traced.jsonl);
         let lines: Vec<&str> = jsonl.lines().collect();
         assert!(lines
             .iter()
@@ -350,6 +383,23 @@ mod tests {
         );
         // The warm visit produced local hits: zero-RTT outcomes appear.
         assert!(jsonl.contains("\"outcome\":\"etag-config-hit\""));
+        // Both visits were sampled: two page_load roots, spans in the
+        // JSONL, audits for every fetch, and a rendered tree.
+        assert_eq!(
+            traced
+                .spans
+                .iter()
+                .filter(|s| s.name == "page_load")
+                .count(),
+            2
+        );
+        assert_eq!(count("span"), traced.spans.len());
+        assert_eq!(
+            count("cache_decision"),
+            pair.cold.trace.fetches.len() + pair.warm.trace.fetches.len()
+        );
+        assert_eq!(traced.trace_text.matches("trace ").count(), 2);
+        assert!(traced.trace_text.contains("origin.handle"));
     }
 
     #[test]

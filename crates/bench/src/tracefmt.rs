@@ -1,0 +1,144 @@
+//! Human-readable rendering of recorded span trees.
+//!
+//! Turns the flat span list a [`SpanSink`] drains into an indented
+//! per-trace tree, one line per span, with durations relative to each
+//! trace's root. This is the text artifact the tracing experiment
+//! writes next to the waterfall (`results/trace_*.txt`).
+//!
+//! [`SpanSink`]: cachecatalyst_telemetry::span::SpanSink
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use cachecatalyst_telemetry::span::{Span, SpanId, TraceId};
+
+/// Renders every trace present in `spans` as an indented tree.
+///
+/// Spans whose parent is missing from the slice (e.g. dropped by the
+/// ring buffer) are promoted to roots so nothing is silently lost.
+pub fn render(spans: &[Span]) -> String {
+    let mut out = String::new();
+    // Traces in chronological order of their earliest span.
+    let mut first_seen: HashMap<TraceId, f64> = HashMap::new();
+    for s in spans {
+        let e = first_seen.entry(s.trace_id).or_insert(f64::INFINITY);
+        *e = e.min(s.start_ms);
+    }
+    let mut trace_ids: Vec<TraceId> = first_seen.keys().copied().collect();
+    trace_ids.sort_by(|a, b| first_seen[a].total_cmp(&first_seen[b]).then(a.0.cmp(&b.0)));
+    for (i, trace) in trace_ids.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        let members: Vec<&Span> = spans.iter().filter(|s| s.trace_id == *trace).collect();
+        render_trace(&mut out, *trace, &members);
+    }
+    out
+}
+
+fn render_trace(out: &mut String, trace: TraceId, spans: &[&Span]) {
+    let present: HashMap<SpanId, &Span> = spans.iter().map(|s| (s.span_id, *s)).collect();
+    let mut children: HashMap<SpanId, Vec<&Span>> = HashMap::new();
+    let mut roots: Vec<&Span> = Vec::new();
+    for s in spans {
+        match s.parent.filter(|p| present.contains_key(p)) {
+            Some(p) => children.entry(p).or_default().push(s),
+            None => roots.push(s),
+        }
+    }
+    let by_time = |a: &&Span, b: &&Span| {
+        a.start_ms
+            .total_cmp(&b.start_ms)
+            .then(a.span_id.0.cmp(&b.span_id.0))
+    };
+    roots.sort_by(by_time);
+    for v in children.values_mut() {
+        v.sort_by(by_time);
+    }
+    let _ = writeln!(out, "trace {:032x} — {} span(s)", trace.0, spans.len());
+    for root in &roots {
+        render_span(out, root, &children, root.start_ms, 0);
+    }
+}
+
+fn render_span(
+    out: &mut String,
+    span: &Span,
+    children: &HashMap<SpanId, Vec<&Span>>,
+    t0_ms: f64,
+    depth: usize,
+) {
+    let mut attrs = String::new();
+    for (k, v) in &span.attrs {
+        let _ = write!(attrs, " {k}={v}");
+    }
+    let _ = writeln!(
+        out,
+        "{:indent$}{} [{:.3}ms +{:.3}ms]{}",
+        "",
+        span.name,
+        span.start_ms - t0_ms,
+        span.duration_ms(),
+        attrs,
+        indent = depth * 2
+    );
+    for child in children.get(&span.span_id).map_or(&[][..], |v| v) {
+        render_span(out, child, children, t0_ms, depth + 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(id: u64, parent: Option<u64>, name: &'static str, start: f64, end: f64) -> Span {
+        Span {
+            trace_id: TraceId(7),
+            span_id: SpanId(id),
+            parent: parent.map(SpanId),
+            name,
+            start_ms: start,
+            end_ms: end,
+            attrs: vec![],
+        }
+    }
+
+    #[test]
+    fn renders_nested_tree_with_relative_times() {
+        let spans = vec![
+            span(1, None, "page_load", 1000.0, 1250.0),
+            span(2, Some(1), "fetch", 1000.0, 1100.0),
+            span(3, Some(2), "wait", 1020.0, 1080.0),
+            span(4, Some(1), "fetch", 1100.0, 1250.0),
+        ];
+        let text = render(&spans);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 5, "{text}");
+        assert!(lines[0].starts_with("trace 00000000000000000000000000000007"));
+        assert!(lines[1].starts_with("page_load [0.000ms +250.000ms]"));
+        assert!(lines[2].starts_with("  fetch [0.000ms +100.000ms]"));
+        assert!(lines[3].starts_with("    wait [20.000ms +60.000ms]"));
+        assert!(lines[4].starts_with("  fetch [100.000ms +150.000ms]"));
+    }
+
+    #[test]
+    fn orphaned_span_is_promoted_to_root() {
+        let spans = vec![
+            span(1, None, "page_load", 0.0, 10.0),
+            // Parent 99 was evicted from the ring: still rendered.
+            span(2, Some(99), "fetch", 5.0, 9.0),
+        ];
+        let text = render(&spans);
+        assert!(text.contains("\npage_load "), "{text}");
+        assert!(text.contains("\nfetch "), "{text}");
+    }
+
+    #[test]
+    fn separate_traces_render_separately() {
+        let mut a = span(1, None, "page_load", 0.0, 1.0);
+        a.trace_id = TraceId(1);
+        let b = span(2, None, "page_load", 0.0, 1.0);
+        let text = render(&[a, b]);
+        assert_eq!(text.matches("trace 0").count(), 2, "{text}");
+    }
+}

@@ -6,6 +6,7 @@ use cachecatalyst_catalyst::ServiceWorker;
 use cachecatalyst_httpcache::{CacheMetrics, HttpCache};
 use cachecatalyst_httpwire::Url;
 use cachecatalyst_netsim::{FetchOutcome, NetworkConditions};
+use cachecatalyst_telemetry::span::SpanSink;
 use cachecatalyst_telemetry::{Event, FetchKind, Recorder};
 
 use crate::engine::{Engine, EngineConfig, LoadReport};
@@ -19,6 +20,7 @@ pub struct Browser {
     pub sw: ServiceWorker,
     pub config: EngineConfig,
     recorder: Option<Arc<dyn Recorder>>,
+    spans: Option<Arc<SpanSink>>,
 }
 
 /// Maps a simulator outcome onto the telemetry vocabulary.
@@ -40,6 +42,7 @@ impl Browser {
             sw: ServiceWorker::new(),
             config,
             recorder: None,
+            spans: None,
         }
     }
 
@@ -49,6 +52,14 @@ impl Browser {
     /// traces from discrete-event runs line up across visits.
     pub fn with_recorder(mut self, recorder: Arc<dyn Recorder>) -> Browser {
         self.recorder = Some(recorder);
+        self
+    }
+
+    /// Attaches a span sink; each subsequent load is offered to its
+    /// sampler, and sampled loads record a full distributed trace
+    /// (browser, proxies and origin share the propagated trace id).
+    pub fn with_span_sink(mut self, spans: Arc<SpanSink>) -> Browser {
+        self.spans = Some(spans);
         self
     }
 
@@ -90,15 +101,18 @@ impl Browser {
         t_secs: i64,
     ) -> LoadReport {
         let metrics_before = self.cache.metrics;
-        let report = Engine::new(
+        let mut engine = Engine::new(
             upstream,
             cond,
             &self.config,
             &mut self.cache,
             &mut self.sw,
             t_secs,
-        )
-        .load(base_url);
+        );
+        if let Some(spans) = &self.spans {
+            engine = engine.with_span_sink(spans);
+        }
+        let report = engine.load(base_url);
         // Remember the visit so push-if-changed comparators can use
         // the `x-cc-last-visit` announcement on the next load.
         self.config.last_visit = Some(t_secs);
@@ -148,6 +162,14 @@ fn emit_load_events(
             bytes_down: f.bytes_down,
             bytes_up: f.bytes_up,
             rtts: f.rtts,
+        });
+    }
+    // The audit trail: one cache-decision verdict per resource, in
+    // fetch order (audits[i] belongs to trace.fetches[i]).
+    for (f, audit) in report.trace.fetches.iter().zip(&report.audits) {
+        recorder.record(&Event::CacheDecision {
+            t_ms: base_ms + f.completed.as_millis_f64(),
+            audit: audit.clone(),
         });
     }
     recorder.record(&Event::PageLoadEnd {

@@ -9,15 +9,18 @@
 //! other down exactly as under browser throttling.
 
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
 use std::time::Duration;
 
 use cachecatalyst_catalyst::{ServiceWorker, SwDecision};
 use cachecatalyst_httpcache::{HttpCache, Lookup};
 use cachecatalyst_httpwire::codec::encode_request;
-use cachecatalyst_httpwire::{HeaderName, Request, Response, StatusCode, Url};
+use cachecatalyst_httpwire::{tracectx, HeaderName, Request, Response, StatusCode, Url};
 use cachecatalyst_netsim::{
     FetchOutcome, FetchTrace, LinkId, LoadTrace, NetEvent, Network, NetworkConditions, SimTime,
 };
+use cachecatalyst_telemetry::span::{Span, SpanId, SpanSink, TraceContext, TraceId};
+use cachecatalyst_telemetry::{CacheAudit, CacheDecision};
 use cachecatalyst_webmodel::extract::{extract_css_links, extract_html_links};
 use cachecatalyst_webmodel::ResourceKind;
 
@@ -152,6 +155,12 @@ pub struct LoadReport {
     /// Stale responses served under `stale-while-revalidate` (each one
     /// also spawned a background revalidation).
     pub swr_served: usize,
+    /// The cache-decision audit trail: one record per entry of
+    /// `trace.fetches`, same order — how each resource was decided,
+    /// which `X-Etag-Config` entry was consulted, in which churn
+    /// epoch, and whether the served bytes were stale against the
+    /// origin's current version.
+    pub audits: Vec<CacheAudit>,
 }
 
 impl LoadReport {
@@ -207,6 +216,52 @@ struct FetchState {
     /// Round trips charged so far: DNS, handshake legs, the
     /// request/response exchange, retransmission timeouts.
     rtts: u32,
+    /// This fetch's span id when the load is traced.
+    span: Option<SpanId>,
+    /// When the last request byte left the uplink (network fetches).
+    t_upload_done: Option<SimTime>,
+    /// When the response started flowing down (server turn taken,
+    /// any proxy resolution delay paid).
+    t_response_start: Option<SimTime>,
+    /// The `X-Etag-Config` entry (or conditional validator) consulted
+    /// for this fetch, for the audit trail.
+    audit_etag: Option<String>,
+    /// Whether the bytes handed to the page were stale against the
+    /// origin's current version (`None` = unknowable).
+    audit_stale: Option<bool>,
+    /// The origin's churn epoch (from `x-cc-epoch`, traced loads).
+    audit_epoch: Option<u64>,
+}
+
+impl FetchState {
+    /// A fetch in its initial state (not started, full transfer
+    /// assumed until the serving decision says otherwise).
+    fn new(url: Url, req: Request, discovered: SimTime) -> FetchState {
+        FetchState {
+            url,
+            req,
+            discovered,
+            started: None,
+            completed: None,
+            conn: None,
+            response: None,
+            delivered: None,
+            outcome: FetchOutcome::FullTransfer,
+            bytes_up: 0,
+            bytes_down: 0,
+            is_navigation: false,
+            is_push: false,
+            push_used: false,
+            is_background: false,
+            rtts: 0,
+            span: None,
+            t_upload_done: None,
+            t_response_start: None,
+            audit_etag: None,
+            audit_stale: None,
+            audit_epoch: None,
+        }
+    }
 }
 
 struct ConnState {
@@ -268,6 +323,19 @@ pub struct Engine<'a> {
     render_blocking: Vec<FetchId>,
     /// The navigation URL, used as the Referer of subresource fetches.
     navigation_url: Option<String>,
+    /// Set when this load was sampled for tracing.
+    tracer: Option<Tracer>,
+    /// `(background revalidation, SWR-served fetch)` pairs: the
+    /// revalidation's outcome resolves the served copy's staleness.
+    swr_pairs: Vec<(FetchId, FetchId)>,
+}
+
+/// Tracing state for one sampled load: the trace id every span of
+/// the load shares, the root span, and the sink spans land in.
+struct Tracer {
+    sink: Arc<SpanSink>,
+    trace: TraceId,
+    root: SpanId,
 }
 
 impl<'a> Engine<'a> {
@@ -303,7 +371,29 @@ impl<'a> Engine<'a> {
             push_inflight: HashMap::new(),
             render_blocking: Vec::new(),
             navigation_url: None,
+            tracer: None,
+            swr_pairs: Vec::new(),
         }
+    }
+
+    /// Samples this load against `sink`; when sampled, every fetch,
+    /// phase and downstream (proxy/origin) hop records spans there,
+    /// all sharing one fresh trace id rooted in a `page_load` span.
+    pub fn with_span_sink(mut self, sink: &Arc<SpanSink>) -> Engine<'a> {
+        if sink.sample() {
+            self.tracer = Some(Tracer {
+                sink: Arc::clone(sink),
+                trace: TraceId::next(),
+                root: SpanId::next(),
+            });
+        }
+        self
+    }
+
+    /// Absolute virtual milliseconds for a sim instant (the page-load
+    /// events' time base: `t_secs` plus the offset into the load).
+    fn abs_ms(&self, t: SimTime) -> f64 {
+        self.t_secs as f64 * 1000.0 + t.as_millis_f64()
     }
 
     /// Loads `base_url` to completion and reports.
@@ -356,6 +446,7 @@ impl<'a> Engine<'a> {
                 }
             }
             Pending::UploadDone(f) => {
+                self.fetches[f].t_upload_done = Some(now);
                 let loss = self.loss_penalty();
                 self.fetches[f].rtts += 1 + if loss > Duration::ZERO { 2 } else { 0 };
                 let tok = self.token(Pending::ServerTurn(f));
@@ -363,6 +454,18 @@ impl<'a> Engine<'a> {
                 self.net.set_timer(dt, tok);
             }
             Pending::ServerTurn(f) => {
+                // Re-stamp the trace context with the virtual clock at
+                // the server turn, so server-side spans sit at the
+                // right place on the load's timeline. (The header was
+                // first injected unstamped at request creation; the
+                // uploaded byte count was measured then and the stamp
+                // is in-process metadata, like `x-cc-server-delay-ms`.)
+                if let Some(tracer) = &self.tracer {
+                    if let Some(span) = self.fetches[f].span {
+                        let ctx = TraceContext::new(tracer.trace, span).at(self.abs_ms(now));
+                        tracectx::inject(&mut self.fetches[f].req, &ctx);
+                    }
+                }
                 let resp = self.up.handle(
                     self.fetches[f].url.host(),
                     &self.fetches[f].req,
@@ -380,10 +483,16 @@ impl<'a> Engine<'a> {
                         let tok = self.token(Pending::ServerDelayed(f));
                         self.net.set_timer(Duration::from_millis(ms), tok);
                     }
-                    _ => self.start_download(f),
+                    _ => {
+                        self.fetches[f].t_response_start = Some(now);
+                        self.start_download(f);
+                    }
                 }
             }
-            Pending::ServerDelayed(f) => self.start_download(f),
+            Pending::ServerDelayed(f) => {
+                self.fetches[f].t_response_start = Some(now);
+                self.start_download(f);
+            }
             Pending::DownloadDone(f) => {
                 let tok = self.token(Pending::LastByte(f));
                 self.net.set_timer(self.cond.one_way(), tok);
@@ -457,25 +566,22 @@ impl<'a> Engine<'a> {
 
         let f = self.fetches.len();
         self.fetches.push(FetchState {
-            url: url.clone(),
-            req,
-            discovered: now,
-            started: None,
-            completed: None,
-            conn: None,
-            response: None,
-            delivered: None,
-            outcome: FetchOutcome::FullTransfer,
-            bytes_up: 0,
-            bytes_down: 0,
             is_navigation,
-            is_push: false,
-            push_used: false,
-            is_background: false,
-            rtts: 0,
+            ..FetchState::new(url.clone(), req, now)
         });
         if is_navigation {
             self.render_blocking.push(f);
+        }
+        // Traced loads: give the fetch its span id and put the trace
+        // context on the outgoing request (re-stamped with the virtual
+        // clock at the server turn).
+        if let Some(tracer) = &self.tracer {
+            let span = SpanId::next();
+            self.fetches[f].span = Some(span);
+            tracectx::inject(
+                &mut self.fetches[f].req,
+                &TraceContext::new(tracer.trace, span),
+            );
         }
 
         // --- the serving decision ---
@@ -485,14 +591,36 @@ impl<'a> Engine<'a> {
                 // stored validator so an unchanged page costs a 304.
                 if let Some(tag) = self.sw.cached_etag(&url.to_string()) {
                     let tag = tag.to_string();
+                    self.fetches[f].audit_etag = Some(tag.clone());
                     self.fetches[f]
                         .req
                         .headers
                         .insert(HeaderName::IF_NONE_MATCH, &tag);
                 }
             } else {
-                match self.sw.intercept(&url.to_string(), &path) {
+                let url_str = url.to_string();
+                // The `X-Etag-Config` entry consulted for this
+                // resource (same-origin keyed by path, cross-origin by
+                // full URL) — recorded on the audit trail.
+                let consulted = self
+                    .sw
+                    .config()
+                    .get(&path)
+                    .or_else(|| self.sw.config().get(&url_str))
+                    .cloned();
+                self.fetches[f].audit_etag = consulted.as_ref().map(|t| t.to_string());
+                match self.sw.intercept(&url_str, &path) {
                     SwDecision::ServeLocal(resp) => {
+                        // Staleness oracle: the served bytes are the
+                        // cached entry; the consulted entry is the
+                        // origin's *current* version (the map was
+                        // installed by this very navigation). A serve
+                        // despite mismatch would be a catalyst bug.
+                        let served = self.sw.cached_etag(&url_str);
+                        self.fetches[f].audit_stale = match (served, &consulted) {
+                            (Some(s), Some(c)) => Some(!(s.strong_eq(c) || s.weak_eq(c))),
+                            _ => None,
+                        };
                         self.fetches[f].outcome = FetchOutcome::ServiceWorkerHit;
                         self.fetches[f].response = Some(resp);
                         let tok = self.token(Pending::Instant(f));
@@ -501,10 +629,14 @@ impl<'a> Engine<'a> {
                     }
                     SwDecision::Forward { if_none_match } => {
                         if let Some(tag) = if_none_match {
+                            let tag = tag.to_string();
+                            if self.fetches[f].audit_etag.is_none() {
+                                self.fetches[f].audit_etag = Some(tag.clone());
+                            }
                             self.fetches[f]
                                 .req
                                 .headers
-                                .insert(HeaderName::IF_NONE_MATCH, &tag.to_string());
+                                .insert(HeaderName::IF_NONE_MATCH, &tag);
                         }
                     }
                 }
@@ -535,10 +667,17 @@ impl<'a> Engine<'a> {
                         self.fetches[f].response = Some(response);
                         let tok = self.token(Pending::Instant(f));
                         self.net.set_timer(self.cfg.cache_overhead, tok);
-                        self.spawn_background_revalidation(url.clone(), etag, last_modified, now);
+                        self.spawn_background_revalidation(
+                            url.clone(),
+                            etag,
+                            last_modified,
+                            now,
+                            f,
+                        );
                         return;
                     }
                     if let Some(tag) = etag {
+                        self.fetches[f].audit_etag = Some(tag.clone());
                         self.fetches[f]
                             .req
                             .headers
@@ -570,6 +709,7 @@ impl<'a> Engine<'a> {
         etag: Option<String>,
         last_modified: Option<String>,
         now: SimTime,
+        served: FetchId,
     ) {
         let mut req = Request::get(&url.target().to_string())
             .with_header(HeaderName::HOST, &url.authority())
@@ -581,23 +721,21 @@ impl<'a> Engine<'a> {
         }
         let f = self.fetches.len();
         self.fetches.push(FetchState {
-            url,
-            req,
-            discovered: now,
-            started: None,
-            completed: None,
-            conn: None,
-            response: None,
-            delivered: None,
             outcome: FetchOutcome::NotModified,
-            bytes_up: 0,
-            bytes_down: 0,
-            is_navigation: false,
-            is_push: false,
-            push_used: false,
             is_background: true,
-            rtts: 0,
+            ..FetchState::new(url, req, now)
         });
+        if let Some(tracer) = &self.tracer {
+            let span = SpanId::next();
+            self.fetches[f].span = Some(span);
+            tracectx::inject(
+                &mut self.fetches[f].req,
+                &TraceContext::new(tracer.trace, span),
+            );
+        }
+        // The revalidation outcome doubles as the staleness oracle for
+        // the SWR-served response it refreshes (see `finalize`).
+        self.swr_pairs.push((f, served));
         self.assign_to_pool(f, now);
     }
 
@@ -774,7 +912,20 @@ impl<'a> Engine<'a> {
 
     // ---- delivery ----
 
+    /// Remembers the origin's churn epoch (`x-cc-epoch`, attached to
+    /// responses of traced requests) for the audit trail. Cached/SW
+    /// copies keep the header from when they were fetched, so local
+    /// hits attribute to the epoch their bytes came from.
+    fn note_epoch(&mut self, f: FetchId, resp: &Response) {
+        if self.fetches[f].audit_epoch.is_none() {
+            if let Some(v) = resp.headers.get(HeaderName::X_CC_EPOCH) {
+                self.fetches[f].audit_epoch = v.parse().ok();
+            }
+        }
+    }
+
     fn deliver_network(&mut self, f: FetchId, resp: Response, now: SimTime) {
+        self.note_epoch(f, &resp);
         let url = self.fetches[f].url.to_string();
         if self.fetches[f].is_background {
             self.fetches[f].completed = Some(now);
@@ -831,6 +982,7 @@ impl<'a> Engine<'a> {
     /// A response is now available to the page: record it and schedule
     /// content processing (parse / execute).
     fn complete(&mut self, f: FetchId, delivered: Response, now: SimTime) {
+        self.note_epoch(f, &delivered);
         self.fetches[f].completed = Some(now);
         // Pushed/bundled responses enter the regular caches, exactly
         // as browsers admit pushed streams into the HTTP cache.
@@ -881,6 +1033,14 @@ impl<'a> Engine<'a> {
     fn handle_predelivery(&mut self, f: FetchId, now: SimTime) {
         let delivered = self.fetches[f].delivered.clone().expect("just set");
         let base = self.fetches[f].url.clone();
+        // Internal materialization requests carry the trace context
+        // too, parented under the navigation's span (bundles) or the
+        // push row's own span, so origin work they cause is attributed.
+        let nav_ctx = self.tracer.as_ref().and_then(|tracer| {
+            self.fetches[f]
+                .span
+                .map(|span| TraceContext::new(tracer.trace, span).at(self.abs_ms(now)))
+        });
         // RDR bundle: bodies already arrived inside the bundle body;
         // make them instantly available.
         if let Some(list) = delivered.headers.get_combined(ext::X_RDR_BUNDLE) {
@@ -888,9 +1048,12 @@ impl<'a> Engine<'a> {
                 let Ok(url) = base.join(path.trim()) else {
                     continue;
                 };
-                let req = Request::get(&url.target().to_string())
+                let mut req = Request::get(&url.target().to_string())
                     .with_header(HeaderName::HOST, &url.authority())
                     .with_header(ext::X_INTERNAL, "bundle");
+                if let Some(ctx) = &nav_ctx {
+                    tracectx::inject(&mut req, ctx);
+                }
                 let resp = self.up.handle(url.host(), &req, self.t_secs);
                 if resp.status.is_success() {
                     self.predelivered.insert(url.to_string(), resp);
@@ -908,9 +1071,16 @@ impl<'a> Engine<'a> {
                 if self.requested.contains(&key) || self.predelivered.contains_key(&key) {
                     continue;
                 }
-                let req = Request::get(&url.target().to_string())
+                let push_span = self.tracer.as_ref().map(|_| SpanId::next());
+                let mut req = Request::get(&url.target().to_string())
                     .with_header(HeaderName::HOST, &url.authority())
                     .with_header(ext::X_INTERNAL, "push");
+                if let (Some(tracer), Some(span)) = (&self.tracer, push_span) {
+                    tracectx::inject(
+                        &mut req,
+                        &TraceContext::new(tracer.trace, span).at(self.abs_ms(now)),
+                    );
+                }
                 let resp = self.up.handle(url.host(), &req, self.t_secs);
                 if !resp.status.is_success() {
                     continue;
@@ -918,22 +1088,13 @@ impl<'a> Engine<'a> {
                 let bytes = resp.wire_len() as u64;
                 let pf = self.fetches.len();
                 self.fetches.push(FetchState {
-                    url,
-                    req,
-                    discovered: now,
                     started: Some(now),
-                    completed: None,
-                    conn: None,
                     response: Some(resp),
-                    delivered: None,
                     outcome: FetchOutcome::Pushed,
-                    bytes_up: 0,
                     bytes_down: bytes,
-                    is_navigation: false,
                     is_push: true,
-                    push_used: false,
-                    is_background: false,
-                    rtts: 0,
+                    span: push_span,
+                    ..FetchState::new(url, req, now)
                 });
                 self.push_inflight.insert(key, (pf, None));
                 let tok = self.token(Pending::PushDone(pf));
@@ -1045,6 +1206,8 @@ impl<'a> Engine<'a> {
                 bytes_down: f.bytes_down,
                 bytes_up: f.bytes_up,
                 rtts: f.rtts,
+                upload_done: f.t_upload_done,
+                response_start: f.t_response_start,
             });
         }
         let bytes_down = trace.bytes_down();
@@ -1055,6 +1218,10 @@ impl<'a> Engine<'a> {
             .filter_map(|&f| self.fetches[f].completed)
             .max()
             .unwrap_or(plt);
+        let audits = self.collect_audits();
+        if let Some(tracer) = &self.tracer {
+            self.emit_spans(tracer, plt);
+        }
         LoadReport {
             trace,
             plt,
@@ -1071,6 +1238,135 @@ impl<'a> Engine<'a> {
             pushed_unused_bytes,
             // One background revalidation per SWR-served response.
             swr_served: background,
+            audits,
+        }
+    }
+
+    /// One [`CacheAudit`] per fetch, same order as `trace.fetches`.
+    fn collect_audits(&self) -> Vec<CacheAudit> {
+        let mut audits: Vec<CacheAudit> = self
+            .fetches
+            .iter()
+            .map(|f| {
+                let decision = match f.outcome {
+                    FetchOutcome::ServiceWorkerHit => CacheDecision::SwHitZeroRtt,
+                    FetchOutcome::NotModified => CacheDecision::Conditional304,
+                    FetchOutcome::FullTransfer => CacheDecision::FullFetch,
+                    FetchOutcome::CacheHit | FetchOutcome::Pushed => CacheDecision::Bypass,
+                };
+                let served_stale = match f.outcome {
+                    // Validated (or freshly transferred / pushed at the
+                    // current t): the delivered bytes match the origin.
+                    FetchOutcome::NotModified
+                    | FetchOutcome::FullTransfer
+                    | FetchOutcome::Pushed => Some(false),
+                    // SW hits carry the oracle verdict from intercept
+                    // time; classic freshness hits are unknowable
+                    // unless an SWR revalidation resolves them below.
+                    FetchOutcome::ServiceWorkerHit | FetchOutcome::CacheHit => f.audit_stale,
+                };
+                CacheAudit {
+                    url: f.url.to_string(),
+                    decision,
+                    etag: f.audit_etag.clone(),
+                    epoch: f.audit_epoch,
+                    served_stale,
+                }
+            })
+            .collect();
+        // Stale-while-revalidate: the background revalidation's
+        // outcome is the staleness oracle for the copy it refreshed —
+        // a 304 proves the served bytes were current, a full transfer
+        // proves they were stale.
+        for &(bg, served) in &self.swr_pairs {
+            if self.fetches[bg].completed.is_some() {
+                audits[served].served_stale =
+                    Some(self.fetches[bg].outcome == FetchOutcome::FullTransfer);
+            }
+        }
+        audits
+    }
+
+    /// Emits the load's span tree: one `page_load` root, one `fetch`
+    /// span per resource, and phase children (`queue`, `request`,
+    /// `wait`, `download` for network fetches; `local` for cache, SW
+    /// and predelivered hits). Origin/proxy spans recorded downstream
+    /// already parent onto the fetch spans via the propagated context.
+    fn emit_spans(&self, tracer: &Tracer, plt: SimTime) {
+        let page = self
+            .navigation_url
+            .clone()
+            .unwrap_or_else(|| "about:blank".to_owned());
+        tracer.sink.record(Span {
+            trace_id: tracer.trace,
+            span_id: tracer.root,
+            parent: None,
+            name: "page_load",
+            start_ms: self.abs_ms(SimTime::ZERO),
+            end_ms: self.abs_ms(plt),
+            attrs: vec![
+                ("page", page),
+                ("resources", self.fetches.len().to_string()),
+            ],
+        });
+        for f in &self.fetches {
+            let Some(span_id) = f.span else { continue };
+            let completed = f.completed.unwrap_or(f.discovered);
+            let started = f.started.unwrap_or(f.discovered);
+            let role = if f.is_navigation {
+                "navigation"
+            } else if f.is_push {
+                "push"
+            } else if f.is_background {
+                "background"
+            } else {
+                "subresource"
+            };
+            tracer.sink.record(Span {
+                trace_id: tracer.trace,
+                span_id,
+                parent: Some(tracer.root),
+                name: "fetch",
+                start_ms: self.abs_ms(f.discovered),
+                end_ms: self.abs_ms(completed),
+                attrs: vec![
+                    ("url", f.url.to_string()),
+                    ("outcome", f.outcome.tag().trim().to_owned()),
+                    ("role", role.to_owned()),
+                    ("bytes_down", f.bytes_down.to_string()),
+                    ("rtts", f.rtts.to_string()),
+                ],
+            });
+            let child = |name: &'static str, from: SimTime, to: SimTime| {
+                tracer.sink.record(Span {
+                    trace_id: tracer.trace,
+                    span_id: SpanId::next(),
+                    parent: Some(span_id),
+                    name,
+                    start_ms: self.abs_ms(from),
+                    end_ms: self.abs_ms(to),
+                    attrs: Vec::new(),
+                });
+            };
+            match (f.t_upload_done, f.t_response_start) {
+                (Some(upload_done), Some(response_start)) => {
+                    // Network exchange: connection wait + handshake,
+                    // request serialization/upload, server round trip,
+                    // body download.
+                    if started > f.discovered {
+                        child("queue", f.discovered, started);
+                    }
+                    child("request", started, upload_done);
+                    child("wait", upload_done, response_start);
+                    child("download", response_start, completed);
+                }
+                _ => {
+                    // Local serving (SW hit, cache hit, predelivered
+                    // push/bundle body): one span for the local
+                    // overhead.
+                    child("local", f.discovered, completed);
+                }
+            }
         }
     }
 }

@@ -140,6 +140,10 @@ impl LiveBrowser {
                 // Live fetches reuse pooled keep-alive connections:
                 // one request/response round trip per network fetch.
                 rtts: done.outcome.used_network() as u32,
+                // The live path doesn't observe intra-request phase
+                // boundaries; HAR export degrades gracefully.
+                upload_done: None,
+                response_start: None,
             });
             for link in done.links {
                 if requested.insert(link.to_string()) {

@@ -44,6 +44,13 @@ std_headers! {
     /// Marks a response as having been served by the client-side
     /// service worker without touching the network (diagnostics only).
     X_SERVED_BY => "x-served-by";
+    /// The propagated distributed-tracing context (`traceparent`-style;
+    /// see `tracectx`). Present only on sampled page loads.
+    X_CC_TRACE => "x-cc-trace";
+    /// The origin's churn epoch for the requested resource, attached
+    /// to responses of traced requests so the client's cache-decision
+    /// audit can attribute the decision to an epoch.
+    X_CC_EPOCH => "x-cc-epoch";
 }
 
 impl HeaderName {

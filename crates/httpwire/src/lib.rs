@@ -33,6 +33,7 @@ pub mod message;
 pub mod method;
 pub mod status;
 pub mod target;
+pub mod tracectx;
 
 #[cfg(feature = "aio")]
 pub mod aio;

@@ -60,6 +60,12 @@ pub struct FetchTrace {
     /// Network round trips this fetch paid (DNS, handshake,
     /// request/response, retransmissions); 0 for local hits.
     pub rtts: u32,
+    /// When the request finished uploading (network fetches only);
+    /// the `send` → `wait` boundary in HAR terms.
+    pub upload_done: Option<SimTime>,
+    /// When the first response byte arrived (network fetches only);
+    /// the `wait` → `receive` boundary in HAR terms.
+    pub response_start: Option<SimTime>,
 }
 
 impl FetchTrace {
@@ -188,6 +194,8 @@ mod tests {
                     bytes_down: 10_000,
                     bytes_up: 200,
                     rtts: 2,
+                    upload_done: Some(t(10)),
+                    response_start: Some(t(30)),
                 },
                 FetchTrace {
                     url: "http://s/a.css".into(),
@@ -198,6 +206,8 @@ mod tests {
                     bytes_down: 120,
                     bytes_up: 230,
                     rtts: 1,
+                    upload_done: Some(t(55)),
+                    response_start: Some(t(80)),
                 },
                 FetchTrace {
                     url: "http://s/b.js".into(),
@@ -208,6 +218,8 @@ mod tests {
                     bytes_down: 0,
                     bytes_up: 0,
                     rtts: 0,
+                    upload_done: None,
+                    response_start: None,
                 },
             ],
         }

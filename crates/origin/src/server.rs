@@ -18,7 +18,10 @@ use cachecatalyst_catalyst::{
     SessionCapture, SW_SCRIPT, SW_SCRIPT_PATH,
 };
 use cachecatalyst_httpwire::conditional::{evaluate, Disposition, Validators};
-use cachecatalyst_httpwire::{HeaderName, HttpDate, Method, Request, Response, StatusCode};
+use cachecatalyst_httpwire::{
+    tracectx, HeaderName, HttpDate, Method, Request, Response, StatusCode,
+};
+use cachecatalyst_telemetry::span::{Sampling, Span, SpanId, SpanSink};
 use cachecatalyst_telemetry::{Counter, Event, Gauge, Histogram, NullRecorder, Recorder, Registry};
 use cachecatalyst_webmodel::{ChangeModel, HeaderPolicy, ResourceKind, Site};
 use parking_lot::Mutex;
@@ -190,6 +193,18 @@ struct CachedConfig {
     max_len: usize,
 }
 
+/// Facts the handler learns along the way, surfaced on a traced
+/// request's span and `x-cc-epoch` header. Lives on the stack of one
+/// `handle` call; the untraced path only ever writes `config_cache_hit`.
+#[derive(Default)]
+struct HandleNotes {
+    /// Whether the request carries a sampled trace context; gates the
+    /// epoch computation (the only non-free note).
+    traced: bool,
+    epoch: Option<u64>,
+    config_cache_hit: Option<bool>,
+}
+
 /// The origin server for one site.
 pub struct OriginServer {
     site: Site,
@@ -212,6 +227,9 @@ pub struct OriginServer {
     hot: OnceLock<HotMetrics>,
     telemetry: Arc<Registry>,
     recorder: Arc<dyn Recorder>,
+    /// Distributed-tracing sink. Off by default: the per-request cost
+    /// is then a single relaxed atomic load in [`OriginServer::handle`].
+    spans: Arc<SpanSink>,
     /// Maximum bytes per X-Etag-Config header value before splitting.
     pub max_header_len: usize,
     /// Express baseline TTLs via `Expires` (absolute date) instead of
@@ -235,6 +253,7 @@ impl OriginServer {
             hot: OnceLock::new(),
             telemetry: Arc::new(Registry::new()),
             recorder: Arc::new(NullRecorder),
+            spans: Arc::new(SpanSink::new(Sampling::Off)),
             max_header_len: 6 * 1024,
             use_expires_header: false,
         }
@@ -255,6 +274,20 @@ impl OriginServer {
     /// The server's metric registry (rendered by `/metrics`).
     pub fn telemetry(&self) -> &Arc<Registry> {
         &self.telemetry
+    }
+
+    /// Routes origin-side tracing spans to `spans`. With the sink's
+    /// sampling off (the default) the handler's tracing cost is one
+    /// relaxed atomic load per request.
+    pub fn with_span_sink(mut self, spans: Arc<SpanSink>) -> OriginServer {
+        self.spans = spans;
+        self
+    }
+
+    /// The server's span sink (shared with proxies wrapping this
+    /// origin, so one drain yields the whole server-side tree).
+    pub fn span_sink(&self) -> &Arc<SpanSink> {
+        &self.spans
     }
 
     /// Enables the cross-origin extension (paper §6, issue 2): the
@@ -300,8 +333,53 @@ impl OriginServer {
     /// Handles one request at virtual time `t_secs`.
     pub fn handle(&self, req: &Request, t_secs: i64) -> Response {
         let started = std::time::Instant::now();
-        let resp = self.handle_inner(req, t_secs);
-        self.observe_request(&resp, started.elapsed());
+        // Tracing gate: with sampling off this is one relaxed atomic
+        // load and `ctx` is `None` — no header lookup, no allocation.
+        let ctx = if self.spans.enabled() {
+            tracectx::extract(req)
+        } else {
+            None
+        };
+        let mut notes = HandleNotes {
+            traced: ctx.is_some(),
+            ..HandleNotes::default()
+        };
+        let mut resp = self.handle_inner(req, t_secs, &mut notes);
+        let took = started.elapsed();
+        if let Some(ctx) = ctx {
+            // The epoch header lets the client-side audit attribute
+            // its decision to the origin's churn epoch.
+            if let Some(epoch) = notes.epoch {
+                resp.headers
+                    .insert(HeaderName::X_CC_EPOCH, &epoch.to_string());
+            }
+            // Span timestamps live on the *sender's* clock when the
+            // context carries one (virtual ms under the simulator);
+            // the duration is the real handler time.
+            let start_ms = ctx.t_ms.unwrap_or(t_secs as f64 * 1000.0);
+            let mut attrs = vec![
+                ("path", req.target.path().to_owned()),
+                ("status", resp.status.as_u16().to_string()),
+                ("mode", self.mode.label().to_owned()),
+                ("bytes", resp.body.len().to_string()),
+            ];
+            if let Some(hit) = notes.config_cache_hit {
+                attrs.push(("config_cache", if hit { "hit" } else { "miss" }.to_owned()));
+            }
+            if let Some(epoch) = notes.epoch {
+                attrs.push(("epoch", epoch.to_string()));
+            }
+            self.spans.record(Span {
+                trace_id: ctx.trace_id,
+                span_id: SpanId::next(),
+                parent: Some(ctx.parent),
+                name: "origin.handle",
+                start_ms,
+                end_ms: start_ms + took.as_secs_f64() * 1000.0,
+                attrs,
+            });
+        }
+        self.observe_request(&resp, took);
         resp
     }
 
@@ -334,7 +412,7 @@ impl OriginServer {
         }
     }
 
-    fn handle_inner(&self, req: &Request, t_secs: i64) -> Response {
+    fn handle_inner(&self, req: &Request, t_secs: i64, notes: &mut HandleNotes) -> Response {
         if req.method != Method::Get && req.method != Method::Head {
             return Response::empty(StatusCode::METHOD_NOT_ALLOWED);
         }
@@ -354,6 +432,12 @@ impl OriginServer {
             return Response::empty(StatusCode::NOT_FOUND)
                 .with_header(HeaderName::DATE, &HttpDate(t_secs).to_imf_fixdate());
         };
+
+        // Traced requests learn their churn epoch (fingerprinted URLs
+        // pin a version in the path and have no epoch of their own).
+        if notes.traced && pinned.is_none() {
+            notes.epoch = self.epochs.epoch_at(path, t_secs);
+        }
 
         let etag = self
             .site
@@ -390,7 +474,7 @@ impl OriginServer {
             // Even an unchanged base document must deliver the *fresh*
             // token map: subresources may have changed independently.
             if is_html && self.mode.is_catalyst() {
-                self.attach_config(&mut resp, path, req, t_secs);
+                self.attach_config(&mut resp, path, req, t_secs, notes);
             }
             let resp = self.apply_cache_headers(resp, &resource.policy, resource.spec.kind);
             return self.finish(resp, req);
@@ -430,7 +514,7 @@ impl OriginServer {
 
         // CacheCatalyst: HTML responses carry the validation-token map.
         if is_html && self.mode.is_catalyst() {
-            self.attach_config(&mut resp, path, req, t_secs);
+            self.attach_config(&mut resp, path, req, t_secs, notes);
         }
 
         self.hot().full_responses.inc();
@@ -465,8 +549,15 @@ impl OriginServer {
     /// Attaches the `X-Etag-Config` header(s) for a page request:
     /// the cached static-extraction config, extended with any
     /// session-captured or aggregate-learned paths.
-    fn attach_config(&self, resp: &mut Response, page: &str, req: &Request, t_secs: i64) {
-        let cached = self.config_for(page, t_secs);
+    fn attach_config(
+        &self,
+        resp: &mut Response,
+        page: &str,
+        req: &Request,
+        t_secs: i64,
+        notes: &mut HandleNotes,
+    ) {
+        let cached = self.config_for(page, t_secs, notes);
         let extra = match self.mode {
             HeaderMode::CatalystWithCapture => session_of(req).map(|session| {
                 self.capture
@@ -508,15 +599,17 @@ impl OriginServer {
     /// Builds (or reuses) the static-extraction config for a page. A
     /// hit costs one shard read-lock and two `Arc` bumps; any `t`
     /// within the page's current churn epoch hits.
-    fn config_for(&self, page: &str, t_secs: i64) -> CachedConfig {
+    fn config_for(&self, page: &str, t_secs: i64, notes: &mut HandleNotes) -> CachedConfig {
         let epoch = self
             .epochs
             .epoch_at(page, t_secs)
             .expect("page is a site resource");
         if let Some(hit) = self.config_cache.get(page, epoch) {
             self.hot().config_cache_hits.inc();
+            notes.config_cache_hit = Some(true);
             return hit;
         }
+        notes.config_cache_hit = Some(false);
         let build_start = std::time::Instant::now();
         let (config, _stats) = build_config_for_site(&self.site, page, t_secs, &self.extract_opts);
         let build = build_start.elapsed();

@@ -68,8 +68,8 @@ impl ExtremeCacheProxy {
     }
 }
 
-impl Upstream for ExtremeCacheProxy {
-    fn handle(&self, _host: &str, req: &Request, t_secs: i64) -> Response {
+impl ExtremeCacheProxy {
+    fn handle_core(&self, req: &Request, t_secs: i64) -> Response {
         let mut resp = self.inner.handle(req, t_secs);
         let cc = resp.cache_control();
         // Respect genuinely uncacheable content.
@@ -82,6 +82,31 @@ impl Upstream for ExtremeCacheProxy {
                 .insert(HeaderName::CACHE_CONTROL, &format!("max-age={ttl}"));
         }
         resp
+    }
+}
+
+impl Upstream for ExtremeCacheProxy {
+    fn handle(&self, _host: &str, req: &Request, t_secs: i64) -> Response {
+        match crate::trace::start(&self.inner, req) {
+            None => self.handle_core(req, t_secs),
+            Some((fwd, hop)) => {
+                let resp = self.handle_core(&fwd, t_secs);
+                let assigned = resp
+                    .headers
+                    .get(HeaderName::CACHE_CONTROL)
+                    .unwrap_or("")
+                    .to_owned();
+                crate::trace::finish(
+                    &self.inner,
+                    hop,
+                    "proxy.extreme",
+                    t_secs,
+                    0.0,
+                    vec![("cache_control", assigned)],
+                );
+                resp
+            }
+        }
     }
 }
 

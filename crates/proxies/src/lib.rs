@@ -14,10 +14,14 @@
 //!
 //! All three implement [`cachecatalyst_browser::Upstream`], so the
 //! same page-load engine measures them under identical conditions.
+//! Every proxy is also a traced hop: sampled requests (`x-cc-trace`)
+//! get a `proxy.*` span nested between the browser's fetch span and
+//! the origin's `origin.handle` span ([`trace`], crate-internal).
 
 pub mod extreme;
 pub mod push;
 pub mod rdr;
+mod trace;
 
 pub use extreme::ExtremeCacheProxy;
 pub use push::{PushOrigin, PushPolicy};

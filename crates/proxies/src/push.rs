@@ -59,8 +59,8 @@ impl PushOrigin {
     }
 }
 
-impl Upstream for PushOrigin {
-    fn handle(&self, _host: &str, req: &Request, t_secs: i64) -> Response {
+impl PushOrigin {
+    fn handle_core(&self, req: &Request, t_secs: i64) -> Response {
         let mut resp = self.inner.handle(req, t_secs);
         // Engine-internal body materialization must not recurse.
         if req.headers.contains(ext::X_INTERNAL) {
@@ -77,6 +77,31 @@ impl Upstream for PushOrigin {
             }
         }
         resp
+    }
+}
+
+impl Upstream for PushOrigin {
+    fn handle(&self, _host: &str, req: &Request, t_secs: i64) -> Response {
+        match crate::trace::start(&self.inner, req) {
+            None => self.handle_core(req, t_secs),
+            Some((fwd, hop)) => {
+                let resp = self.handle_core(&fwd, t_secs);
+                let pushed = resp
+                    .headers
+                    .get_combined(ext::X_PUSHED)
+                    .map(|l| l.split(',').count())
+                    .unwrap_or(0);
+                crate::trace::finish(
+                    &self.inner,
+                    hop,
+                    "proxy.push",
+                    t_secs,
+                    0.0,
+                    vec![("pushed", pushed.to_string())],
+                );
+                resp
+            }
+        }
     }
 }
 

@@ -86,8 +86,8 @@ impl RdrProxy {
     }
 }
 
-impl Upstream for RdrProxy {
-    fn handle(&self, _host: &str, req: &Request, t_secs: i64) -> Response {
+impl RdrProxy {
+    fn handle_core(&self, req: &Request, t_secs: i64) -> Response {
         let mut resp = self.inner.handle(req, t_secs);
         if req.headers.contains(ext::X_INTERNAL) {
             return resp;
@@ -126,6 +126,39 @@ impl Upstream for RdrProxy {
         resp.headers
             .insert(ext::X_SERVER_DELAY_MS, &delay_ms.to_string());
         resp
+    }
+}
+
+impl Upstream for RdrProxy {
+    fn handle(&self, _host: &str, req: &Request, t_secs: i64) -> Response {
+        match crate::trace::start(&self.inner, req) {
+            None => self.handle_core(req, t_secs),
+            Some((fwd, hop)) => {
+                let resp = self.handle_core(&fwd, t_secs);
+                let bundled = resp
+                    .headers
+                    .get_combined(ext::X_RDR_BUNDLE)
+                    .map(|m| m.split(',').count())
+                    .unwrap_or(0);
+                let busy_ms: f64 = resp
+                    .headers
+                    .get(ext::X_SERVER_DELAY_MS)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(0.0);
+                crate::trace::finish(
+                    &self.inner,
+                    hop,
+                    "proxy.rdr",
+                    t_secs,
+                    busy_ms,
+                    vec![
+                        ("bundled", bundled.to_string()),
+                        ("bytes", resp.body.len().to_string()),
+                    ],
+                );
+                resp
+            }
+        }
     }
 }
 

@@ -1,0 +1,61 @@
+//! Distributed-trace plumbing shared by the proxy comparators.
+//!
+//! Each proxy is one hop between the browser and the origin. When the
+//! incoming request carries a sampled trace context and the fronted
+//! origin's span sink is recording, the hop:
+//!
+//! 1. allocates a span id for itself,
+//! 2. forwards a cloned request whose context is re-parented onto
+//!    that span (so the origin's `origin.handle` span nests beneath
+//!    the proxy span, which nests beneath the browser's fetch span),
+//! 3. records its own span once the response is built.
+//!
+//! Untraced requests take the original zero-copy path: no clone, no
+//! allocation, one atomic load.
+
+use cachecatalyst_httpwire::{tracectx, Request};
+use cachecatalyst_origin::OriginServer;
+use cachecatalyst_telemetry::span::{Span, SpanId, TraceContext};
+
+/// An in-flight proxy hop: the extracted upstream context plus the
+/// span id the forwarded request was re-parented onto.
+pub(crate) struct Hop {
+    ctx: TraceContext,
+    span: SpanId,
+}
+
+/// Starts a hop if this request is part of a sampled trace. Returns
+/// the request to forward to the origin together with the hop handle.
+pub(crate) fn start(inner: &OriginServer, req: &Request) -> Option<(Request, Hop)> {
+    if !inner.span_sink().enabled() {
+        return None;
+    }
+    let ctx = tracectx::extract(req)?;
+    let span = SpanId::next();
+    let mut fwd = req.clone();
+    tracectx::inject(&mut fwd, &ctx.child_of(span));
+    Some((fwd, Hop { ctx, span }))
+}
+
+/// Records the hop's span. `busy_ms` is how long the proxy itself was
+/// busy in virtual time (e.g. dependency-resolution round trips); the
+/// span covers `[sender clock, sender clock + busy_ms]`.
+pub(crate) fn finish(
+    inner: &OriginServer,
+    hop: Hop,
+    name: &'static str,
+    t_secs: i64,
+    busy_ms: f64,
+    attrs: Vec<(&'static str, String)>,
+) {
+    let start_ms = hop.ctx.t_ms.unwrap_or(t_secs as f64 * 1000.0);
+    inner.span_sink().record(Span {
+        trace_id: hop.ctx.trace_id,
+        span_id: hop.span,
+        parent: Some(hop.ctx.parent),
+        name,
+        start_ms,
+        end_ms: start_ms + busy_ms,
+        attrs,
+    });
+}

@@ -43,6 +43,58 @@ impl FetchKind {
     }
 }
 
+/// How one resource was decided by the caching machinery — the
+/// vocabulary of the cache-decision **audit trail**. Coarser than
+/// [`FetchKind`]: it answers "did the catalyst mechanism engage, and
+/// if not, what happened instead?".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheDecision {
+    /// The service worker served cached bytes on the strength of the
+    /// `X-Etag-Config` map — the paper's zero-RTT path.
+    SwHitZeroRtt,
+    /// A conditional GET went to the origin and came back
+    /// `304 Not Modified`.
+    Conditional304,
+    /// The full body was transferred from the origin.
+    FullFetch,
+    /// The catalyst mechanism was bypassed: classic freshness hit,
+    /// push/bundle pre-delivery, or any other non-catalyst path.
+    Bypass,
+}
+
+impl CacheDecision {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CacheDecision::SwHitZeroRtt => "sw-hit-zero-rtt",
+            CacheDecision::Conditional304 => "conditional-304",
+            CacheDecision::FullFetch => "full-fetch",
+            CacheDecision::Bypass => "bypass",
+        }
+    }
+}
+
+/// The audit record for one resource of one page load: what was
+/// decided, which `X-Etag-Config` entry was consulted, in which churn
+/// epoch, and whether the bytes handed to the page were stale against
+/// the origin's current version. The staleness bit is the correctness
+/// oracle for the catalyst mechanism — it must be `Some(false)` for
+/// every `sw-hit-zero-rtt`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheAudit {
+    pub url: String,
+    pub decision: CacheDecision,
+    /// The `X-Etag-Config` entry consulted for this resource, if the
+    /// catalyst map was in play.
+    pub etag: Option<String>,
+    /// The origin's churn epoch for this resource (propagated via the
+    /// `x-cc-epoch` response header on traced requests).
+    pub epoch: Option<u64>,
+    /// `Some(true)` if the served bytes differ from the origin's
+    /// current version; `None` when unknowable (e.g. a classic
+    /// freshness hit that never consulted the origin).
+    pub served_stale: Option<bool>,
+}
+
 /// One telemetry event. Serializes to a single JSON line.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Event {
@@ -79,6 +131,15 @@ pub enum Event {
         header_bytes: usize,
         build_micros: u64,
     },
+    /// The per-resource cache-decision audit record (see
+    /// [`CacheAudit`]).
+    CacheDecision {
+        t_ms: f64,
+        audit: CacheAudit,
+    },
+    /// One finished tracing span (see [`crate::span::Span`]); lets
+    /// span trees ride the same JSONL stream as the flat events.
+    Span(crate::span::Span),
     /// An `HttpCache` metrics delta over one page load
     /// (`CacheMetrics::delta_since` flattened).
     CacheDelta {
@@ -102,6 +163,8 @@ impl Event {
             Event::FetchStart { .. } => "fetch_start",
             Event::FetchEnd { .. } => "fetch_end",
             Event::MapBuilt { .. } => "map_built",
+            Event::CacheDecision { .. } => "cache_decision",
+            Event::Span(_) => "span",
             Event::CacheDelta { .. } => "cache_delta",
         }
     }
@@ -154,6 +217,26 @@ impl Event {
                  \"build_micros\":{build_micros}}}",
                 json_string(page)
             ),
+            Event::CacheDecision { t_ms, audit } => {
+                let mut out = format!(
+                    "{{\"event\":{kind},\"t_ms\":{t_ms:.3},\"url\":{},\
+                     \"decision\":{}",
+                    json_string(&audit.url),
+                    json_string(audit.decision.as_str())
+                );
+                if let Some(etag) = &audit.etag {
+                    out.push_str(&format!(",\"etag\":{}", json_string(etag)));
+                }
+                if let Some(epoch) = audit.epoch {
+                    out.push_str(&format!(",\"epoch\":{epoch}"));
+                }
+                if let Some(stale) = audit.served_stale {
+                    out.push_str(&format!(",\"served_stale\":{stale}"));
+                }
+                out.push('}');
+                out
+            }
+            Event::Span(span) => span.to_json(),
             Event::CacheDelta {
                 t_ms,
                 fresh_hits,
@@ -311,6 +394,69 @@ mod tests {
         assert_eq!(r.snapshot(), vec![e.clone()]);
         assert_eq!(r.take(), vec![e]);
         assert!(r.take().is_empty());
+    }
+
+    #[test]
+    fn cache_decision_serializes_optionals_only_when_set() {
+        let full = Event::CacheDecision {
+            t_ms: 3.0,
+            audit: CacheAudit {
+                url: "http://s/a.css".into(),
+                decision: CacheDecision::SwHitZeroRtt,
+                etag: Some("\"v1\"".into()),
+                epoch: Some(42),
+                served_stale: Some(false),
+            },
+        };
+        let json = full.to_json();
+        assert!(json.contains("\"event\":\"cache_decision\""));
+        assert!(json.contains("\"decision\":\"sw-hit-zero-rtt\""));
+        assert!(json.contains("\"etag\":\"\\\"v1\\\"\""));
+        assert!(json.contains("\"epoch\":42"));
+        assert!(json.contains("\"served_stale\":false"));
+
+        let bare = Event::CacheDecision {
+            t_ms: 3.0,
+            audit: CacheAudit {
+                url: "http://s/b.js".into(),
+                decision: CacheDecision::Bypass,
+                etag: None,
+                epoch: None,
+                served_stale: None,
+            },
+        };
+        let json = bare.to_json();
+        assert!(json.contains("\"decision\":\"bypass\""));
+        assert!(!json.contains("etag"));
+        assert!(!json.contains("epoch"));
+        assert!(!json.contains("served_stale"));
+    }
+
+    #[test]
+    fn decision_vocabulary() {
+        assert_eq!(CacheDecision::SwHitZeroRtt.as_str(), "sw-hit-zero-rtt");
+        assert_eq!(CacheDecision::Conditional304.as_str(), "conditional-304");
+        assert_eq!(CacheDecision::FullFetch.as_str(), "full-fetch");
+        assert_eq!(CacheDecision::Bypass.as_str(), "bypass");
+    }
+
+    #[test]
+    fn span_event_rides_the_jsonl_stream() {
+        use crate::span::{Span, SpanId, TraceId};
+        let e = Event::Span(Span {
+            trace_id: TraceId(1),
+            span_id: SpanId(2),
+            parent: None,
+            name: "page_load",
+            start_ms: 0.0,
+            end_ms: 10.0,
+            attrs: vec![],
+        });
+        assert_eq!(e.kind(), "span");
+        let json = e.to_json();
+        assert!(json.contains("\"event\":\"span\""));
+        assert!(json.contains("\"name\":\"page_load\""));
+        assert!(!json.contains("parent_id"), "root has no parent");
     }
 
     #[test]

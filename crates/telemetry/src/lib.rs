@@ -10,7 +10,12 @@
 //! * [`event`] — the [`Recorder`] sink trait and the structured,
 //!   span-like [`Event`]s the origin, browser and bench runner emit
 //!   (page loads, per-resource fetches with their outcome, config-map
-//!   builds, cache-metric deltas). Events serialize to JSONL.
+//!   builds, cache-metric deltas, per-resource cache-decision
+//!   audits). Events serialize to JSONL.
+//! * [`span`] — request-scoped distributed tracing: [`TraceId`] /
+//!   [`SpanId`], the propagated [`TraceContext`], and the lock-light
+//!   sampled [`SpanSink`] ring buffer. The sampled-off path costs one
+//!   relaxed atomic load.
 //!
 //! Timestamps are **caller-supplied milliseconds**, which is what
 //! makes the layer virtual-time aware: the discrete-event simulator
@@ -21,11 +26,16 @@
 pub mod event;
 pub mod metric;
 pub mod registry;
+pub mod span;
 pub mod time;
 
-pub use event::{Event, FetchKind, JsonlRecorder, MemoryRecorder, NullRecorder, Recorder};
+pub use event::{
+    CacheAudit, CacheDecision, Event, FetchKind, JsonlRecorder, MemoryRecorder, NullRecorder,
+    Recorder,
+};
 pub use metric::{Counter, Gauge, Histogram};
 pub use registry::Registry;
+pub use span::{Sampling, Span, SpanId, SpanSink, TraceContext, TraceId};
 pub use time::{ManualTime, TimeSource, WallTime};
 
 /// Escapes a string for inclusion in JSON output.

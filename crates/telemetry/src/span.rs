@@ -1,0 +1,490 @@
+//! Request-scoped distributed tracing: trace/span identifiers, a
+//! `traceparent`-style propagation context, and a lock-light,
+//! ring-buffered, sampled [`SpanSink`].
+//!
+//! Like the rest of the crate this module is std-only and reads no
+//! clock of its own: span timestamps are **caller-supplied
+//! milliseconds** (virtual under the discrete-event simulator, wall
+//! under tokio), so a span tree spanning browser, proxy and origin
+//! lands on one coherent timeline as long as every emitter stamps
+//! from the same time base. The browser propagates its virtual "now"
+//! to the server inside the trace context ([`TraceContext::t_ms`])
+//! precisely so that server-side spans line up with client-side ones.
+//!
+//! Cost model: the sampled-off path is a single relaxed atomic load
+//! ([`SpanSink::enabled`]) — no allocation, no locking, no id
+//! generation — so tracing can stay compiled-in on the origin hot
+//! path.
+
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::json_string;
+
+/// A 128-bit identifier shared by every span of one page load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TraceId(pub u128);
+
+/// A 64-bit identifier unique to one span, process-wide.
+///
+/// Ids are drawn from a monotone process counter, so within one
+/// process a larger id was allocated later — handy for stable sorts —
+/// but only uniqueness is guaranteed, never density.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SpanId(pub u64);
+
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Finalizer of splitmix64; bijective, so distinct counters can never
+/// collide after mixing.
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl TraceId {
+    /// A fresh trace id, unique within this process.
+    pub fn next() -> TraceId {
+        let n = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+        TraceId(((mix64(n) as u128) << 64) | mix64(n ^ 0x9e37_79b9_7f4a_7c15) as u128)
+    }
+}
+
+impl SpanId {
+    /// A fresh span id, unique within this process.
+    pub fn next() -> SpanId {
+        SpanId(NEXT_ID.fetch_add(1, Ordering::Relaxed))
+    }
+}
+
+/// The propagated trace context — what rides the `x-cc-trace` request
+/// header from the browser through the proxies to the origin.
+///
+/// The wire encoding (in `httpwire::tracectx`) mirrors W3C
+/// `traceparent` (`00-{trace}-{parent}-{flags}`) with one extension:
+/// an optional `;t=<ms>` carrying the sender's clock at emission so
+/// the receiver can place its spans on the sender's timeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceContext {
+    pub trace_id: TraceId,
+    /// The span on the sending side that the receiver's spans should
+    /// become children of.
+    pub parent: SpanId,
+    /// False means "context present but load not sampled": receivers
+    /// must not record spans.
+    pub sampled: bool,
+    /// The sender's clock (milliseconds) when the request was handed
+    /// to the network, if known.
+    pub t_ms: Option<f64>,
+}
+
+impl TraceContext {
+    pub fn new(trace_id: TraceId, parent: SpanId) -> TraceContext {
+        TraceContext {
+            trace_id,
+            parent,
+            sampled: true,
+            t_ms: None,
+        }
+    }
+
+    /// The same context re-parented under `span` (what a proxy does
+    /// before forwarding, so the origin's spans nest beneath its own).
+    pub fn child_of(self, span: SpanId) -> TraceContext {
+        TraceContext {
+            parent: span,
+            ..self
+        }
+    }
+
+    /// The same context stamped with the sender's clock.
+    pub fn at(self, t_ms: f64) -> TraceContext {
+        TraceContext {
+            t_ms: Some(t_ms),
+            ..self
+        }
+    }
+}
+
+/// One finished span: a named, attributed interval on the trace's
+/// timeline, optionally parented to another span of the same trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Span {
+    pub trace_id: TraceId,
+    pub span_id: SpanId,
+    /// `None` marks the trace root (one per page load).
+    pub parent: Option<SpanId>,
+    pub name: &'static str,
+    pub start_ms: f64,
+    pub end_ms: f64,
+    pub attrs: Vec<(&'static str, String)>,
+}
+
+impl Span {
+    pub fn duration_ms(&self) -> f64 {
+        (self.end_ms - self.start_ms).max(0.0)
+    }
+
+    /// The attribute value for `key`, if set.
+    pub fn attr(&self, key: &str) -> Option<&str> {
+        self.attrs
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// One JSON object, no trailing newline (same JSONL convention as
+    /// [`crate::Event`]).
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\"event\":\"span\",\"name\":{},\"trace_id\":\"{:032x}\",\"span_id\":\"{:016x}\"",
+            json_string(self.name),
+            self.trace_id.0,
+            self.span_id.0,
+        );
+        if let Some(SpanId(p)) = self.parent {
+            out.push_str(&format!(",\"parent_id\":\"{p:016x}\""));
+        }
+        out.push_str(&format!(
+            ",\"start_ms\":{:.3},\"end_ms\":{:.3}",
+            self.start_ms, self.end_ms
+        ));
+        for (k, v) in &self.attrs {
+            out.push_str(&format!(",{}:{}", json_string(k), json_string(v)));
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// The sink's sampling policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sampling {
+    /// Record nothing; [`SpanSink::enabled`] is false and every other
+    /// call is a no-op.
+    Off,
+    /// Record one page load (trace) in `n`; `Ratio(1)` ≡ `Always`,
+    /// `Ratio(0)` ≡ `Off`.
+    Ratio(u32),
+    /// Record every trace.
+    Always,
+}
+
+const MODE_OFF: u8 = 0;
+const MODE_RATIO: u8 = 1;
+const MODE_ALWAYS: u8 = 2;
+
+/// How many independent buffers span recording spreads over; bounds
+/// lock contention between concurrent emitters.
+const SHARDS: usize = 8;
+
+/// A lock-light, bounded span collector.
+///
+/// * The **off** path costs one relaxed atomic load.
+/// * Sampling is decided **per trace** (page load), via [`sample`]
+///   at root creation; downstream emitters inherit the decision
+///   through the propagated context's `sampled` flag.
+/// * Storage is `SHARDS` independent mutex-guarded rings; a full
+///   sink overwrites its oldest spans and counts them in
+///   [`dropped`], so a forgotten drain can never grow memory
+///   unboundedly.
+///
+/// [`sample`]: SpanSink::sample
+/// [`dropped`]: SpanSink::dropped
+pub struct SpanSink {
+    mode: AtomicU8,
+    ratio: AtomicU64,
+    /// Per-trace decision counter for `Ratio` mode.
+    decisions: AtomicU64,
+    dropped: AtomicU64,
+    next_shard: AtomicUsize,
+    capacity_per_shard: usize,
+    shards: [Mutex<Vec<Span>>; SHARDS],
+}
+
+impl std::fmt::Debug for SpanSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpanSink")
+            .field("sampling", &self.sampling())
+            .field("len", &self.len())
+            .field("dropped", &self.dropped())
+            .finish()
+    }
+}
+
+impl SpanSink {
+    /// A sink holding up to 8192 spans (ample for hundreds of page
+    /// loads between drains).
+    pub fn new(sampling: Sampling) -> SpanSink {
+        SpanSink::with_capacity(sampling, 8192)
+    }
+
+    /// A sink bounded to `capacity` spans (rounded up to a multiple
+    /// of the shard count, minimum one per shard).
+    pub fn with_capacity(sampling: Sampling, capacity: usize) -> SpanSink {
+        let sink = SpanSink {
+            mode: AtomicU8::new(MODE_OFF),
+            ratio: AtomicU64::new(1),
+            decisions: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            next_shard: AtomicUsize::new(0),
+            capacity_per_shard: capacity.div_ceil(SHARDS).max(1),
+            shards: std::array::from_fn(|_| Mutex::new(Vec::new())),
+        };
+        sink.set_sampling(sampling);
+        sink
+    }
+
+    /// Change the sampling policy at runtime (e.g. a bench toggling
+    /// spans on mid-process).
+    pub fn set_sampling(&self, sampling: Sampling) {
+        let (mode, ratio) = match sampling {
+            Sampling::Off | Sampling::Ratio(0) => (MODE_OFF, 0),
+            Sampling::Ratio(n) => (MODE_RATIO, u64::from(n)),
+            Sampling::Always => (MODE_ALWAYS, 1),
+        };
+        self.ratio.store(ratio, Ordering::Relaxed);
+        self.mode.store(mode, Ordering::Release);
+    }
+
+    pub fn sampling(&self) -> Sampling {
+        match self.mode.load(Ordering::Acquire) {
+            MODE_OFF => Sampling::Off,
+            MODE_ALWAYS => Sampling::Always,
+            _ => Sampling::Ratio(self.ratio.load(Ordering::Relaxed) as u32),
+        }
+    }
+
+    /// Whether any recording can happen at all. **This is the hot-path
+    /// guard**: one relaxed load, nothing else, so callers gate all
+    /// per-request tracing work behind it.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.mode.load(Ordering::Relaxed) != MODE_OFF
+    }
+
+    /// Decide whether to trace one new page load. `Always` → true,
+    /// `Off` → false, `Ratio(n)` → every n-th call.
+    pub fn sample(&self) -> bool {
+        match self.mode.load(Ordering::Relaxed) {
+            MODE_OFF => false,
+            MODE_ALWAYS => true,
+            _ => {
+                let n = self.ratio.load(Ordering::Relaxed).max(1);
+                self.decisions
+                    .fetch_add(1, Ordering::Relaxed)
+                    .is_multiple_of(n)
+            }
+        }
+    }
+
+    /// Record one finished span. No-op when sampling is off; evicts
+    /// the shard's oldest span when full.
+    pub fn record(&self, span: Span) {
+        if !self.enabled() {
+            return;
+        }
+        let shard = self.next_shard.fetch_add(1, Ordering::Relaxed) % SHARDS;
+        let mut buf = self.shards[shard].lock().unwrap_or_else(|e| e.into_inner());
+        if buf.len() >= self.capacity_per_shard {
+            buf.remove(0);
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        buf.push(span);
+    }
+
+    /// All spans so far, clearing the sink, ordered by
+    /// `(start_ms, span_id)` — i.e. a stable timeline.
+    pub fn drain(&self) -> Vec<Span> {
+        let mut all = Vec::new();
+        for shard in &self.shards {
+            all.append(&mut shard.lock().unwrap_or_else(|e| e.into_inner()));
+        }
+        sort_timeline(&mut all);
+        all
+    }
+
+    /// A copy of the spans without clearing, same order as
+    /// [`drain`](SpanSink::drain).
+    pub fn snapshot(&self) -> Vec<Span> {
+        let mut all = Vec::new();
+        for shard in &self.shards {
+            all.extend(
+                shard
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .iter()
+                    .cloned(),
+            );
+        }
+        sort_timeline(&mut all);
+        all
+    }
+
+    /// Spans currently buffered.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(|e| e.into_inner()).len())
+            .sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Spans evicted because the sink was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+fn sort_timeline(spans: &mut [Span]) {
+    spans.sort_by(|a, b| {
+        a.start_ms
+            .total_cmp(&b.start_ms)
+            .then(a.span_id.cmp(&b.span_id))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(trace: TraceId, parent: Option<SpanId>, start: f64) -> Span {
+        Span {
+            trace_id: trace,
+            span_id: SpanId::next(),
+            parent,
+            name: "test",
+            start_ms: start,
+            end_ms: start + 1.0,
+            attrs: vec![("k", "v".to_owned())],
+        }
+    }
+
+    #[test]
+    fn ids_are_unique_and_monotone() {
+        let a = SpanId::next();
+        let b = SpanId::next();
+        assert!(b > a);
+        assert_ne!(TraceId::next(), TraceId::next());
+    }
+
+    #[test]
+    fn off_sink_records_nothing() {
+        let sink = SpanSink::new(Sampling::Off);
+        assert!(!sink.enabled());
+        assert!(!sink.sample());
+        sink.record(span(TraceId::next(), None, 0.0));
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn always_sink_keeps_timeline_order() {
+        let sink = SpanSink::new(Sampling::Always);
+        let trace = TraceId::next();
+        for start in [5.0, 1.0, 3.0] {
+            sink.record(span(trace, None, start));
+        }
+        let starts: Vec<f64> = sink.drain().iter().map(|s| s.start_ms).collect();
+        assert_eq!(starts, vec![1.0, 3.0, 5.0]);
+        assert!(sink.is_empty(), "drain clears");
+    }
+
+    #[test]
+    fn snapshot_does_not_clear() {
+        let sink = SpanSink::new(Sampling::Always);
+        sink.record(span(TraceId::next(), None, 0.0));
+        assert_eq!(sink.snapshot().len(), 1);
+        assert_eq!(sink.len(), 1);
+    }
+
+    #[test]
+    fn ratio_samples_one_in_n() {
+        let sink = SpanSink::new(Sampling::Ratio(4));
+        let sampled = (0..16).filter(|_| sink.sample()).count();
+        assert_eq!(sampled, 4);
+    }
+
+    #[test]
+    fn ratio_zero_is_off() {
+        let sink = SpanSink::new(Sampling::Ratio(0));
+        assert!(!sink.enabled());
+    }
+
+    #[test]
+    fn full_sink_evicts_oldest_and_counts_drops() {
+        let sink = SpanSink::with_capacity(Sampling::Always, 8);
+        let trace = TraceId::next();
+        for start in 0..40 {
+            sink.record(span(trace, None, f64::from(start)));
+        }
+        assert!(sink.len() <= 8);
+        assert_eq!(sink.dropped() as usize + sink.len(), 40);
+    }
+
+    #[test]
+    fn sampling_toggles_at_runtime() {
+        let sink = SpanSink::new(Sampling::Off);
+        sink.record(span(TraceId::next(), None, 0.0));
+        assert!(sink.is_empty());
+        sink.set_sampling(Sampling::Always);
+        assert_eq!(sink.sampling(), Sampling::Always);
+        sink.record(span(TraceId::next(), None, 0.0));
+        assert_eq!(sink.len(), 1);
+    }
+
+    #[test]
+    fn span_json_shape() {
+        let trace = TraceId(0xabc);
+        let parent = SpanId(7);
+        let s = Span {
+            trace_id: trace,
+            span_id: SpanId(9),
+            parent: Some(parent),
+            name: "fetch",
+            start_ms: 1.25,
+            end_ms: 2.5,
+            attrs: vec![("url", "http://s/a\"b".to_owned())],
+        };
+        let json = s.to_json();
+        assert!(json.contains("\"event\":\"span\""));
+        assert!(json.contains("\"name\":\"fetch\""));
+        assert!(json.contains("\"parent_id\":\"0000000000000007\""));
+        assert!(json.contains("\"start_ms\":1.250"));
+        assert!(json.contains("\"url\":\"http://s/a\\\"b\""));
+        assert_eq!(s.attr("url"), Some("http://s/a\"b"));
+        assert_eq!(s.attr("missing"), None);
+        assert_eq!(s.duration_ms(), 1.25);
+    }
+
+    #[test]
+    fn context_reparenting_and_stamping() {
+        let ctx = TraceContext::new(TraceId(1), SpanId(2));
+        assert!(ctx.sampled);
+        let child = ctx.child_of(SpanId(3)).at(42.0);
+        assert_eq!(child.trace_id, TraceId(1));
+        assert_eq!(child.parent, SpanId(3));
+        assert_eq!(child.t_ms, Some(42.0));
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing_under_capacity() {
+        let sink = std::sync::Arc::new(SpanSink::new(Sampling::Always));
+        let trace = TraceId::next();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let sink = std::sync::Arc::clone(&sink);
+                scope.spawn(move || {
+                    for i in 0..200 {
+                        sink.record(span(trace, None, f64::from(i)));
+                    }
+                });
+            }
+        });
+        assert_eq!(sink.drain().len(), 800);
+        assert_eq!(sink.dropped(), 0);
+    }
+}

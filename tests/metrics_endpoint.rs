@@ -69,6 +69,12 @@ async fn metrics_cover_a_full_page_load() {
 
     let scrape = conn.round_trip(&Request::get("/metrics")).await.unwrap();
     assert_eq!(scrape.status, StatusCode::OK);
+    // Prometheus scrapers key the exposition-format version off the
+    // Content-Type parameter; the text format is 0.0.4.
+    assert_eq!(
+        scrape.headers.get("content-type"),
+        Some("text/plain; version=0.0.4")
+    );
     let text = String::from_utf8(scrape.body.to_vec()).unwrap();
 
     // Request and status-class counters match the traffic above.
