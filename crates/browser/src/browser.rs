@@ -187,6 +187,14 @@ fn emit_load_events(
         evictions: delta.evictions,
         revalidation_refreshes: delta.revalidation_refreshes,
     });
+    if report.faults_injected > 0 || report.retries > 0 || report.degraded > 0 {
+        recorder.record(&Event::FaultSummary {
+            t_ms: base_ms + report.plt.as_millis_f64(),
+            faults_injected: report.faults_injected,
+            retries: report.retries,
+            degraded: report.degraded as u64,
+        });
+    }
 }
 
 #[cfg(test)]

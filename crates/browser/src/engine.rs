@@ -12,12 +12,15 @@ use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 use std::time::Duration;
 
-use cachecatalyst_catalyst::{ServiceWorker, SwDecision};
+use cachecatalyst_catalyst::{
+    tamper_config_headers, ConfigIntegrity, EtagConfig, ServiceWorker, SwDecision,
+};
 use cachecatalyst_httpcache::{HttpCache, Lookup};
 use cachecatalyst_httpwire::codec::encode_request;
 use cachecatalyst_httpwire::{tracectx, HeaderName, Request, Response, StatusCode, Url};
 use cachecatalyst_netsim::{
-    FetchOutcome, FetchTrace, LinkId, LoadTrace, NetEvent, Network, NetworkConditions, SimTime,
+    Fault, FaultPlan, FaultSchedule, FetchOutcome, FetchTrace, LinkId, LoadTrace, NetEvent,
+    Network, NetworkConditions, SimTime,
 };
 use cachecatalyst_telemetry::span::{Span, SpanId, SpanSink, TraceContext, TraceId};
 use cachecatalyst_telemetry::{CacheAudit, CacheDecision};
@@ -45,6 +48,10 @@ pub mod ext {
     /// Marks engine-internal body fetches (push/bundle materation);
     /// origins should not treat these as real client requests.
     pub const X_INTERNAL: &str = "x-cc-internal";
+    /// Marks a response as fault-injected (the injected fault's
+    /// `kind()`), so harnesses can tell synthesized errors from
+    /// genuine upstream ones.
+    pub const X_FAULT: &str = "x-cc-fault";
 }
 
 /// Tunables of the page-load engine.
@@ -99,6 +106,20 @@ pub struct EngineConfig {
     /// Virtual time of the client's previous visit, announced via the
     /// `x-cc-last-visit` request header (used by push-if-changed).
     pub last_visit: Option<i64>,
+    /// Deterministic fault injection on this load's network path
+    /// (`None` = clean network, the default). Every fault the plan
+    /// draws replays identically for the same seed.
+    pub fault_plan: Option<FaultPlan>,
+    /// Retry budget per request: how many times a failed attempt
+    /// (reset, truncation, stall timeout, injected 5xx) is retried
+    /// before the error is delivered to the page.
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles per attempt, with
+    /// seeded jitter.
+    pub retry_base: Duration,
+    /// Per-fetch timeout: a response that never starts (a stalled
+    /// server) is abandoned after this long and the attempt retried.
+    pub fetch_timeout: Duration,
 }
 
 impl Default for EngineConfig {
@@ -123,6 +144,10 @@ impl Default for EngineConfig {
             use_http_cache: true,
             session: None,
             last_visit: None,
+            fault_plan: None,
+            max_retries: 3,
+            retry_base: Duration::from_millis(50),
+            fetch_timeout: Duration::from_secs(3),
         }
     }
 }
@@ -155,6 +180,15 @@ pub struct LoadReport {
     /// Stale responses served under `stale-while-revalidate` (each one
     /// also spawned a background revalidation).
     pub swr_served: usize,
+    /// Faults the configured [`FaultPlan`] actually injected into
+    /// this load (0 on a clean network).
+    pub faults_injected: u32,
+    /// Retry attempts the client made after failed exchanges.
+    pub retries: u32,
+    /// Fetches that completed degraded: they needed retries, fell
+    /// back after a distrusted `X-Etag-Config` map, or delivered an
+    /// error after exhausting the retry budget.
+    pub degraded: usize,
     /// The cache-decision audit trail: one record per entry of
     /// `trace.fetches`, same order — how each resource was decided,
     /// which `X-Etag-Config` entry was consulted, in which churn
@@ -193,6 +227,13 @@ enum Pending {
     Parse(FetchId),
     Exec(FetchId),
     PushDone(FetchId),
+    /// The backoff before a retry attempt elapsed.
+    Retry(FetchId),
+    /// A mid-body reset / truncation: the partial transfer "finished"
+    /// but the bytes are unusable.
+    TransferFailed(FetchId),
+    /// The per-fetch timeout on a stalled response fired.
+    TimedOut(FetchId),
 }
 
 struct FetchState {
@@ -231,6 +272,19 @@ struct FetchState {
     audit_stale: Option<bool>,
     /// The origin's churn epoch (from `x-cc-epoch`, traced loads).
     audit_epoch: Option<u64>,
+    /// Zero-based attempt counter (0 = first try).
+    attempt: u32,
+    /// Set when a fault forced this fetch off its preferred path
+    /// (retries, distrusted config map, exhausted retry budget).
+    degraded: bool,
+    /// The fault drawn for the current attempt, applied when the
+    /// server's turn comes.
+    pending_fault: Option<Fault>,
+    /// Bytes of partial transfers wasted on failed attempts.
+    bytes_wasted: u64,
+    /// FNV-64 of the body handed to the page (the serve-correct-bytes
+    /// oracle's comparand).
+    body_digest: Option<u64>,
 }
 
 impl FetchState {
@@ -260,8 +314,24 @@ impl FetchState {
             audit_etag: None,
             audit_stale: None,
             audit_epoch: None,
+            attempt: 0,
+            degraded: false,
+            pending_fault: None,
+            bytes_wasted: 0,
+            body_digest: None,
         }
     }
+}
+
+/// FNV-1a 64 over a body — the page-visible-bytes digest recorded on
+/// the audit trail.
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
 }
 
 struct ConnState {
@@ -296,6 +366,15 @@ impl Pool {
 pub struct Engine<'a> {
     /// xorshift state for the seeded loss stream.
     loss_state: u64,
+    /// The expanded fault plan, if one is configured.
+    faults: Option<FaultSchedule>,
+    /// xorshift state for retry-backoff jitter (its own stream, so
+    /// jitter draws never shift the fault or loss schedules).
+    jitter_state: u64,
+    /// Faults actually injected into this load.
+    n_faults: u32,
+    /// Retry attempts made after failed exchanges.
+    n_retries: u32,
     up: &'a dyn Upstream,
     cond: NetworkConditions,
     cfg: &'a EngineConfig,
@@ -352,6 +431,14 @@ impl<'a> Engine<'a> {
         let uplink = net.add_link(cond.up_bps);
         Engine {
             loss_state: cfg.loss_seed | 1,
+            faults: cfg.fault_plan.as_ref().map(|p| p.schedule()),
+            jitter_state: cfg
+                .fault_plan
+                .map(|p| p.seed ^ 0x9E37_79B9_7F4A_7C15)
+                .unwrap_or(0)
+                | 1,
+            n_faults: 0,
+            n_retries: 0,
             up,
             cond,
             cfg,
@@ -449,8 +536,19 @@ impl<'a> Engine<'a> {
                 self.fetches[f].t_upload_done = Some(now);
                 let loss = self.loss_penalty();
                 self.fetches[f].rtts += 1 + if loss > Duration::ZERO { 2 } else { 0 };
+                let mut dt = self.cond.one_way() + self.cfg.server_think + loss;
+                // One fault draw per request attempt. Loss bursts act
+                // on the request path right here; everything else is
+                // applied when the server's turn comes.
+                match self.draw_fault(f) {
+                    Some(Fault::LossBurst { timeouts }) => {
+                        self.n_faults += 1;
+                        self.fetches[f].rtts += 2 * timeouts;
+                        dt += self.cond.rtt * 2 * timeouts;
+                    }
+                    fault => self.fetches[f].pending_fault = fault,
+                }
                 let tok = self.token(Pending::ServerTurn(f));
-                let dt = self.cond.one_way() + self.cfg.server_think + loss;
                 self.net.set_timer(dt, tok);
             }
             Pending::ServerTurn(f) => {
@@ -466,27 +564,72 @@ impl<'a> Engine<'a> {
                         tracectx::inject(&mut self.fetches[f].req, &ctx);
                     }
                 }
-                let resp = self.up.handle(
+                let fault = self.fetches[f].pending_fault.take();
+                // A stalled server never answers; only the client's
+                // fetch timeout recovers the attempt.
+                if let Some(Fault::Stall) = fault {
+                    self.n_faults += 1;
+                    let tok = self.token(Pending::TimedOut(f));
+                    self.net.set_timer(self.cfg.fetch_timeout, tok);
+                    return;
+                }
+                let mut resp = self.up.handle(
                     self.fetches[f].url.host(),
                     &self.fetches[f].req,
                     self.t_secs,
                 );
+                let mut fault_delay_ms = 0u64;
+                match fault {
+                    Some(Fault::ServerError { status }) => {
+                        self.n_faults += 1;
+                        resp = Response::empty(StatusCode::new(status).expect("5xx is valid"))
+                            .with_header(ext::X_FAULT, "server-error");
+                    }
+                    Some(Fault::Delay { ms }) | Some(Fault::SlowStart { ms }) => {
+                        self.n_faults += 1;
+                        fault_delay_ms = ms;
+                    }
+                    // Tampering counts as a fault only when the
+                    // response actually carried a map to damage.
+                    Some(Fault::CorruptConfigEntry { salt })
+                        if tamper_config_headers(&mut resp, Some(salt)) =>
+                    {
+                        self.n_faults += 1;
+                    }
+                    Some(Fault::StaleConfigEntry) if tamper_config_headers(&mut resp, None) => {
+                        self.n_faults += 1;
+                    }
+                    _ => {}
+                }
                 let extra_delay = resp
                     .headers
                     .get(ext::X_SERVER_DELAY_MS)
-                    .and_then(|v| v.parse::<u64>().ok());
+                    .and_then(|v| v.parse::<u64>().ok())
+                    .unwrap_or(0)
+                    + fault_delay_ms;
                 let bytes = resp.wire_len() as u64;
+                // Mid-body reset / truncation: only a prefix of the
+                // response crosses the wire, then the attempt fails.
+                if let Some(Fault::ResetMidBody { fraction } | Fault::TruncateBody { fraction }) =
+                    fault
+                {
+                    self.n_faults += 1;
+                    let partial = ((bytes as f64 * fraction) as u64).max(1);
+                    self.fetches[f].bytes_down = partial;
+                    self.fetches[f].t_response_start = Some(now);
+                    let tok = self.token(Pending::TransferFailed(f));
+                    self.net
+                        .start_flow_or_timer(self.downlink, tok, partial, tok);
+                    return;
+                }
                 self.fetches[f].bytes_down = bytes;
                 self.fetches[f].response = Some(resp);
-                match extra_delay {
-                    Some(ms) if ms > 0 => {
-                        let tok = self.token(Pending::ServerDelayed(f));
-                        self.net.set_timer(Duration::from_millis(ms), tok);
-                    }
-                    _ => {
-                        self.fetches[f].t_response_start = Some(now);
-                        self.start_download(f);
-                    }
+                if extra_delay > 0 {
+                    let tok = self.token(Pending::ServerDelayed(f));
+                    self.net.set_timer(Duration::from_millis(extra_delay), tok);
+                } else {
+                    self.fetches[f].t_response_start = Some(now);
+                    self.start_download(f);
                 }
             }
             Pending::ServerDelayed(f) => {
@@ -500,6 +643,19 @@ impl<'a> Engine<'a> {
             Pending::LastByte(f) => {
                 self.release_conn(f, now);
                 let resp = self.fetches[f].response.take().expect("response set");
+                // Under a fault plan, a 5xx on an idempotent GET is
+                // retried (with backoff) while budget remains; only
+                // after exhaustion is the error delivered to the page.
+                if self.faults.is_some()
+                    && resp.status.is_server_error()
+                    && self.fetches[f].attempt < self.cfg.max_retries
+                {
+                    self.schedule_retry(f);
+                    return;
+                }
+                if resp.status.is_server_error() && self.fetches[f].attempt > 0 {
+                    self.fetches[f].degraded = true;
+                }
                 self.deliver_network(f, resp, now);
             }
             Pending::Instant(f) => {
@@ -531,6 +687,93 @@ impl<'a> Engine<'a> {
                     }
                 }
             }
+            Pending::TransferFailed(f) => {
+                // The connection died mid-body: the partial bytes are
+                // wasted and the attempt failed.
+                let partial = self.fetches[f].bytes_down;
+                self.fetches[f].bytes_wasted += partial;
+                self.fetches[f].bytes_down = 0;
+                self.fetches[f].response = None;
+                self.abandon_conn(f);
+                self.fail_attempt(f, now);
+            }
+            Pending::TimedOut(f) => {
+                // The stalled attempt's timeout: abandon the dead
+                // connection and retry.
+                self.abandon_conn(f);
+                self.fail_attempt(f, now);
+            }
+            Pending::Retry(f) => {
+                // Backoff elapsed: re-enter the pool for a fresh
+                // attempt (same request, next draw of the schedule).
+                self.assign_to_pool(f, now);
+            }
+        }
+    }
+
+    /// Draws this attempt's fault, if a plan is configured. Internal
+    /// push/bundle materializations never reach this path, so only
+    /// real client requests are faulted.
+    fn draw_fault(&mut self, f: FetchId) -> Option<Fault> {
+        let attempt = self.fetches[f].attempt;
+        self.faults.as_mut().and_then(|s| s.draw(attempt))
+    }
+
+    /// A failed attempt: retry with exponential backoff + jitter while
+    /// budget remains, else deliver a synthesized error so the page
+    /// completes instead of hanging.
+    fn fail_attempt(&mut self, f: FetchId, now: SimTime) {
+        self.fetches[f].degraded = true;
+        if self.fetches[f].attempt < self.cfg.max_retries {
+            self.schedule_retry(f);
+            return;
+        }
+        let resp =
+            Response::empty(StatusCode::GATEWAY_TIMEOUT).with_header(ext::X_FAULT, "gave-up");
+        self.deliver_network(f, resp, now);
+    }
+
+    /// Arms the backoff timer for the next attempt of `f`:
+    /// `retry_base · 2^attempt`, scaled by up to +50% seeded jitter.
+    fn schedule_retry(&mut self, f: FetchId) {
+        let attempt = self.fetches[f].attempt;
+        self.fetches[f].attempt = attempt + 1;
+        self.fetches[f].degraded = true;
+        self.n_retries += 1;
+        let base = self.cfg.retry_base.as_secs_f64() * (1u64 << attempt.min(16)) as f64;
+        let mut x = self.jitter_state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.jitter_state = x;
+        let jitter = (x >> 11) as f64 / (1u64 << 53) as f64;
+        let backoff = Duration::from_secs_f64(base * (1.0 + 0.5 * jitter));
+        let tok = self.token(Pending::Retry(f));
+        self.net.set_timer(backoff, tok);
+    }
+
+    /// Marks `f`'s connection dead (the peer reset or went silent):
+    /// the slot stays in the pool but must be re-established before
+    /// reuse. HTTP/2 treats the failure as stream-level and keeps the
+    /// connection.
+    fn abandon_conn(&mut self, f: FetchId) {
+        let Some(idx) = self.fetches[f].conn.take() else {
+            return;
+        };
+        if self.cfg.http2 {
+            return;
+        }
+        let host = self.fetches[f].url.host().to_owned();
+        let pool = self.pools.get_mut(&host).expect("pool exists");
+        pool.conns[idx].busy = false;
+        pool.conns[idx].established = false;
+        // A waiter can take the slot, paying the fresh handshake.
+        if let Some(next) = pool.pop_waiter() {
+            pool.conns[idx].busy = true;
+            self.fetches[next].conn = Some(idx);
+            let tok = self.token(Pending::HandshakeDone(next));
+            let dt = self.handshake_time(next);
+            self.net.set_timer(dt, tok);
         }
     }
 
@@ -820,6 +1063,16 @@ impl<'a> Engine<'a> {
             self.start_upload(f, now);
             return;
         }
+        // A dead slot (abandoned after a reset/stall) is reused with a
+        // fresh handshake, so faults never leak pool capacity.
+        if let Some(idx) = pool.conns.iter().position(|c| !c.busy && !c.established) {
+            pool.conns[idx].busy = true;
+            self.fetches[f].conn = Some(idx);
+            let tok = self.token(Pending::HandshakeDone(f));
+            let dt = self.handshake_time(f);
+            self.net.set_timer(dt, tok);
+            return;
+        }
         if pool.conns.len() < max {
             pool.conns.push(ConnState {
                 established: false,
@@ -924,8 +1177,25 @@ impl<'a> Engine<'a> {
         }
     }
 
-    fn deliver_network(&mut self, f: FetchId, resp: Response, now: SimTime) {
+    fn deliver_network(&mut self, f: FetchId, mut resp: Response, now: SimTime) {
         self.note_epoch(f, &resp);
+        // Integrity gate for the catalyst map: a navigation response
+        // whose `X-Etag-Config` fails its digest is stripped of the
+        // map *before* the service worker sees it — the SW then clears
+        // its config and every subresource falls back to a
+        // conditional/full fetch (graceful degradation, never a serve
+        // from tampered state).
+        if self.fetches[f].is_navigation
+            && self.cfg.use_service_worker
+            && matches!(
+                EtagConfig::verify_headers(&resp.headers),
+                ConfigIntegrity::Tampered
+            )
+        {
+            resp.headers.remove(HeaderName::X_ETAG_CONFIG);
+            resp.headers.remove(HeaderName::X_CC_CONFIG_DIGEST);
+            self.fetches[f].degraded = true;
+        }
         let url = self.fetches[f].url.to_string();
         if self.fetches[f].is_background {
             self.fetches[f].completed = Some(now);
@@ -984,6 +1254,10 @@ impl<'a> Engine<'a> {
     fn complete(&mut self, f: FetchId, delivered: Response, now: SimTime) {
         self.note_epoch(f, &delivered);
         self.fetches[f].completed = Some(now);
+        // The audit digest covers the bytes the page actually sees.
+        if !delivered.body.is_empty() {
+            self.fetches[f].body_digest = Some(fnv64(&delivered.body));
+        }
         // Pushed/bundled responses enter the regular caches, exactly
         // as browsers admit pushed streams into the HTTP cache.
         if self.fetches[f].outcome == FetchOutcome::Pushed {
@@ -1203,7 +1477,8 @@ impl<'a> Engine<'a> {
                 started: f.started.unwrap_or(f.discovered),
                 completed,
                 outcome: f.outcome,
-                bytes_down: f.bytes_down,
+                // Wasted partial transfers count: the wire carried them.
+                bytes_down: f.bytes_down + f.bytes_wasted,
                 bytes_up: f.bytes_up,
                 rtts: f.rtts,
                 upload_done: f.t_upload_done,
@@ -1218,6 +1493,7 @@ impl<'a> Engine<'a> {
             .filter_map(|&f| self.fetches[f].completed)
             .max()
             .unwrap_or(plt);
+        let degraded = self.fetches.iter().filter(|f| f.degraded).count();
         let audits = self.collect_audits();
         if let Some(tracer) = &self.tracer {
             self.emit_spans(tracer, plt);
@@ -1238,6 +1514,9 @@ impl<'a> Engine<'a> {
             pushed_unused_bytes,
             // One background revalidation per SWR-served response.
             swr_served: background,
+            faults_injected: self.n_faults,
+            retries: self.n_retries,
+            degraded,
             audits,
         }
     }
@@ -1248,11 +1527,18 @@ impl<'a> Engine<'a> {
             .fetches
             .iter()
             .map(|f| {
-                let decision = match f.outcome {
-                    FetchOutcome::ServiceWorkerHit => CacheDecision::SwHitZeroRtt,
-                    FetchOutcome::NotModified => CacheDecision::Conditional304,
-                    FetchOutcome::FullTransfer => CacheDecision::FullFetch,
-                    FetchOutcome::CacheHit | FetchOutcome::Pushed => CacheDecision::Bypass,
+                let decision = if f.degraded {
+                    // A fault pushed this fetch off its preferred
+                    // path; the audit says so regardless of how the
+                    // fallback was ultimately satisfied.
+                    CacheDecision::Degraded
+                } else {
+                    match f.outcome {
+                        FetchOutcome::ServiceWorkerHit => CacheDecision::SwHitZeroRtt,
+                        FetchOutcome::NotModified => CacheDecision::Conditional304,
+                        FetchOutcome::FullTransfer => CacheDecision::FullFetch,
+                        FetchOutcome::CacheHit | FetchOutcome::Pushed => CacheDecision::Bypass,
+                    }
                 };
                 let served_stale = match f.outcome {
                     // Validated (or freshly transferred / pushed at the
@@ -1271,6 +1557,7 @@ impl<'a> Engine<'a> {
                     etag: f.audit_etag.clone(),
                     epoch: f.audit_epoch,
                     served_stale,
+                    body_digest: f.body_digest,
                 }
             })
             .collect();

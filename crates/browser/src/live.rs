@@ -57,6 +57,8 @@ pub struct LiveReport {
     pub network_requests: usize,
     pub sw_hits: usize,
     pub cache_hits: usize,
+    /// Round trips that failed (I/O error or timeout) and were retried.
+    pub retries: u32,
 }
 
 struct PoolState {
@@ -76,6 +78,13 @@ pub struct LiveBrowser {
     /// Parse/exec pacing, matching the simulator's defaults.
     pub parse_base: Duration,
     pub exec_base: Duration,
+    /// Per-round-trip deadline; a server that stalls past it costs
+    /// one retry instead of hanging the page load.
+    pub fetch_timeout: Duration,
+    /// Failed round trips are redialed at most this many times.
+    pub max_retries: u32,
+    /// First backoff step; doubles per attempt.
+    pub retry_base: Duration,
 }
 
 struct HostPool {
@@ -94,6 +103,9 @@ impl LiveBrowser {
             now_secs: 0,
             parse_base: Duration::from_millis(1),
             exec_base: Duration::from_millis(2),
+            fetch_timeout: Duration::from_secs(3),
+            max_retries: 3,
+            retry_base: Duration::from_millis(25),
         }
     }
 
@@ -122,8 +134,10 @@ impl LiveBrowser {
         let mut network_requests = 0;
         let mut sw_hits = 0;
         let mut cache_hits = 0;
+        let mut retries = 0;
         while let Some(res) = join.join_next().await {
             let done = res.map_err(|e| std::io::Error::other(e.to_string()))??;
+            retries += done.retries;
             match done.outcome {
                 FetchOutcome::ServiceWorkerHit => sw_hits += 1,
                 FetchOutcome::CacheHit => cache_hits += 1,
@@ -164,6 +178,7 @@ impl LiveBrowser {
             network_requests,
             sw_hits,
             cache_hits,
+            retries,
         })
     }
 
@@ -181,7 +196,11 @@ impl LiveBrowser {
         let now_secs = self.now_secs;
         let parse_base = self.parse_base;
         let exec_base = self.exec_base;
+        let fetch_timeout = self.fetch_timeout;
+        let max_retries = self.max_retries;
+        let retry_base = self.retry_base;
         async move {
+            let mut retries = 0u32;
             let discovered = t0.elapsed();
             let path = url.path().to_owned();
             let mut req = Request::get(&url.target().to_string())
@@ -256,20 +275,51 @@ impl LiveBrowser {
                         }))
                     };
                     let _permit = pool.permits.acquire().await.expect("semaphore not closed");
-                    let mut conn = {
-                        let mut state = pool.state.lock().await;
-                        state.idle.pop()
+                    // Bounded retry with exponential backoff: an I/O
+                    // error, a malformed response, or a round trip
+                    // that outlives `fetch_timeout` costs one attempt
+                    // and a fresh dial — the failed connection is
+                    // never returned to the pool.
+                    let mut attempt = 0u32;
+                    let resp = loop {
+                        let pooled = {
+                            let mut state = pool.state.lock().await;
+                            state.idle.pop()
+                        };
+                        let result = async {
+                            let mut conn = match pooled {
+                                Some(conn) => conn,
+                                None => {
+                                    let stream = (dialer)(url.host().to_owned()).await?;
+                                    ClientConn::new(stream)
+                                }
+                            };
+                            let resp = conn
+                                .round_trip(&req)
+                                .await
+                                .map_err(|e| std::io::Error::other(e.to_string()))?;
+                            Ok::<_, std::io::Error>((conn, resp))
+                        };
+                        match tokio::time::timeout(fetch_timeout, result).await {
+                            Ok(Ok((conn, resp))) => {
+                                pool.state.lock().await.idle.push(conn);
+                                break resp;
+                            }
+                            Ok(Err(e)) if attempt >= max_retries => return Err(e),
+                            Err(_) if attempt >= max_retries => {
+                                return Err(std::io::Error::new(
+                                    std::io::ErrorKind::TimedOut,
+                                    format!("{url}: no response within {fetch_timeout:?}"),
+                                ));
+                            }
+                            Ok(Err(_)) | Err(_) => {
+                                attempt += 1;
+                                retries += 1;
+                                let backoff = retry_base * 2u32.pow(attempt.min(10) - 1);
+                                tokio::time::sleep(backoff).await;
+                            }
+                        }
                     };
-                    if conn.is_none() {
-                        let stream = (dialer)(url.host().to_owned()).await?;
-                        conn = Some(ClientConn::new(stream));
-                    }
-                    let mut conn = conn.expect("dialed");
-                    let resp = conn
-                        .round_trip(&req)
-                        .await
-                        .map_err(|e| std::io::Error::other(e.to_string()))?;
-                    pool.state.lock().await.idle.push(conn);
 
                     // --- post-processing (store / refresh) ---
                     match mode {
@@ -350,6 +400,7 @@ impl LiveBrowser {
                 bytes_down,
                 bytes_up: 0,
                 links,
+                retries,
             })
         }
     }
@@ -363,4 +414,5 @@ struct FetchDone {
     bytes_down: u64,
     bytes_up: u64,
     links: Vec<Url>,
+    retries: u32,
 }

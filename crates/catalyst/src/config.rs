@@ -151,6 +151,119 @@ impl EtagConfig {
     pub fn wire_size(&self) -> usize {
         self.to_header_value().len()
     }
+
+    /// FNV-1a 64 digest over the canonical serialization. Because
+    /// entries are kept sorted, two equal maps always digest equally,
+    /// so the digest travels as an integrity check next to the map
+    /// (`x-cc-config-digest`).
+    pub fn digest64(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in self.to_header_value().bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h
+    }
+
+    /// The `x-cc-config-digest` header value for this map.
+    pub fn digest_header_value(&self) -> String {
+        format!("{:016x}", self.digest64())
+    }
+
+    /// Sets the integrity digest header describing this map.
+    pub fn attach_digest(&self, resp: &mut Response) {
+        resp.headers
+            .insert(HeaderName::X_CC_CONFIG_DIGEST, &self.digest_header_value());
+    }
+
+    /// Checks the `X-Etag-Config` map in `headers` against its
+    /// `x-cc-config-digest`, if one is present.
+    pub fn verify_headers(headers: &HeaderMap) -> ConfigIntegrity {
+        let Some(claimed) = headers.get(HeaderName::X_CC_CONFIG_DIGEST) else {
+            return ConfigIntegrity::Unsigned;
+        };
+        let Ok(claimed) = u64::from_str_radix(claimed.trim(), 16) else {
+            return ConfigIntegrity::Tampered;
+        };
+        match Self::from_headers(headers) {
+            Ok(config) if config.digest64() == claimed => ConfigIntegrity::Verified(config),
+            _ => ConfigIntegrity::Tampered,
+        }
+    }
+
+    /// Replaces one entry's etag with a salt-derived bogus tag
+    /// (simulating an in-transit bit flip). Returns `false` when the
+    /// map is empty — nothing to corrupt.
+    pub fn corrupt_entry(&mut self, salt: u64) -> bool {
+        if self.entries.is_empty() {
+            return false;
+        }
+        let idx = (salt % self.entries.len() as u64) as usize;
+        let path = self.entries.keys().nth(idx).expect("idx < len").clone();
+        let old = &self.entries[&path];
+        let mut bogus = EntityTag::strong(format!("{salt:016x}")).expect("hex is a valid etag");
+        if &bogus == old {
+            bogus = EntityTag::strong(format!("{:016x}", salt ^ 1)).expect("valid etag");
+        }
+        self.entries.insert(path, bogus);
+        true
+    }
+
+    /// Swaps the etags of the first and last entries (a plausible but
+    /// wrong map — every tag individually looks valid). Returns
+    /// `false` when the map has fewer than two distinct tags to swap.
+    pub fn swap_two_etags(&mut self) -> bool {
+        if self.entries.len() < 2 {
+            return false;
+        }
+        let first = self.entries.keys().next().expect("non-empty").clone();
+        let last = self.entries.keys().next_back().expect("non-empty").clone();
+        if self.entries[&first] == self.entries[&last] {
+            return false;
+        }
+        let a = self.entries.remove(&first).expect("present");
+        let b = self.entries.remove(&last).expect("present");
+        self.entries.insert(first, b);
+        self.entries.insert(last, a);
+        true
+    }
+}
+
+/// Outcome of checking an `X-Etag-Config` map against its integrity
+/// digest (see [`EtagConfig::verify_headers`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigIntegrity {
+    /// No digest header present — nothing to verify (pre-digest
+    /// origins; the map, if any, is taken at face value).
+    Unsigned,
+    /// Digest present and it matches the (parsed) map.
+    Verified(EtagConfig),
+    /// Digest present but the map is missing, unparsable, or digests
+    /// to a different value: the map must not be trusted.
+    Tampered,
+}
+
+/// Applies in-transit `X-Etag-Config` tampering to a response:
+/// `Some(salt)` corrupts one entry, `None` swaps two entries' etags.
+/// The integrity digest header is deliberately left describing the
+/// *original* map — this models a fault, not a malicious re-signer —
+/// so receivers can detect the damage. Returns `false` when the
+/// response carries no (parsable, mutable) map.
+pub fn tamper_config_headers(resp: &mut Response, salt: Option<u64>) -> bool {
+    let Some(combined) = resp.headers.get_combined(HeaderName::X_ETAG_CONFIG) else {
+        return false;
+    };
+    let Ok(mut config) = EtagConfig::parse(&combined) else {
+        return false;
+    };
+    let changed = match salt {
+        Some(s) => config.corrupt_entry(s),
+        None => config.swap_two_etags(),
+    };
+    if changed {
+        config.apply_to(resp, usize::MAX);
+    }
+    changed
 }
 
 impl fmt::Display for EtagConfig {
@@ -326,6 +439,108 @@ mod tests {
         b.insert("/a", tag("2"));
         b.insert("/z", tag("1"));
         assert_eq!(a.to_header_value(), b.to_header_value());
+    }
+
+    fn signed_response(n: usize) -> (EtagConfig, Response) {
+        let mut c = EtagConfig::new();
+        for i in 0..n {
+            c.insert(format!("/r{i}.js"), tag(&format!("v{i}")));
+        }
+        let mut resp = Response::ok("html");
+        c.apply_to(&mut resp, 200);
+        c.attach_digest(&mut resp);
+        (c, resp)
+    }
+
+    #[test]
+    fn digest_is_order_independent_and_content_sensitive() {
+        let mut a = EtagConfig::new();
+        a.insert("/z", tag("1"));
+        a.insert("/a", tag("2"));
+        let mut b = EtagConfig::new();
+        b.insert("/a", tag("2"));
+        b.insert("/z", tag("1"));
+        assert_eq!(a.digest64(), b.digest64());
+        b.insert("/a", tag("3"));
+        assert_ne!(a.digest64(), b.digest64());
+    }
+
+    #[test]
+    fn verify_headers_accepts_intact_signed_maps() {
+        let (c, resp) = signed_response(10);
+        assert_eq!(
+            EtagConfig::verify_headers(&resp.headers),
+            ConfigIntegrity::Verified(c)
+        );
+    }
+
+    #[test]
+    fn verify_headers_passes_unsigned_maps_through() {
+        let mut c = EtagConfig::new();
+        c.insert("/a", tag("1"));
+        let mut resp = Response::ok("html");
+        c.apply_to(&mut resp, 200);
+        assert_eq!(
+            EtagConfig::verify_headers(&resp.headers),
+            ConfigIntegrity::Unsigned
+        );
+    }
+
+    #[test]
+    fn corruption_and_swap_are_detected_by_the_digest() {
+        for salt in [None, Some(7u64), Some(u64::MAX)] {
+            let (_, mut resp) = signed_response(10);
+            assert!(tamper_config_headers(&mut resp, salt), "{salt:?}");
+            assert_eq!(
+                EtagConfig::verify_headers(&resp.headers),
+                ConfigIntegrity::Tampered,
+                "{salt:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn garbage_map_or_digest_is_tampered() {
+        let (_, mut resp) = signed_response(3);
+        resp.headers.remove(HeaderName::X_ETAG_CONFIG);
+        resp.headers
+            .insert(HeaderName::X_ETAG_CONFIG, "not a valid map");
+        assert_eq!(
+            EtagConfig::verify_headers(&resp.headers),
+            ConfigIntegrity::Tampered
+        );
+        let (_, mut resp) = signed_response(3);
+        resp.headers
+            .insert(HeaderName::X_CC_CONFIG_DIGEST, "zz-not-hex");
+        assert_eq!(
+            EtagConfig::verify_headers(&resp.headers),
+            ConfigIntegrity::Tampered
+        );
+    }
+
+    #[test]
+    fn tampering_without_a_map_is_a_noop() {
+        let mut resp = Response::ok("x");
+        assert!(!tamper_config_headers(&mut resp, Some(1)));
+        // A single-entry map cannot swap, and reports so.
+        let mut c = EtagConfig::new();
+        c.insert("/only", tag("1"));
+        let mut resp = Response::ok("x");
+        c.apply_to(&mut resp, 200);
+        assert!(!tamper_config_headers(&mut resp, None));
+        assert!(tamper_config_headers(&mut resp, Some(3)));
+    }
+
+    #[test]
+    fn corrupt_entry_changes_exactly_one_tag() {
+        let (orig, mut resp) = signed_response(8);
+        assert!(tamper_config_headers(&mut resp, Some(5)));
+        let mutated = EtagConfig::from_response(&resp).unwrap();
+        let changed = orig
+            .iter()
+            .filter(|(p, t)| mutated.get(p) != Some(*t))
+            .count();
+        assert_eq!(changed, 1);
     }
 
     #[test]

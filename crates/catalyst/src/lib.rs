@@ -31,7 +31,7 @@ pub mod sw;
 pub use aggregate::AggregateCapture;
 pub use capture::SessionCapture;
 pub use compose::{AppShellWorker, ComposedDecision, ComposedWorker, SiteWorker};
-pub use config::EtagConfig;
+pub use config::{tamper_config_headers, ConfigIntegrity, EtagConfig};
 pub use extract::{
     build_config, build_config_for_site, ExtractOptions, ExtractStats, ResourceProvider,
 };

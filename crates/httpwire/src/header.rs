@@ -51,6 +51,11 @@ std_headers! {
     /// to responses of traced requests so the client's cache-decision
     /// audit can attribute the decision to an epoch.
     X_CC_EPOCH => "x-cc-epoch";
+    /// FNV-64 integrity digest of the canonical `X-Etag-Config`
+    /// serialization, attached alongside the map so clients can detect
+    /// in-transit corruption and fall back to conditional fetches
+    /// instead of trusting a tampered map.
+    X_CC_CONFIG_DIGEST => "x-cc-config-digest";
 }
 
 impl HeaderName {

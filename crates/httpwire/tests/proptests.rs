@@ -2,10 +2,11 @@
 
 use bytes::Bytes;
 use cachecatalyst_httpwire::codec::{
-    encode_request, encode_response, parse_request, parse_response, ParseLimits, Parsed,
+    encode_request, encode_response, parse_request, parse_response, parse_response_eof,
+    ParseLimits, Parsed,
 };
 use cachecatalyst_httpwire::{
-    CacheControl, EntityTag, HeaderMap, HttpDate, Method, Request, Response, StatusCode,
+    CacheControl, EntityTag, HeaderMap, HttpDate, Method, Request, Response, StatusCode, WireError,
 };
 use proptest::prelude::*;
 
@@ -206,7 +207,118 @@ proptest! {
             }
         }
         let _ = parse_response(&wire, &Method::Get, &ParseLimits::default());
+        let _ = parse_response_eof(&wire, &Method::Get, &ParseLimits::default());
         let _ = parse_request(&wire, &ParseLimits::default());
         let _ = cachecatalyst_httpwire::chunked::decode(&wire, 1 << 16);
+    }
+
+    /// Every truncation point of a framed response either parses as
+    /// Partial (incremental API) or fails cleanly as a truncated
+    /// message (EOF API) — the parser never fabricates a message from
+    /// a cut-off body and never panics. This is exactly the input the
+    /// fault injector's reset-mid-body/truncate faults put on the wire.
+    #[test]
+    fn truncated_responses_fail_cleanly(
+        body in prop::collection::vec(any::<u8>(), 1..512),
+        frac in 0.0f64..1.0,
+    ) {
+        let resp = Response::ok(body).with_header("etag", "\"trunc\"");
+        let wire = encode_response(&resp);
+        let cut = ((wire.len() as f64 * frac) as usize).min(wire.len() - 1);
+        let prefix = &wire[..cut];
+        // Incremental parse: a strict prefix of a valid message is
+        // Partial, never Complete and never an error.
+        prop_assert_eq!(
+            parse_response(prefix, &Method::Get, &ParseLimits::default()).unwrap(),
+            Parsed::Partial
+        );
+        // EOF parse (connection closed mid-message): the framed body
+        // never completed, so this must be a clean UnexpectedEof — not
+        // a short message that silently passes for the real one.
+        match parse_response_eof(prefix, &Method::Get, &ParseLimits::default()) {
+            Err(WireError::UnexpectedEof) => {}
+            other => prop_assert!(false, "truncated parse_response_eof gave {other:?}"),
+        }
+    }
+
+    /// parse_response_eof never panics on arbitrary byte soup.
+    #[test]
+    fn parse_response_eof_never_panics(
+        input in prop::collection::vec(any::<u8>(), 0..2048),
+        head: bool,
+    ) {
+        let method = if head { Method::Head } else { Method::Get };
+        let _ = parse_response_eof(&input, &method, &ParseLimits::default());
+    }
+
+    /// A head larger than `max_head` is rejected with HeadTooLarge —
+    /// both before the terminator arrives (unbounded buffering) and
+    /// after (oversized but complete) — never with a panic or an OOM.
+    #[test]
+    fn oversized_heads_are_rejected(
+        max_head in 16usize..256,
+        pad in 1usize..512,
+        complete: bool,
+    ) {
+        let limits = ParseLimits { max_head, max_body: 1 << 20 };
+        let mut wire = b"HTTP/1.1 200 OK\r\nx-pad: ".to_vec();
+        wire.resize(wire.len() + max_head + pad, b'a');
+        if complete {
+            wire.extend_from_slice(b"\r\ncontent-length: 0\r\n\r\n");
+        }
+        match parse_response(&wire, &Method::Get, &limits) {
+            Err(WireError::HeadTooLarge { limit }) => prop_assert_eq!(limit, max_head),
+            other => prop_assert!(false, "oversized head gave {other:?}"),
+        }
+        match parse_response_eof(&wire, &Method::Get, &limits) {
+            Err(WireError::HeadTooLarge { limit }) if complete => {
+                prop_assert_eq!(limit, max_head);
+            }
+            // Headless input at EOF is UnexpectedEof before any size
+            // check can run; both are clean rejections.
+            Err(_) => {}
+            other => prop_assert!(false, "oversized head at EOF gave {other:?}"),
+        }
+    }
+
+    /// A declared or actual body larger than `max_body` is rejected
+    /// with BodyTooLarge before the parser buffers it, for all three
+    /// framings: content-length, chunked, and EOF-delimited.
+    #[test]
+    fn oversized_bodies_are_rejected(
+        max_body in 8usize..128,
+        over in 1usize..256,
+        chunk in 1usize..64,
+    ) {
+        let limits = ParseLimits { max_head: 64 * 1024, max_body };
+        let body = vec![b'b'; max_body + over];
+
+        // content-length framing: the declaration alone trips the limit.
+        let declared = format!(
+            "HTTP/1.1 200 OK\r\ncontent-length: {}\r\n\r\n",
+            body.len()
+        );
+        match parse_response(declared.as_bytes(), &Method::Get, &limits) {
+            Err(WireError::BodyTooLarge { limit }) => prop_assert_eq!(limit, max_body),
+            other => prop_assert!(false, "oversized declared body gave {other:?}"),
+        }
+
+        // chunked framing: the decoder stops once the running total
+        // crosses the limit.
+        let mut chunked_wire =
+            b"HTTP/1.1 200 OK\r\ntransfer-encoding: chunked\r\n\r\n".to_vec();
+        chunked_wire.extend_from_slice(&cachecatalyst_httpwire::chunked::encode(&body, chunk));
+        match parse_response(&chunked_wire, &Method::Get, &limits) {
+            Err(WireError::BodyTooLarge { limit }) => prop_assert_eq!(limit, max_body),
+            other => prop_assert!(false, "oversized chunked body gave {other:?}"),
+        }
+
+        // EOF-delimited framing: the bytes actually received trip it.
+        let mut eof_wire = b"HTTP/1.1 200 OK\r\n\r\n".to_vec();
+        eof_wire.extend_from_slice(&body);
+        match parse_response_eof(&eof_wire, &Method::Get, &limits) {
+            Err(WireError::BodyTooLarge { limit }) => prop_assert_eq!(limit, max_body),
+            other => prop_assert!(false, "oversized EOF body gave {other:?}"),
+        }
     }
 }

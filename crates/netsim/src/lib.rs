@@ -15,6 +15,9 @@
 //!   page-load drivers consume [`network::NetEvent`]s from it.
 //! * [`conditions`] — the latency × throughput grid of the evaluation
 //!   (Figure 3) and the 5G-median headline condition.
+//! * [`fault`] — seeded, replayable fault plans (resets, truncation,
+//!   stalls, loss bursts, config corruption, origin errors) consumed
+//!   by the page-load drivers and the chaos harness.
 //! * [`fetch`] — closed-form single-fetch timings for cross-checks.
 //! * [`trace`] — waterfall traces (Figure-1-style timelines).
 //! * [`emu`] (feature `aio`) — wall-clock emulation of the same link
@@ -25,6 +28,7 @@
 
 pub mod bucket;
 pub mod conditions;
+pub mod fault;
 pub mod fetch;
 pub mod link;
 pub mod network;
@@ -37,6 +41,7 @@ pub mod emu;
 
 pub use bucket::TokenBucket;
 pub use conditions::NetworkConditions;
+pub use fault::{Fault, FaultPlan, FaultSchedule};
 pub use fetch::FetchPlan;
 pub use link::{FlowToken, FluidLink};
 pub use network::{LinkId, NetEvent, Network};

@@ -17,6 +17,6 @@ pub mod tcp;
 
 pub use server::{HeaderMode, OriginMetrics, OriginServer};
 pub use tcp::{
-    fixed_clock, fixed_clock_ms, serve_stream, serve_stream_with_ops, wall_clock, watch_clock,
-    watch_clock_ms, Clock, TcpOrigin,
+    fixed_clock, fixed_clock_ms, serve_stream, serve_stream_with_faults, serve_stream_with_ops,
+    wall_clock, watch_clock, watch_clock_ms, Clock, ServerFaults, TcpOrigin,
 };

@@ -191,6 +191,9 @@ struct CachedConfig {
     /// The `max_header_len` the values were split with; if the server
     /// field has been changed since, the fast path re-splits.
     max_len: usize,
+    /// `x-cc-config-digest` value, computed once per build so the
+    /// fast path attaches integrity without re-serializing the map.
+    digest: Arc<str>,
 }
 
 /// Facts the handler learns along the way, surfaced on a traced
@@ -578,16 +581,22 @@ impl OriginServer {
                 let mut config = (*cached.config).clone();
                 config.merge(extra);
                 config.apply_to(resp, self.max_header_len);
+                config.attach_digest(resp);
             }
             _ if cached.max_len == self.max_header_len => {
-                // The common case: pre-split header values, shared
-                // across every request in the epoch.
+                // The common case: pre-split header values and a
+                // pre-computed digest, shared across the epoch.
                 resp.headers.remove(HeaderName::X_ETAG_CONFIG);
                 for value in cached.values.iter() {
                     resp.headers.append(HeaderName::X_ETAG_CONFIG, value);
                 }
+                resp.headers
+                    .insert(HeaderName::X_CC_CONFIG_DIGEST, &cached.digest);
             }
-            _ => cached.config.apply_to(resp, self.max_header_len),
+            _ => {
+                cached.config.apply_to(resp, self.max_header_len);
+                cached.config.attach_digest(resp);
+            }
         }
     }
 
@@ -627,6 +636,7 @@ impl OriginServer {
         let cached = CachedConfig {
             values: Arc::new(config.to_header_values(self.max_header_len)),
             max_len: self.max_header_len,
+            digest: config.digest_header_value().into(),
             config: Arc::new(config),
         };
         self.config_cache.insert(page, epoch, cached.clone());
@@ -782,6 +792,52 @@ mod tests {
         // Tags in the map match what the subresource responses carry.
         let a = s.handle(&Request::get("/a.css"), 0);
         assert_eq!(config.get("/a.css").unwrap(), &a.etag().unwrap());
+    }
+
+    #[test]
+    fn catalyst_config_carries_matching_integrity_digest() {
+        use cachecatalyst_catalyst::ConfigIntegrity;
+        let s = server(HeaderMode::Catalyst);
+        // Full response and conditional 304 both carry a verifiable
+        // map; the cached fast path (second request) reuses the
+        // precomputed digest.
+        for _ in 0..2 {
+            let resp = s.handle(&Request::get("/index.html"), 0);
+            let config = EtagConfig::from_response(&resp).unwrap();
+            match EtagConfig::verify_headers(&resp.headers) {
+                ConfigIntegrity::Verified(v) => assert_eq!(v, config),
+                other => panic!("expected verified map, got {other:?}"),
+            }
+        }
+        let tag = s.handle(&Request::get("/index.html"), 0).etag().unwrap();
+        let resp = s.handle(
+            &Request::get("/index.html").with_header("if-none-match", &tag.to_string()),
+            60,
+        );
+        assert_eq!(resp.status, StatusCode::NOT_MODIFIED);
+        assert!(matches!(
+            EtagConfig::verify_headers(&resp.headers),
+            ConfigIntegrity::Verified(_)
+        ));
+        // Subresources and baseline HTML carry no digest.
+        let resp = s.handle(&Request::get("/a.css"), 0);
+        assert!(resp.headers.get(HeaderName::X_CC_CONFIG_DIGEST).is_none());
+    }
+
+    #[test]
+    fn capture_merged_config_is_redigested() {
+        use cachecatalyst_catalyst::ConfigIntegrity;
+        let s = server(HeaderMode::CatalystWithCapture);
+        let session = |r: Request| r.with_header("cookie", "cc-session=alice");
+        s.handle(&session(Request::get("/index.html")), 0);
+        s.handle(&session(Request::get("/d.jpg")), 0);
+        let resp = s.handle(&session(Request::get("/index.html")), 60);
+        let config = EtagConfig::from_response(&resp).unwrap();
+        assert!(config.get("/d.jpg").is_some(), "capture extended the map");
+        assert!(matches!(
+            EtagConfig::verify_headers(&resp.headers),
+            ConfigIntegrity::Verified(_)
+        ));
     }
 
     #[test]

@@ -4,11 +4,13 @@
 //! keep-alive — the end-to-end path used by the live demo and the
 //! integration tests (the discrete-event benchmarks bypass TCP).
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 use cachecatalyst_httpwire::aio::{ConnError, ServerConn};
-use cachecatalyst_httpwire::{HeaderName, HttpDate, Method, Response};
-use tokio::io::{AsyncRead, AsyncWrite};
+use cachecatalyst_httpwire::{codec, HeaderName, HttpDate, Method, Response, StatusCode};
+use cachecatalyst_netsim::{Fault, FaultPlan, FaultSchedule};
+use tokio::io::{AsyncRead, AsyncWrite, AsyncWriteExt};
 use tokio::net::TcpListener;
 use tokio::sync::watch;
 
@@ -113,6 +115,43 @@ impl TcpOrigin {
         Self::bind_inner(addr, server, clock, true).await
     }
 
+    /// Like [`TcpOrigin::bind`], but serving through a seeded fault
+    /// schedule (see [`serve_stream_with_faults`]): same plan + same
+    /// request order ⇒ same damage, byte for byte.
+    pub async fn bind_with_faults(
+        addr: &str,
+        server: Arc<OriginServer>,
+        clock: Clock,
+        plan: FaultPlan,
+    ) -> std::io::Result<TcpOrigin> {
+        let listener = TcpListener::bind(addr).await?;
+        let local_addr = listener.local_addr()?;
+        let (shutdown, mut shutdown_rx) = watch::channel(false);
+        let faults = ServerFaults::new(plan);
+        let handle = tokio::spawn(async move {
+            loop {
+                tokio::select! {
+                    accepted = listener.accept() => {
+                        let Ok((stream, _peer)) = accepted else { break };
+                        let server = Arc::clone(&server);
+                        let clock = clock.clone();
+                        let faults = Arc::clone(&faults);
+                        tokio::spawn(async move {
+                            stream.set_nodelay(true).ok();
+                            let _ = serve_stream_with_faults(stream, server, clock, faults).await;
+                        });
+                    }
+                    _ = shutdown_rx.changed() => break,
+                }
+            }
+        });
+        Ok(TcpOrigin {
+            local_addr,
+            shutdown,
+            handle,
+        })
+    }
+
     async fn bind_inner(
         addr: &str,
         server: Arc<OriginServer>,
@@ -197,6 +236,16 @@ where
         let req = match conn.read_request().await {
             Ok(req) => req,
             Err(ConnError::Closed) => return Ok(()),
+            Err(ConnError::Wire(e)) => {
+                // Malformed or truncated request head: the peer is
+                // broken, not the server. Answer 400 best-effort and
+                // drop the connection instead of surfacing an error
+                // (a panicking or erroring task would look like an
+                // origin failure in the chaos harness).
+                let resp = bad_request_response(&e, &clock);
+                let _ = conn.write_response(&resp).await;
+                return Ok(());
+            }
             Err(e) => return Err(e),
         };
         let close = req.headers.wants_close();
@@ -210,6 +259,105 @@ where
             return Ok(());
         }
     }
+}
+
+/// Shared, seeded fault state for a TCP origin: one draw per request,
+/// with a progress guarantee — after `max_consecutive` faulted
+/// requests in a row (across all connections), the next request is
+/// served clean, whatever the client's retry pattern looks like.
+pub struct ServerFaults {
+    state: Mutex<(FaultSchedule, u32)>,
+}
+
+impl ServerFaults {
+    pub fn new(plan: FaultPlan) -> Arc<ServerFaults> {
+        Arc::new(ServerFaults {
+            state: Mutex::new((plan.schedule(), 0)),
+        })
+    }
+
+    fn draw(&self) -> Option<Fault> {
+        let mut guard = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let (schedule, consecutive) = &mut *guard;
+        let fault = schedule.draw(*consecutive);
+        *consecutive = if fault.is_some() { *consecutive + 1 } else { 0 };
+        fault
+    }
+}
+
+/// Like [`serve_stream`], but every request first draws from `faults`
+/// and the response is damaged accordingly: 5xx substitution, delayed
+/// or slow-started writes, config-map tampering, mid-body connection
+/// resets and truncation. Stalls and loss bursts degenerate to an
+/// immediate close at this seam — holding a socket for a wall-clock
+/// timeout would stall the test run, and packet loss belongs to the
+/// link, not the server.
+pub async fn serve_stream_with_faults<S>(
+    stream: S,
+    server: Arc<OriginServer>,
+    clock: Clock,
+    faults: Arc<ServerFaults>,
+) -> Result<(), ConnError>
+where
+    S: AsyncRead + AsyncWrite + Unpin,
+{
+    let mut conn = ServerConn::new(stream);
+    loop {
+        let req = match conn.read_request().await {
+            Ok(req) => req,
+            Err(ConnError::Closed) => return Ok(()),
+            Err(ConnError::Wire(e)) => {
+                let resp = bad_request_response(&e, &clock);
+                let _ = conn.write_response(&resp).await;
+                return Ok(());
+            }
+            Err(e) => return Err(e),
+        };
+        let close = req.headers.wants_close();
+        let mut resp = server.handle(&req, clock.secs());
+        match faults.draw() {
+            None => {}
+            Some(Fault::ServerError { status }) => {
+                resp = Response::empty(StatusCode::new(status).expect("5xx is valid"))
+                    .with_header("x-cc-fault", "server-error");
+            }
+            Some(Fault::Delay { ms }) | Some(Fault::SlowStart { ms }) => {
+                tokio::time::sleep(Duration::from_millis(ms)).await;
+            }
+            Some(Fault::CorruptConfigEntry { salt }) => {
+                cachecatalyst_catalyst::tamper_config_headers(&mut resp, Some(salt));
+            }
+            Some(Fault::StaleConfigEntry) => {
+                cachecatalyst_catalyst::tamper_config_headers(&mut resp, None);
+            }
+            Some(Fault::ResetMidBody { fraction } | Fault::TruncateBody { fraction }) => {
+                // Announce the full length, deliver a prefix, close:
+                // the client's response parser must see a clean
+                // unexpected-EOF, never a short "valid" body.
+                let wire = codec::encode_response(&resp);
+                let cut = ((wire.len() as f64 * fraction) as usize).clamp(1, wire.len() - 1);
+                let mut stream = conn.into_inner();
+                let _ = stream.write_all(&wire[..cut]).await;
+                let _ = stream.flush().await;
+                return Ok(());
+            }
+            Some(Fault::Stall | Fault::LossBurst { .. }) => {
+                return Ok(());
+            }
+        }
+        conn.write_response(&resp).await?;
+        if close {
+            return Ok(());
+        }
+    }
+}
+
+fn bad_request_response(err: &cachecatalyst_httpwire::WireError, clock: &Clock) -> Response {
+    Response::empty(StatusCode::BAD_REQUEST)
+        .with_header(HeaderName::CONTENT_TYPE, "text/plain")
+        .with_header(HeaderName::CONNECTION, "close")
+        .with_header("x-cc-error", &err.to_string())
+        .with_header(HeaderName::DATE, &HttpDate(clock.secs()).to_imf_fixdate())
 }
 
 enum OpsEndpoint {
@@ -473,6 +621,85 @@ mod tests {
         let health = client.round_trip(&Request::get("/healthz")).await.unwrap();
         assert_eq!(health.status, StatusCode::OK);
         assert_eq!(health.body.as_ref(), b"ok\n");
+        server.shutdown().await;
+    }
+
+    #[tokio::test]
+    async fn malformed_request_head_answers_400_and_closes() {
+        use tokio::io::{AsyncReadExt, AsyncWriteExt};
+        let server = TcpOrigin::bind("127.0.0.1:0", origin(), fixed_clock(0))
+            .await
+            .unwrap();
+        let mut stream = TcpStream::connect(server.local_addr).await.unwrap();
+        stream.write_all(b"THIS IS NOT HTTP\r\n\r\n").await.unwrap();
+        let mut buf = Vec::new();
+        let mut chunk = [0u8; 1024];
+        loop {
+            let n = stream.read(&mut chunk).await.unwrap();
+            if n == 0 {
+                break;
+            }
+            buf.extend_from_slice(&chunk[..n]);
+        }
+        let text = String::from_utf8_lossy(&buf);
+        assert!(text.starts_with("HTTP/1.1 400"), "{text}");
+        server.shutdown().await;
+    }
+
+    #[tokio::test]
+    async fn truncated_request_head_does_not_kill_the_server() {
+        use tokio::io::AsyncWriteExt;
+        let server = TcpOrigin::bind("127.0.0.1:0", origin(), fixed_clock(0))
+            .await
+            .unwrap();
+        // Half a request head, then a hangup.
+        let mut stream = TcpStream::connect(server.local_addr).await.unwrap();
+        stream.write_all(b"GET /index.html HT").await.unwrap();
+        drop(stream);
+        // The listener must still serve well-formed clients.
+        let stream = TcpStream::connect(server.local_addr).await.unwrap();
+        let mut client = ClientConn::new(stream);
+        let resp = client
+            .round_trip(&Request::get("/index.html"))
+            .await
+            .unwrap();
+        assert_eq!(resp.status, StatusCode::OK);
+        server.shutdown().await;
+    }
+
+    #[tokio::test]
+    async fn faulted_origin_damages_some_responses_but_guarantees_progress() {
+        use cachecatalyst_netsim::FaultPlan;
+        let server = TcpOrigin::bind_with_faults(
+            "127.0.0.1:0",
+            origin(),
+            fixed_clock(0),
+            FaultPlan::new(11).with_fault_rate(0.7),
+        )
+        .await
+        .unwrap();
+        let mut outcomes = Vec::new();
+        // A client that redials after any failure must always make
+        // progress: the schedule serves clean after two consecutive
+        // faults, so three attempts per request suffice.
+        for _ in 0..20 {
+            let mut got = None;
+            for _attempt in 0..3 {
+                let stream = TcpStream::connect(server.local_addr).await.unwrap();
+                let mut client = ClientConn::new(stream);
+                match client.round_trip(&Request::get("/a.css")).await {
+                    Ok(resp) if resp.status == StatusCode::OK => {
+                        got = Some(resp);
+                        break;
+                    }
+                    Ok(_) | Err(_) => continue,
+                }
+            }
+            let resp = got.expect("progress within 3 attempts");
+            outcomes.push(resp.body.len());
+        }
+        // Every successful body is the real resource.
+        assert!(outcomes.iter().all(|&n| n == outcomes[0]));
         server.shutdown().await;
     }
 

@@ -10,7 +10,9 @@
 //!   full dependency closure (including JS-discovered resources) near
 //!   the origin and ships one bundle;
 //! * [`extreme`] — an Extreme-Cache-style proxy that rewrites
-//!   `Cache-Control` with TTLs estimated from observed change history.
+//!   `Cache-Control` with TTLs estimated from observed change history;
+//! * [`chaos`] — a fault-injecting decorator that damages any
+//!   upstream's responses from a seeded schedule (chaos testing).
 //!
 //! All three implement [`cachecatalyst_browser::Upstream`], so the
 //! same page-load engine measures them under identical conditions.
@@ -18,11 +20,13 @@
 //! get a `proxy.*` span nested between the browser's fetch span and
 //! the origin's `origin.handle` span ([`trace`], crate-internal).
 
+pub mod chaos;
 pub mod extreme;
 pub mod push;
 pub mod rdr;
 mod trace;
 
+pub use chaos::FaultyUpstream;
 pub use extreme::ExtremeCacheProxy;
 pub use push::{PushOrigin, PushPolicy};
 pub use rdr::RdrProxy;

@@ -60,6 +60,11 @@ pub enum CacheDecision {
     /// The catalyst mechanism was bypassed: classic freshness hit,
     /// push/bundle pre-delivery, or any other non-catalyst path.
     Bypass,
+    /// A fault forced the client off its preferred path: the resource
+    /// was still delivered (via retry, conditional or full re-fetch),
+    /// but degraded — extra round trips or a distrusted
+    /// `X-Etag-Config` map were involved.
+    Degraded,
 }
 
 impl CacheDecision {
@@ -69,6 +74,7 @@ impl CacheDecision {
             CacheDecision::Conditional304 => "conditional-304",
             CacheDecision::FullFetch => "full-fetch",
             CacheDecision::Bypass => "bypass",
+            CacheDecision::Degraded => "degraded",
         }
     }
 }
@@ -93,6 +99,10 @@ pub struct CacheAudit {
     /// current version; `None` when unknowable (e.g. a classic
     /// freshness hit that never consulted the origin).
     pub served_stale: Option<bool>,
+    /// FNV-64 digest of the bytes actually handed to the page, when
+    /// the fetch delivered a body. The serve-correct-bytes oracle
+    /// compares this against an un-faulted reference load.
+    pub body_digest: Option<u64>,
 }
 
 /// One telemetry event. Serializes to a single JSON line.
@@ -151,6 +161,17 @@ pub enum Event {
         evictions: u64,
         revalidation_refreshes: u64,
     },
+    /// Fault-injection outcome of one page load: emitted only when a
+    /// fault plan was active and something actually happened.
+    FaultSummary {
+        t_ms: f64,
+        /// Faults the network simulation injected into this load.
+        faults_injected: u32,
+        /// Fetch attempts the client retried after a fault.
+        retries: u32,
+        /// Fetches that completed on a degraded (fallback) path.
+        degraded: u64,
+    },
 }
 
 impl Event {
@@ -166,6 +187,7 @@ impl Event {
             Event::CacheDecision { .. } => "cache_decision",
             Event::Span(_) => "span",
             Event::CacheDelta { .. } => "cache_delta",
+            Event::FaultSummary { .. } => "fault_summary",
         }
     }
 
@@ -233,6 +255,9 @@ impl Event {
                 if let Some(stale) = audit.served_stale {
                     out.push_str(&format!(",\"served_stale\":{stale}"));
                 }
+                if let Some(digest) = audit.body_digest {
+                    out.push_str(&format!(",\"body_digest\":\"{digest:016x}\""));
+                }
                 out.push('}');
                 out
             }
@@ -251,6 +276,16 @@ impl Event {
                  \"misses\":{misses},\"stores\":{stores},\
                  \"evictions\":{evictions},\
                  \"revalidation_refreshes\":{revalidation_refreshes}}}"
+            ),
+            Event::FaultSummary {
+                t_ms,
+                faults_injected,
+                retries,
+                degraded,
+            } => format!(
+                "{{\"event\":{kind},\"t_ms\":{t_ms:.3},\
+                 \"faults_injected\":{faults_injected},\
+                 \"retries\":{retries},\"degraded\":{degraded}}}"
             ),
         }
     }
@@ -406,6 +441,7 @@ mod tests {
                 etag: Some("\"v1\"".into()),
                 epoch: Some(42),
                 served_stale: Some(false),
+                body_digest: Some(0xabcd),
             },
         };
         let json = full.to_json();
@@ -414,6 +450,7 @@ mod tests {
         assert!(json.contains("\"etag\":\"\\\"v1\\\"\""));
         assert!(json.contains("\"epoch\":42"));
         assert!(json.contains("\"served_stale\":false"));
+        assert!(json.contains("\"body_digest\":\"000000000000abcd\""));
 
         let bare = Event::CacheDecision {
             t_ms: 3.0,
@@ -423,6 +460,7 @@ mod tests {
                 etag: None,
                 epoch: None,
                 served_stale: None,
+                body_digest: None,
             },
         };
         let json = bare.to_json();
@@ -430,6 +468,7 @@ mod tests {
         assert!(!json.contains("etag"));
         assert!(!json.contains("epoch"));
         assert!(!json.contains("served_stale"));
+        assert!(!json.contains("digest"));
     }
 
     #[test]
@@ -438,6 +477,7 @@ mod tests {
         assert_eq!(CacheDecision::Conditional304.as_str(), "conditional-304");
         assert_eq!(CacheDecision::FullFetch.as_str(), "full-fetch");
         assert_eq!(CacheDecision::Bypass.as_str(), "bypass");
+        assert_eq!(CacheDecision::Degraded.as_str(), "degraded");
     }
 
     #[test]

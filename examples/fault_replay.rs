@@ -1,0 +1,66 @@
+//! Replays one chaos schedule and prints its event sequence.
+//!
+//! ```text
+//! cargo run --release --example fault_replay -- <topology> <seed>
+//! ```
+//!
+//! `<topology>` is one of `catalyst`, `baseline`, `rdr-proxy`. The
+//! run is fully deterministic: the same pair always produces the same
+//! fingerprint, so a failing seed from `tests/fault_resilience.rs` or
+//! the CI chaos-soak job can be replayed line for line. Exits
+//! non-zero if the serve-correct-bytes oracle fails.
+
+use cachecatalyst::chaos::{self, Topology};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (topology, seed) = match args.as_slice() {
+        [t, s] => {
+            let topology = Topology::parse(t).unwrap_or_else(|| {
+                eprintln!("unknown topology {t:?}; use catalyst | baseline | rdr-proxy");
+                std::process::exit(2);
+            });
+            let seed: u64 = s.parse().unwrap_or_else(|_| {
+                eprintln!("seed must be an unsigned integer, got {s:?}");
+                std::process::exit(2);
+            });
+            (topology, seed)
+        }
+        _ => {
+            eprintln!("usage: fault_replay <topology> <seed>");
+            std::process::exit(2);
+        }
+    };
+
+    let run = chaos::run_seed(topology, seed);
+    println!("# topology={} seed={}", topology.label(), seed);
+    println!(
+        "# reference: plt={:.3}ms fetches={}",
+        run.reference.plt_ms(),
+        run.reference.trace.fetches.len()
+    );
+    for (f, audit) in run
+        .reference
+        .trace
+        .fetches
+        .iter()
+        .zip(&run.reference.audits)
+    {
+        println!(
+            "# ref {} decision={} digest={:?}",
+            f.url,
+            audit.decision.as_str(),
+            audit.body_digest
+        );
+    }
+    for line in chaos::fingerprint(&run) {
+        println!("{line}");
+    }
+    match chaos::check_oracle(&run) {
+        Ok(()) => println!("# oracle: OK"),
+        Err(e) => {
+            println!("# oracle: FAILED: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -60,6 +60,8 @@ pub use cachecatalyst_proxies as proxies;
 pub use cachecatalyst_telemetry as telemetry;
 pub use cachecatalyst_webmodel as webmodel;
 
+pub mod chaos;
+
 /// The most common imports in one place.
 pub mod prelude {
     pub use cachecatalyst_browser::{

@@ -3,8 +3,10 @@
 //! same logic a real service worker would run.
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use cachecatalyst::catalyst::{ServiceWorker, SwDecision};
+use cachecatalyst::chaos::{live_slack_ms, within_band};
 use cachecatalyst::httpwire::aio::ClientConn;
 use cachecatalyst::origin::{watch_clock, TcpOrigin};
 use cachecatalyst::prelude::*;
@@ -140,6 +142,37 @@ async fn many_concurrent_clients_over_tcp() {
     for t in tasks {
         t.await.unwrap();
     }
+    server.shutdown().await;
+}
+
+#[tokio::test]
+async fn loopback_round_trips_are_stable_within_the_tolerance_band() {
+    // Wall-clock assertions over real sockets need the band idiom the
+    // chaos module provides: a relative envelope plus absolute slack
+    // for scheduler noise (the offline tokio stand-in detects IO
+    // readiness by re-polling every ~250 µs, so every await point can
+    // contribute a fraction of a millisecond). A bare ratio between
+    // two ~100 µs loopback round trips would be hopelessly flaky.
+    let (server, _clock) = start_origin(HeaderMode::Catalyst).await;
+    let stream = TcpStream::connect(server.local_addr).await.unwrap();
+    let mut conn = ClientConn::new(stream);
+    // Warm up: first exchange pays connection setup and lazy init.
+    conn.round_trip(&Request::get("/index.html")).await.unwrap();
+
+    let mut samples_ms = Vec::new();
+    for _ in 0..6 {
+        let start = Instant::now();
+        let resp = conn.round_trip(&Request::get("/index.html")).await.unwrap();
+        assert_eq!(resp.status, StatusCode::OK);
+        samples_ms.push(start.elapsed().as_secs_f64() * 1000.0);
+    }
+    let fastest = samples_ms.iter().copied().fold(f64::INFINITY, f64::min);
+    let slowest = samples_ms.iter().copied().fold(0.0f64, f64::max);
+    // One request per sample → slack budget for a single fetch.
+    assert!(
+        within_band(fastest, slowest, 0.5, live_slack_ms(1)),
+        "loopback round trips spread beyond the band: {samples_ms:?}"
+    );
     server.shutdown().await;
 }
 

@@ -10,6 +10,7 @@
 use std::sync::Arc;
 
 use cachecatalyst::browser::live::{Dialer, LiveBrowser, LiveMode};
+use cachecatalyst::chaos::{live_slack_ms, within_band};
 use cachecatalyst::netsim::emu::emulated_link;
 use cachecatalyst::origin::{fixed_clock, serve_stream};
 use cachecatalyst::prelude::*;
@@ -31,12 +32,13 @@ fn dialer_for(origin: Arc<OriginServer>, cond: NetworkConditions, t_secs: i64) -
     })
 }
 
-/// Tolerance: the live path has real scheduler jitter, TCP buffering
-/// and pump-task granularity the simulator abstracts away; agreement
-/// within 25% (and ordering preserved) is the validation target.
-fn within(a_ms: f64, b_ms: f64, tolerance: f64) -> bool {
-    (a_ms - b_ms).abs() / b_ms.max(1.0) <= tolerance
-}
+// Tolerance: the live path has real scheduler jitter, TCP buffering
+// and pump-task granularity the simulator abstracts away. Agreement
+// is asserted with `chaos::within_band` — a relative band for the
+// real timing divergence plus `chaos::live_slack_ms` of absolute
+// slack for per-await scheduler noise (the offline tokio stand-in
+// re-polls IO readiness every ~250 µs, which a pure ratio check
+// turns into flakes on fast loads).
 
 #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
 async fn cold_load_times_agree() {
@@ -56,7 +58,12 @@ async fn cold_load_times_agree() {
     assert_eq!(live_report.trace.fetches.len(), sim.trace.fetches.len());
     assert_eq!(live_report.network_requests, sim.network_requests());
     assert!(
-        within(live_ms, sim_ms, 0.25),
+        within_band(
+            live_ms,
+            sim_ms,
+            0.25,
+            live_slack_ms(sim.trace.fetches.len())
+        ),
         "sim predicted {sim_ms:.1} ms, live measured {live_ms:.1} ms"
     );
 }
@@ -104,21 +111,26 @@ async fn catalyst_revisit_agrees_and_preserves_the_win() {
     // (see `plain_catalyst_ties_baseline_when_js_chain_dominates`);
     // the live run must reproduce that: no worse than a few percent.
     assert!(live_cat.sw_hits >= 2, "{live_cat:?}");
-    let ratio = live_cat.plt.as_secs_f64() / live_base.plt.as_secs_f64();
+    let cat_ms = live_cat.plt.as_secs_f64() * 1000.0;
+    let base_ms = live_base.plt.as_secs_f64() * 1000.0;
+    // "No worse than a few percent" as a band, not a bare ratio: the
+    // absolute slack keeps scheduler noise on a ~15 ms load from
+    // reading as a catalyst regression.
     assert!(
-        ratio <= 1.06,
-        "live catalyst {:?} vs live baseline {:?} (ratio {ratio:.3})",
-        live_cat.plt,
-        live_base.plt
+        cat_ms <= base_ms * 1.06 + live_slack_ms(live_cat.trace.fetches.len()),
+        "live catalyst {cat_ms:.1} ms vs live baseline {base_ms:.1} ms"
     );
     // …and the sim's predicted PLTs should be in the right ballpark.
-    for (sim_ms, live) in [
-        (sim_base.plt_ms(), &live_base),
-        (sim_cat.plt_ms(), &live_cat),
-    ] {
+    for (sim, live) in [(&sim_base, &live_base), (&sim_cat, &live_cat)] {
+        let sim_ms = sim.plt_ms();
         let live_ms = live.plt.as_secs_f64() * 1000.0;
         assert!(
-            within(live_ms, sim_ms, 0.30),
+            within_band(
+                live_ms,
+                sim_ms,
+                0.30,
+                live_slack_ms(sim.trace.fetches.len())
+            ),
             "sim {sim_ms:.1} ms vs live {live_ms:.1} ms"
         );
     }

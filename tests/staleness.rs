@@ -8,7 +8,9 @@
 
 use std::sync::Arc;
 
+use cachecatalyst::httpcache::CacheMetrics;
 use cachecatalyst::prelude::*;
+use cachecatalyst::telemetry::CacheDecision;
 
 fn version_marker(body: &[u8]) -> Option<u64> {
     // Text bodies carry "… v{N} …", binary bodies "BIN:…:v{N}\n".
@@ -122,6 +124,102 @@ fn baseline_does_serve_stale_sometimes() {
         "expected the status quo to serve at least one stale resource over \
          10 sites × 1-week revisit"
     );
+}
+
+/// The audit trail and the cache's own counters describe the same
+/// load from two independent vantage points — the engine's per-fetch
+/// verdicts vs. the `HttpCache`'s internal bookkeeping. Reconcile
+/// them exactly: any drift means one of the two is lying about what
+/// the load did.
+#[test]
+fn audit_decisions_reconcile_with_cache_metric_deltas() {
+    let sites = generate_corpus(&CorpusSpec {
+        n_sites: 4,
+        resources_median: 30.0,
+        ..Default::default()
+    });
+    let t0: i64 = 35 * 86_400;
+    let cond = NetworkConditions::five_g_median();
+    for site in &sites {
+        let origin = Arc::new(OriginServer::new(site.clone(), HeaderMode::Baseline));
+        let up = SingleOrigin(Arc::clone(&origin));
+        let url = Url::parse(&format!("http://{}{}", site.spec.host, site.base_path())).unwrap();
+        let mut browser = Browser::baseline();
+        for t in [t0, t0 + 3600, t0 + 86_400, t0 + 8 * 86_400] {
+            let before = browser.cache.metrics;
+            let report = browser.load(&up, cond, &url, t);
+            let delta = browser.cache.metrics.delta_since(&before);
+            let ctx = format!("{} at t={t}", site.spec.host);
+
+            let count =
+                |d: CacheDecision| report.audits.iter().filter(|a| a.decision == d).count() as u64;
+            assert_eq!(
+                report.audits.len(),
+                report.trace.fetches.len(),
+                "{ctx}: audit trail incomplete"
+            );
+            assert_eq!(count(CacheDecision::SwHitZeroRtt), 0, "{ctx}: no SW here");
+            assert_eq!(count(CacheDecision::Degraded), 0, "{ctx}: no faults here");
+
+            // Every foreground fetch does exactly one cache lookup;
+            // SWR background revalidations bypass lookup entirely.
+            let swr = report.swr_served as u64;
+            assert_eq!(
+                delta.lookups(),
+                report.audits.len() as u64 - swr,
+                "{ctx}: lookups vs fetches"
+            );
+            // A Bypass audit is a cache serve: either a fresh hit or a
+            // stale copy served under stale-while-revalidate.
+            assert_eq!(
+                delta.fresh_hits,
+                count(CacheDecision::Bypass) - swr,
+                "{ctx}: fresh hits vs bypass audits"
+            );
+            assert!(
+                delta.stale_hits >= swr,
+                "{ctx}: every SWR serve starts as a stale lookup"
+            );
+            // Every 304 — foreground conditional or background SWR
+            // refresh — lands as exactly one revalidation refresh.
+            assert_eq!(
+                delta.revalidation_refreshes,
+                count(CacheDecision::Conditional304),
+                "{ctx}: refreshes vs 304 audits"
+            );
+            // Every storable full transfer is stored; no-store
+            // resources (the corpus has ~12%) are fetched but not.
+            let storable_fulls = report
+                .audits
+                .iter()
+                .filter(|a| a.decision == CacheDecision::FullFetch)
+                .filter(|a| {
+                    let path = Url::parse(&a.url).unwrap().path().to_owned();
+                    let resp = origin.handle(&Request::get(&path), t);
+                    HttpCache::is_storable(&Request::get(&path), &resp)
+                })
+                .count() as u64;
+            assert_eq!(
+                delta.stores, storable_fulls,
+                "{ctx}: stores vs full fetches"
+            );
+            assert_eq!(delta.evictions, 0, "{ctx}: unbounded cache never evicts");
+        }
+
+        // The catalyst browser resolves everything through the service
+        // worker: the classic HTTP cache must stay completely silent.
+        let mut catalyst = Browser::catalyst();
+        for t in [t0, t0 + 3600, t0 + 86_400] {
+            let before = catalyst.cache.metrics;
+            catalyst.load(&up, cond, &url, t);
+            assert_eq!(
+                catalyst.cache.metrics.delta_since(&before),
+                CacheMetrics::default(),
+                "{}: catalyst load touched the HTTP cache",
+                site.spec.host
+            );
+        }
+    }
 }
 
 #[test]

@@ -40,3 +40,48 @@ pub fn sleep(duration: Duration) -> Sleep {
 pub fn sleep_until(deadline: Instant) -> Sleep {
     Sleep { deadline }
 }
+
+/// Error returned by [`timeout`] when the deadline elapses first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Elapsed(());
+
+impl std::fmt::Display for Elapsed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "deadline has elapsed")
+    }
+}
+
+impl std::error::Error for Elapsed {}
+
+pub struct Timeout<F> {
+    future: F,
+    deadline: Instant,
+}
+
+impl<F: Future> Future for Timeout<F> {
+    type Output = Result<F::Output, Elapsed>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        // SAFETY: `future` is structurally pinned; it is never moved
+        // out of `Timeout` and `Timeout` is only polled when pinned.
+        let this = unsafe { self.get_unchecked_mut() };
+        let future = unsafe { Pin::new_unchecked(&mut this.future) };
+        if let Poll::Ready(out) = future.poll(cx) {
+            return Poll::Ready(Ok(out));
+        }
+        if Instant::now() >= this.deadline {
+            return Poll::Ready(Err(Elapsed(())));
+        }
+        Poll::Pending
+    }
+}
+
+/// Requires `future` to complete before `duration` elapses. Like the
+/// sleeps above, expiry is detected by the executor's ~250µs re-poll
+/// tick rather than a timer wheel.
+pub fn timeout<F: Future>(duration: Duration, future: F) -> Timeout<F> {
+    Timeout {
+        future,
+        deadline: Instant::now() + duration,
+    }
+}
