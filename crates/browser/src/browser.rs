@@ -24,7 +24,7 @@ pub struct Browser {
 }
 
 /// Maps a simulator outcome onto the telemetry vocabulary.
-fn fetch_kind(outcome: FetchOutcome) -> FetchKind {
+pub(crate) fn fetch_kind(outcome: FetchOutcome) -> FetchKind {
     match outcome {
         FetchOutcome::FullTransfer => FetchKind::FullFetch,
         FetchOutcome::NotModified => FetchKind::Conditional304,
@@ -44,6 +44,22 @@ impl Browser {
             recorder: None,
             spans: None,
         }
+    }
+
+    /// Applies the shared [`ClientOptions`](crate::ClientOptions):
+    /// recorder and span sink attach as with
+    /// [`Browser::with_recorder`] / [`Browser::with_span_sink`], and
+    /// the resilience knobs overlay [`Browser::config`]. Unset
+    /// options leave the browser untouched.
+    pub fn with_options(mut self, opts: &crate::ClientOptions) -> Browser {
+        if let Some(recorder) = &opts.recorder {
+            self.recorder = Some(Arc::clone(recorder));
+        }
+        if let Some(spans) = &opts.spans {
+            self.spans = Some(Arc::clone(spans));
+        }
+        opts.apply_to(&mut self.config);
+        self
     }
 
     /// Attaches an event sink; every subsequent [`Browser::load`]

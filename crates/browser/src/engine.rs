@@ -477,6 +477,19 @@ impl<'a> Engine<'a> {
         self
     }
 
+    /// Applies the shared [`ClientOptions`](crate::ClientOptions).
+    /// The engine reads its resilience knobs from the [`EngineConfig`]
+    /// it was built with, so only the span sink applies here; overlay
+    /// the rest with [`crate::ClientOptions::apply_to`] *before*
+    /// [`Engine::new`] (or use [`crate::Browser::with_options`], which
+    /// does both).
+    pub fn with_options(self, opts: &crate::ClientOptions) -> Engine<'a> {
+        match &opts.spans {
+            Some(spans) => self.with_span_sink(spans),
+            None => self,
+        }
+    }
+
     /// Absolute virtual milliseconds for a sim instant (the page-load
     /// events' time base: `t_secs` plus the offset into the load).
     fn abs_ms(&self, t: SimTime) -> f64 {

@@ -21,6 +21,7 @@
 pub mod browser;
 pub mod engine;
 pub mod har;
+pub mod options;
 pub mod upstream;
 
 #[cfg(feature = "aio")]
@@ -31,4 +32,5 @@ pub use engine::{Engine, EngineConfig, LoadReport};
 pub use har::to_har;
 #[cfg(feature = "aio")]
 pub use live::{LiveBrowser, LiveMode, LiveReport};
+pub use options::ClientOptions;
 pub use upstream::{FrozenUpstream, MultiOrigin, SingleOrigin, Upstream};

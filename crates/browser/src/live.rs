@@ -20,6 +20,7 @@ use cachecatalyst_httpcache::{HttpCache, Lookup};
 use cachecatalyst_httpwire::aio::ClientConn;
 use cachecatalyst_httpwire::{HeaderName, Request, Response, StatusCode, Url};
 use cachecatalyst_netsim::{FetchOutcome, FetchTrace, LoadTrace, SimTime};
+use cachecatalyst_telemetry::{Event, Recorder};
 use cachecatalyst_webmodel::extract::{extract_css_links, extract_html_links};
 use cachecatalyst_webmodel::{jsdialect, ResourceKind};
 use tokio::io::{AsyncRead, AsyncWrite};
@@ -73,6 +74,7 @@ pub struct LiveBrowser {
     cache: Arc<Mutex<HttpCache>>,
     sw: Arc<Mutex<ServiceWorker>>,
     pools: Arc<Mutex<HashMap<String, Arc<HostPool>>>>,
+    recorder: Option<Arc<dyn Recorder>>,
     /// Virtual seconds used for cache freshness decisions.
     pub now_secs: i64,
     /// Parse/exec pacing, matching the simulator's defaults.
@@ -100,6 +102,7 @@ impl LiveBrowser {
             cache: Arc::new(Mutex::new(HttpCache::unbounded())),
             sw: Arc::new(Mutex::new(ServiceWorker::new())),
             pools: Arc::new(Mutex::new(HashMap::new())),
+            recorder: None,
             now_secs: 0,
             parse_base: Duration::from_millis(1),
             exec_base: Duration::from_millis(2),
@@ -119,6 +122,33 @@ impl LiveBrowser {
             pools: Arc::new(Mutex::new(HashMap::new())),
             ..self
         }
+    }
+
+    /// Applies the shared [`ClientOptions`](crate::ClientOptions):
+    /// the recorder attaches (live loads then emit the same
+    /// page-load/fetch event stream as the discrete-event browser,
+    /// timestamped in wall milliseconds from `now_secs`), the retry
+    /// knobs overlay their fields, and a dialer replaces the
+    /// transport as [`LiveBrowser::with_dialer`] would. The span
+    /// sink and fault plan are discrete-event concerns and are
+    /// ignored here (faults live on the server side of a live run).
+    pub fn with_options(mut self, opts: &crate::ClientOptions) -> LiveBrowser {
+        if let Some(recorder) = &opts.recorder {
+            self.recorder = Some(Arc::clone(recorder));
+        }
+        if let Some(retries) = opts.max_retries {
+            self.max_retries = retries;
+        }
+        if let Some(base) = opts.retry_base {
+            self.retry_base = base;
+        }
+        if let Some(timeout) = opts.fetch_timeout {
+            self.fetch_timeout = timeout;
+        }
+        if let Some(dialer) = &opts.dialer {
+            self = self.with_dialer(Arc::clone(dialer));
+        }
+        self
     }
 
     /// Loads `base_url` to completion, returning wall-clock timings.
@@ -172,14 +202,60 @@ impl LiveBrowser {
             .map(|f| f.completed)
             .max()
             .unwrap_or(SimTime::ZERO);
-        Ok(LiveReport {
+        let report = LiveReport {
             plt: Duration::from_nanos(plt.as_nanos()),
             trace,
             network_requests,
             sw_hits,
             cache_hits,
             retries,
-        })
+        };
+        if let Some(recorder) = &self.recorder {
+            self.emit_load_events(recorder.as_ref(), base_url, &report);
+        }
+        Ok(report)
+    }
+
+    /// Replays one finished live load into the recorder: the same
+    /// event stream the discrete-event browser emits, minus the
+    /// cache-delta and audit records (the live path does not observe
+    /// them). The time base is `now_secs × 1000` plus wall-clock
+    /// offsets into the load.
+    fn emit_load_events(&self, recorder: &dyn Recorder, base_url: &Url, report: &LiveReport) {
+        let page = base_url.to_string();
+        let base_ms = self.now_secs as f64 * 1000.0;
+        recorder.record(&Event::PageLoadStart {
+            page: page.clone(),
+            t_ms: base_ms,
+        });
+        for f in &report.trace.fetches {
+            recorder.record(&Event::FetchStart {
+                url: f.url.clone(),
+                t_ms: base_ms + f.started.as_millis_f64(),
+            });
+            recorder.record(&Event::FetchEnd {
+                url: f.url.clone(),
+                t_ms: base_ms + f.completed.as_millis_f64(),
+                outcome: crate::browser::fetch_kind(f.outcome),
+                bytes_down: f.bytes_down,
+                bytes_up: f.bytes_up,
+                rtts: f.rtts,
+            });
+        }
+        recorder.record(&Event::PageLoadEnd {
+            page,
+            t_ms: base_ms + report.plt.as_secs_f64() * 1000.0,
+            resources: report.trace.fetches.len(),
+            plt_ms: report.plt.as_secs_f64() * 1000.0,
+        });
+        if report.retries > 0 {
+            recorder.record(&Event::FaultSummary {
+                t_ms: base_ms + report.plt.as_secs_f64() * 1000.0,
+                faults_injected: 0,
+                retries: report.retries,
+                degraded: 0,
+            });
+        }
     }
 
     fn fetch_task(

@@ -9,7 +9,7 @@ use std::sync::Arc;
 use cachecatalyst_browser::live::{ByteStream, Dialer, LiveBrowser, LiveMode};
 use cachecatalyst_httpwire::Url;
 use cachecatalyst_netsim::FetchOutcome;
-use cachecatalyst_origin::{fixed_clock, serve_stream, OriginServer};
+use cachecatalyst_origin::{fixed_clock, OriginServer, TcpOrigin};
 use cachecatalyst_webmodel::example_site;
 
 fn instant_dialer(origin: Arc<OriginServer>, t_secs: i64) -> Dialer {
@@ -17,8 +17,11 @@ fn instant_dialer(origin: Arc<OriginServer>, t_secs: i64) -> Dialer {
         let origin = Arc::clone(&origin);
         Box::pin(async move {
             let (client_end, server_end) = tokio::io::duplex(64 * 1024);
+            let opts = TcpOrigin::builder()
+                .server(origin)
+                .clock(fixed_clock(t_secs));
             tokio::spawn(async move {
-                let _ = serve_stream(server_end, origin, fixed_clock(t_secs)).await;
+                let _ = opts.serve_stream(server_end).await;
             });
             Ok(Box::new(client_end) as Box<dyn ByteStream>)
         })

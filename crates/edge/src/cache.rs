@@ -1,0 +1,759 @@
+//! The edge cache proper: an [`Upstream`] decorator with single-flight
+//! coalescing and catalyst-aware freshness.
+//!
+//! ## Serving model
+//!
+//! GET requests are keyed by `host + path` and answered from the
+//! [`EdgeStore`] when the stored entry is
+//! still fresh; everything else (non-GET, internal traffic, HTML)
+//! passes through. A miss or stale entry enters **single-flight**: the
+//! first requester becomes the leader and performs the one upstream
+//! fetch (a conditional GET when a stale validator is on hand), every
+//! concurrent requester for the same key blocks on the leader's
+//! per-key lock and is then served from the freshly stored `Bytes`
+//! body — N concurrent cold requests cost exactly one upstream
+//! request.
+//!
+//! ## Catalyst freshness
+//!
+//! When a forwarded base-HTML response carries the `X-Etag-Config`
+//! map, the edge applies the paper's mechanism one tier down: every
+//! mapped path whose stored validator matches is proactively marked
+//! fresh (subsequent requests are served with zero upstream
+//! revalidations), mismatches are marked stale so the next request
+//! revalidates conditionally, and tamper-flagged maps (PR 4's
+//! [`ConfigIntegrity`]) are distrusted wholesale.
+//!
+//! ## Fault tolerance
+//!
+//! Responses carrying a fault marker, 5xx substitutions, and anything
+//! non-cacheable are passed through but never stored, so an upstream
+//! fault schedule can damage individual responses without ever
+//! poisoning the shared store.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use cachecatalyst_browser::engine::ext;
+use cachecatalyst_browser::{ClientOptions, Upstream};
+use cachecatalyst_catalyst::{ConfigIntegrity, EtagConfig};
+use cachecatalyst_httpcache::freshness_lifetime;
+use cachecatalyst_httpwire::{tracectx, HeaderName, Method, Request, Response, StatusCode};
+use cachecatalyst_telemetry::span::{Span, SpanId, SpanSink, TraceContext};
+use cachecatalyst_telemetry::{CacheAudit, CacheDecision, Event, Recorder, Registry};
+use parking_lot::Mutex;
+
+use crate::store::{EdgeStore, MarkOutcome, StoredEntry};
+
+/// FNV-1a, the digest the serve-correct-bytes oracle compares.
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Counter handles for the edge's Prometheus series, shared with the
+/// registry (scrapes and [`EdgeCache::metrics`] read the same cells).
+struct Counters {
+    requests: Arc<cachecatalyst_telemetry::Counter>,
+    hits: Arc<cachecatalyst_telemetry::Counter>,
+    negative_hits: Arc<cachecatalyst_telemetry::Counter>,
+    misses: Arc<cachecatalyst_telemetry::Counter>,
+    coalesced_waiters: Arc<cachecatalyst_telemetry::Counter>,
+    upstream_requests: Arc<cachecatalyst_telemetry::Counter>,
+    revalidated_304: Arc<cachecatalyst_telemetry::Counter>,
+    revalidated_changed: Arc<cachecatalyst_telemetry::Counter>,
+    marks_fresh: Arc<cachecatalyst_telemetry::Counter>,
+    marks_stale: Arc<cachecatalyst_telemetry::Counter>,
+    tampered_configs: Arc<cachecatalyst_telemetry::Counter>,
+    passthrough: Arc<cachecatalyst_telemetry::Counter>,
+    uncacheable: Arc<cachecatalyst_telemetry::Counter>,
+    evictions: Arc<cachecatalyst_telemetry::Counter>,
+    bytes_held: Arc<cachecatalyst_telemetry::Gauge>,
+    objects_held: Arc<cachecatalyst_telemetry::Gauge>,
+    object_bytes: Arc<cachecatalyst_telemetry::Histogram>,
+}
+
+impl Counters {
+    fn register(registry: &Registry) -> Counters {
+        let c = |name: &str, help: &str| registry.counter(name, help, &[]);
+        Counters {
+            requests: c("edge_requests_total", "Requests reaching the edge tier"),
+            hits: c(
+                "edge_hits_total",
+                "Requests served from the edge store without contacting the origin",
+            ),
+            negative_hits: c(
+                "edge_negative_hits_total",
+                "Requests answered from a negatively-cached 404",
+            ),
+            misses: c(
+                "edge_misses_total",
+                "Requests that required an upstream fetch (cold or stale)",
+            ),
+            coalesced_waiters: c(
+                "edge_coalesced_waiters_total",
+                "Concurrent requests that waited on another request's upstream fetch",
+            ),
+            upstream_requests: c(
+                "edge_upstream_requests_total",
+                "Requests the edge sent to its upstream (excluding pass-through)",
+            ),
+            revalidated_304: c(
+                "edge_revalidations_not_modified_total",
+                "Conditional upstream fetches answered 304 (body reused)",
+            ),
+            revalidated_changed: c(
+                "edge_revalidations_changed_total",
+                "Conditional upstream fetches that returned a new body",
+            ),
+            marks_fresh: c(
+                "edge_config_marks_fresh_total",
+                "Stored entries proactively validated by a forwarded X-Etag-Config map",
+            ),
+            marks_stale: c(
+                "edge_config_marks_stale_total",
+                "Stored entries invalidated by a forwarded X-Etag-Config map",
+            ),
+            tampered_configs: c(
+                "edge_tampered_configs_total",
+                "Forwarded config maps failing their integrity digest (ignored)",
+            ),
+            passthrough: c(
+                "edge_passthrough_total",
+                "Requests forwarded without cache participation (non-GET, internal, HTML)",
+            ),
+            uncacheable: c(
+                "edge_uncacheable_total",
+                "Fetched responses not admitted to the store (faulted, 5xx, no-store)",
+            ),
+            evictions: c(
+                "edge_evictions_total",
+                "Objects evicted to keep the store within its byte budget",
+            ),
+            bytes_held: registry.gauge(
+                "edge_store_bytes",
+                "Bytes currently held by the edge store",
+                &[],
+            ),
+            objects_held: registry.gauge(
+                "edge_store_objects",
+                "Objects currently held by the edge store",
+                &[],
+            ),
+            object_bytes: registry.histogram_with(
+                "edge_object_bytes",
+                "Size distribution of objects admitted to the store",
+                &[],
+                || {
+                    cachecatalyst_telemetry::Histogram::new(&[
+                        256.0, 1024.0, 4096.0, 16384.0, 65536.0, 262144.0, 1048576.0,
+                    ])
+                },
+            ),
+        }
+    }
+}
+
+/// A point-in-time view of the edge's counters, for tests and reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EdgeMetrics {
+    /// Requests reaching the edge tier.
+    pub requests: u64,
+    /// Served from the store with zero upstream contact.
+    pub hits: u64,
+    /// Served from a negatively-cached 404.
+    pub negative_hits: u64,
+    /// Required an upstream fetch.
+    pub misses: u64,
+    /// Coalesced onto another request's fetch.
+    pub coalesced_waiters: u64,
+    /// Requests sent upstream (excluding pass-through forwards).
+    pub upstream_requests: u64,
+    /// Conditional fetches answered `304 Not Modified`.
+    pub revalidated_304: u64,
+    /// Conditional fetches that returned a changed body.
+    pub revalidated_changed: u64,
+    /// Entries proactively marked fresh by a catalyst map.
+    pub marks_fresh: u64,
+    /// Entries invalidated by a catalyst map.
+    pub marks_stale: u64,
+    /// Config maps rejected by their integrity digest.
+    pub tampered_configs: u64,
+    /// Requests forwarded without cache participation.
+    pub passthrough: u64,
+    /// Responses refused admission to the store.
+    pub uncacheable: u64,
+    /// LRU evictions under the byte budget.
+    pub evictions: u64,
+    /// Bytes currently held.
+    pub bytes_held: u64,
+}
+
+/// Configures an [`EdgeCache`]; obtained from [`EdgeCache::builder`].
+pub struct EdgeBuilder<U> {
+    upstream: U,
+    byte_budget: usize,
+    shards: usize,
+    min_fresh_secs: i64,
+    catalyst_fresh_secs: i64,
+    negative_ttl_secs: i64,
+    registry: Option<Arc<Registry>>,
+    recorder: Option<Arc<dyn Recorder>>,
+    spans: Option<Arc<SpanSink>>,
+}
+
+impl<U: Upstream> EdgeBuilder<U> {
+    /// Total bytes the store may hold (default 64 MiB), spread over
+    /// the shards.
+    pub fn byte_budget(mut self, bytes: usize) -> EdgeBuilder<U> {
+        self.byte_budget = bytes;
+        self
+    }
+
+    /// Number of independent store shards (default 8).
+    pub fn shards(mut self, shards: usize) -> EdgeBuilder<U> {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Validation debounce: a just-stored or just-revalidated entry is
+    /// served without upstream contact for this many virtual seconds
+    /// even under `no-cache` (default 1). This is what lets concurrent
+    /// same-instant requests coalesce onto one fetch.
+    pub fn min_fresh_secs(mut self, secs: i64) -> EdgeBuilder<U> {
+        self.min_fresh_secs = secs.max(1);
+        self
+    }
+
+    /// How long a catalyst-map validation keeps an entry fresh
+    /// (default 2 virtual seconds — the map speaks for "now", not for
+    /// an arbitrary future).
+    pub fn catalyst_fresh_secs(mut self, secs: i64) -> EdgeBuilder<U> {
+        self.catalyst_fresh_secs = secs.max(1);
+        self
+    }
+
+    /// Negative-cache TTL for 404s (default 5 virtual seconds).
+    pub fn negative_ttl_secs(mut self, secs: i64) -> EdgeBuilder<U> {
+        self.negative_ttl_secs = secs.max(1);
+        self
+    }
+
+    /// Register the edge's Prometheus series in an existing registry
+    /// (e.g. to scrape edge and origin from one endpoint). A fresh
+    /// registry is created otherwise.
+    pub fn registry(mut self, registry: Arc<Registry>) -> EdgeBuilder<U> {
+        self.registry = Some(registry);
+        self
+    }
+
+    /// Applies the shared [`ClientOptions`]: the recorder receives the
+    /// edge's cache-decision audit events, the span sink its
+    /// `edge.serve` spans. The client-side resilience knobs do not
+    /// apply to a cache tier and are ignored.
+    pub fn client_options(mut self, opts: &ClientOptions) -> EdgeBuilder<U> {
+        if let Some(recorder) = &opts.recorder {
+            self.recorder = Some(Arc::clone(recorder));
+        }
+        if let Some(spans) = &opts.spans {
+            self.spans = Some(Arc::clone(spans));
+        }
+        self
+    }
+
+    /// Builds the edge cache.
+    pub fn build(self) -> EdgeCache<U> {
+        let registry = self.registry.unwrap_or_else(|| Arc::new(Registry::new()));
+        let counters = Counters::register(&registry);
+        EdgeCache {
+            upstream: self.upstream,
+            store: EdgeStore::new(self.byte_budget, self.shards),
+            flights: Mutex::new(HashMap::new()),
+            registry,
+            counters,
+            recorder: self.recorder,
+            spans: self.spans.unwrap_or_else(|| {
+                Arc::new(SpanSink::new(cachecatalyst_telemetry::span::Sampling::Off))
+            }),
+            min_fresh_secs: self.min_fresh_secs,
+            catalyst_fresh_secs: self.catalyst_fresh_secs,
+            negative_ttl_secs: self.negative_ttl_secs,
+        }
+    }
+}
+
+/// An in-flight distributed-trace hop (see `proxies::trace`).
+struct Hop {
+    ctx: TraceContext,
+    span: SpanId,
+}
+
+/// The shared edge-cache tier. Decorates any [`Upstream`]; itself an
+/// [`Upstream`], so it slots anywhere an origin or proxy does — in
+/// front of a discrete-event browser, behind
+/// [`TcpEdge`](crate::tcp::TcpEdge), or under another decorator.
+pub struct EdgeCache<U> {
+    upstream: U,
+    store: EdgeStore,
+    /// Single-flight table: one lock per key currently being fetched.
+    flights: Mutex<HashMap<String, Arc<Mutex<()>>>>,
+    registry: Arc<Registry>,
+    counters: Counters,
+    recorder: Option<Arc<dyn Recorder>>,
+    spans: Arc<SpanSink>,
+    min_fresh_secs: i64,
+    catalyst_fresh_secs: i64,
+    negative_ttl_secs: i64,
+}
+
+impl<U: Upstream> EdgeCache<U> {
+    /// Starts configuring an edge cache in front of `upstream`.
+    pub fn builder(upstream: U) -> EdgeBuilder<U> {
+        EdgeBuilder {
+            upstream,
+            byte_budget: 64 << 20,
+            shards: 8,
+            min_fresh_secs: 1,
+            catalyst_fresh_secs: 2,
+            negative_ttl_secs: 5,
+            registry: None,
+            recorder: None,
+            spans: None,
+        }
+    }
+
+    /// An edge cache with every default (64 MiB, 8 shards).
+    pub fn new(upstream: U) -> EdgeCache<U> {
+        EdgeCache::builder(upstream).build()
+    }
+
+    /// The wrapped upstream (e.g. to inspect origin state in tests).
+    pub fn upstream(&self) -> &U {
+        &self.upstream
+    }
+
+    /// The registry holding the edge's Prometheus series.
+    pub fn telemetry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// A snapshot of the edge's counters.
+    pub fn metrics(&self) -> EdgeMetrics {
+        self.sync_store_series();
+        EdgeMetrics {
+            requests: self.counters.requests.get(),
+            hits: self.counters.hits.get(),
+            negative_hits: self.counters.negative_hits.get(),
+            misses: self.counters.misses.get(),
+            coalesced_waiters: self.counters.coalesced_waiters.get(),
+            upstream_requests: self.counters.upstream_requests.get(),
+            revalidated_304: self.counters.revalidated_304.get(),
+            revalidated_changed: self.counters.revalidated_changed.get(),
+            marks_fresh: self.counters.marks_fresh.get(),
+            marks_stale: self.counters.marks_stale.get(),
+            tampered_configs: self.counters.tampered_configs.get(),
+            passthrough: self.counters.passthrough.get(),
+            uncacheable: self.counters.uncacheable.get(),
+            evictions: self.counters.evictions.get(),
+            bytes_held: self.counters.bytes_held.get() as u64,
+        }
+    }
+
+    /// Objects currently stored.
+    pub fn stored_objects(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Mirrors the store's gauges/eviction count into the registry
+    /// (called after every store mutation and on snapshot).
+    fn sync_store_series(&self) {
+        self.counters.bytes_held.set(self.store.bytes_held() as f64);
+        self.counters.objects_held.set(self.store.len() as f64);
+        let total = self.store.evictions();
+        let seen = self.counters.evictions.get();
+        if total > seen {
+            self.counters.evictions.add(total - seen);
+        }
+    }
+
+    fn key(host: &str, req: &Request) -> String {
+        format!("{host}{}", req.target.path())
+    }
+
+    /// Starts an `edge.serve` hop when the request belongs to a
+    /// sampled trace: the forwarded request is re-parented onto the
+    /// edge's span so origin spans nest beneath it.
+    fn trace_start(&self, req: &Request) -> (Request, Option<Hop>) {
+        if !self.spans.enabled() {
+            return (req.clone(), None);
+        }
+        match tracectx::extract(req) {
+            Some(ctx) => {
+                let span = SpanId::next();
+                let mut fwd = req.clone();
+                tracectx::inject(&mut fwd, &ctx.child_of(span));
+                (fwd, Some(Hop { ctx, span }))
+            }
+            None => (req.clone(), None),
+        }
+    }
+
+    fn trace_finish(&self, hop: Option<Hop>, t_secs: i64, decision: CacheDecision, key: &str) {
+        let Some(hop) = hop else { return };
+        let start_ms = hop.ctx.t_ms.unwrap_or(t_secs as f64 * 1000.0);
+        self.spans.record(Span {
+            trace_id: hop.ctx.trace_id,
+            span_id: hop.span,
+            parent: Some(hop.ctx.parent),
+            name: "edge.serve",
+            start_ms,
+            end_ms: start_ms,
+            attrs: vec![
+                ("edge.decision", decision.as_str().to_owned()),
+                ("edge.key", key.to_owned()),
+            ],
+        });
+    }
+
+    fn audit(
+        &self,
+        host: &str,
+        req: &Request,
+        t_secs: i64,
+        decision: CacheDecision,
+        etag: Option<String>,
+        body: Option<&[u8]>,
+    ) {
+        let Some(recorder) = &self.recorder else {
+            return;
+        };
+        recorder.record(&Event::CacheDecision {
+            t_ms: t_secs as f64 * 1000.0,
+            audit: CacheAudit {
+                url: format!("http://{host}{}", req.target.path()),
+                decision,
+                etag,
+                epoch: None,
+                served_stale: None,
+                body_digest: body.map(fnv64),
+            },
+        });
+    }
+
+    /// Serves cached (or just-fetched) bytes to this client, answering
+    /// the client's own conditional with a `304` when its validator
+    /// matches. The client's conditional is evaluated here, locally —
+    /// it is never forwarded upstream.
+    fn replay(
+        req: &Request,
+        response: &Response,
+        etag: Option<&cachecatalyst_httpwire::EntityTag>,
+    ) -> Response {
+        if let (Some(inm), Some(tag)) = (req.if_none_match(), etag) {
+            if inm.matches(tag) {
+                return Response::not_modified(Some(tag))
+                    .with_header(HeaderName::X_SERVED_BY, "cachecatalyst-edge");
+            }
+        }
+        let mut resp = response.clone();
+        resp.headers
+            .insert(HeaderName::X_SERVED_BY, "cachecatalyst-edge");
+        resp
+    }
+
+    /// True when this request must not participate in caching: anything
+    /// that is not a plain GET, and internal traffic (bundle
+    /// subfetches, probes) whose semantics belong to the endpoints.
+    fn is_passthrough_request(req: &Request) -> bool {
+        req.method != Method::Get || req.headers.contains(ext::X_INTERNAL)
+    }
+
+    /// True when a fetched response may be admitted to the store.
+    fn is_cacheable(resp: &Response) -> bool {
+        if resp.headers.contains(ext::X_FAULT) {
+            // A fault schedule damaged this response in transit; the
+            // bytes reach the requesting client (whose retry machinery
+            // owns the problem) but never the shared store.
+            return false;
+        }
+        if resp.status == StatusCode::NOT_FOUND {
+            return true; // negative caching
+        }
+        if !resp.status.is_success() {
+            return false;
+        }
+        if resp.cache_control().no_store {
+            return false;
+        }
+        // HTML (and anything carrying a config map) is never cached:
+        // navigations are the catalyst signal path and the most
+        // personalization-prone content.
+        if resp.headers.contains(HeaderName::X_ETAG_CONFIG) {
+            return false;
+        }
+        if let Some(ct) = resp.headers.get(HeaderName::CONTENT_TYPE) {
+            if ct.starts_with("text/html") {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Positive freshness horizon for a just-validated response.
+    fn fresh_until(&self, resp: &Response, t_secs: i64) -> i64 {
+        let cc = resp.cache_control();
+        let lifetime = if cc.no_cache {
+            0
+        } else {
+            freshness_lifetime(resp).as_secs() as i64
+        };
+        t_secs + lifetime.max(self.min_fresh_secs)
+    }
+
+    /// Applies a forwarded base-HTML response's config map to the
+    /// store (the tentpole's catalyst-aware freshness).
+    fn apply_config(&self, host: &str, resp: &Response, t_secs: i64) {
+        let config = match EtagConfig::verify_headers(&resp.headers) {
+            ConfigIntegrity::Verified(config) => config,
+            ConfigIntegrity::Unsigned => {
+                // Pre-digest origins: take the map at face value, as
+                // the client-side service worker does.
+                match EtagConfig::from_response(resp) {
+                    Ok(config) => config,
+                    Err(_) => return,
+                }
+            }
+            ConfigIntegrity::Tampered => {
+                // Damaged in transit: the client will detect the same
+                // and fall back; the edge must not act on it.
+                self.counters.tampered_configs.inc();
+                return;
+            }
+        };
+        let fresh_until = t_secs + self.catalyst_fresh_secs;
+        for (path, tag) in config.iter() {
+            let key = format!("{host}{path}");
+            match self.store.mark(&key, tag, t_secs, fresh_until) {
+                MarkOutcome::Fresh => self.counters.marks_fresh.inc(),
+                MarkOutcome::Mismatch => self.counters.marks_stale.inc(),
+                MarkOutcome::Absent => {}
+            }
+        }
+    }
+
+    /// The leader's upstream fetch for `key`: conditional when a stale
+    /// validator is on hand, with the result admitted to the store
+    /// when safe. Returns the response to serve to the leader.
+    fn fetch_and_store(
+        &self,
+        host: &str,
+        req: &Request,
+        fwd: &Request,
+        t_secs: i64,
+        key: &str,
+        stale: Option<&StoredEntry>,
+    ) -> (Response, CacheDecision) {
+        // The upstream request wants the full body for the store:
+        // the client's own conditional is evaluated locally against
+        // the stored entry, never forwarded.
+        let mut up_req = fwd.clone();
+        up_req.headers.remove(HeaderName::IF_NONE_MATCH);
+        up_req.headers.remove(HeaderName::IF_MODIFIED_SINCE);
+        let revalidating = match stale {
+            Some(entry) if !entry.negative => match &entry.etag {
+                Some(tag) => {
+                    up_req
+                        .headers
+                        .insert(HeaderName::IF_NONE_MATCH, &tag.to_string());
+                    true
+                }
+                None => false,
+            },
+            _ => false,
+        };
+        self.counters.upstream_requests.inc();
+        let resp = self.upstream.handle(host, &up_req, t_secs);
+
+        if resp.status == StatusCode::NOT_MODIFIED {
+            if let Some(entry) = stale {
+                // Adopt the 304's validators/metadata onto the stored
+                // response, mirroring the client SW's merge.
+                self.counters.revalidated_304.inc();
+                let mut refreshed = entry.response.clone();
+                for (name, value) in resp.headers.iter() {
+                    let n = name.as_str();
+                    if n == HeaderName::CONTENT_LENGTH || n == HeaderName::TRANSFER_ENCODING {
+                        continue;
+                    }
+                    refreshed.headers.insert(n, value.as_str());
+                }
+                let etag = resp.etag().or_else(|| entry.etag.clone());
+                let fresh_until = self.fresh_until(&refreshed, t_secs);
+                self.store
+                    .refresh(key, refreshed.clone(), etag.clone(), t_secs, fresh_until);
+                self.sync_store_series();
+                return (
+                    Self::replay(req, &refreshed, etag.as_ref()),
+                    CacheDecision::Conditional304,
+                );
+            }
+            // A 304 with nothing stored is an anomaly; pass through.
+            return (resp, CacheDecision::Degraded);
+        }
+
+        if !Self::is_cacheable(&resp) {
+            self.counters.uncacheable.inc();
+            // A *successful* changed body that can't be admitted (e.g.
+            // it turned no-store) supersedes the stored entry. A
+            // faulted or 5xx response must NOT: the stale entry and
+            // its validator stay for the next revalidation attempt.
+            if revalidating && resp.status.is_success() && !resp.headers.contains(ext::X_FAULT) {
+                self.counters.revalidated_changed.inc();
+                self.store.remove(key);
+                self.sync_store_series();
+            }
+            return (resp, CacheDecision::FullFetch);
+        }
+
+        if resp.status == StatusCode::NOT_FOUND {
+            self.store
+                .insert_negative(key, resp.clone(), t_secs, t_secs + self.negative_ttl_secs);
+            self.sync_store_series();
+            return (resp, CacheDecision::FullFetch);
+        }
+
+        if revalidating {
+            self.counters.revalidated_changed.inc();
+        }
+        let etag = resp.etag();
+        let fresh_until = self.fresh_until(&resp, t_secs);
+        self.counters
+            .object_bytes
+            .observe_secs(resp.wire_len() as f64);
+        self.store
+            .insert(key, resp.clone(), etag.clone(), t_secs, fresh_until);
+        self.sync_store_series();
+        (
+            Self::replay(req, &resp, etag.as_ref()),
+            CacheDecision::FullFetch,
+        )
+    }
+
+    /// The per-key single-flight lock for `key`.
+    fn flight_of(&self, key: &str) -> Arc<Mutex<()>> {
+        let mut flights = self.flights.lock();
+        Arc::clone(
+            flights
+                .entry(key.to_owned())
+                .or_insert_with(|| Arc::new(Mutex::new(()))),
+        )
+    }
+
+    /// Drops the single-flight entry once no fetch is in progress.
+    fn flight_done(&self, key: &str) {
+        let mut flights = self.flights.lock();
+        flights.remove(key);
+    }
+}
+
+impl<U: Upstream> Upstream for EdgeCache<U> {
+    fn handle(&self, host: &str, req: &Request, t_secs: i64) -> Response {
+        self.counters.requests.inc();
+
+        if Self::is_passthrough_request(req) {
+            self.counters.passthrough.inc();
+            return self.upstream.handle(host, req, t_secs);
+        }
+
+        let (fwd, hop) = self.trace_start(req);
+        let key = Self::key(host, req);
+
+        // Fast path: a fresh stored entry serves with zero upstream
+        // contact — classic freshness, the catalyst window, or a live
+        // negative entry.
+        if let Some(entry) = self.store.get(&key) {
+            if t_secs < entry.fresh_until {
+                let decision = if entry.negative {
+                    self.counters.negative_hits.inc();
+                    CacheDecision::EdgeNegative
+                } else {
+                    self.counters.hits.inc();
+                    CacheDecision::EdgeHit
+                };
+                let resp = Self::replay(req, &entry.response, entry.etag.as_ref());
+                self.audit(
+                    host,
+                    req,
+                    t_secs,
+                    decision,
+                    entry.etag.as_ref().map(|t| t.to_string()),
+                    (!resp.body.is_empty()).then_some(&resp.body[..]),
+                );
+                self.trace_finish(hop, t_secs, decision, &key);
+                return resp;
+            }
+        }
+
+        // Miss (or stale): single-flight. The first requester in wins
+        // the flight lock and fetches; concurrent requesters for the
+        // same key block until it finishes, then serve the stored
+        // result — re-fetching only if the winner's fetch could not be
+        // admitted (e.g. it was damaged by a fault schedule).
+        let flight = self.flight_of(&key);
+        let guard = match flight.try_lock() {
+            Some(guard) => guard,
+            None => {
+                self.counters.coalesced_waiters.inc();
+                flight.lock()
+            }
+        };
+        // Holding the flight lock: re-check the store, because another
+        // request may have landed the object while we queued.
+        let (resp, decision) = match self.store.get(&key) {
+            Some(entry) if t_secs < entry.fresh_until => {
+                let decision = if entry.negative {
+                    self.counters.negative_hits.inc();
+                    CacheDecision::EdgeNegative
+                } else {
+                    self.counters.hits.inc();
+                    CacheDecision::EdgeHit
+                };
+                (
+                    Self::replay(req, &entry.response, entry.etag.as_ref()),
+                    decision,
+                )
+            }
+            stale => {
+                self.counters.misses.inc();
+                let out = self.fetch_and_store(host, req, &fwd, t_secs, &key, stale.as_ref());
+                // Only the thread that actually flew removes the
+                // flight entry: a waiter waking to a hit must not tear
+                // down a newer flight another requester just opened.
+                self.flight_done(&key);
+                out
+            }
+        };
+        drop(guard);
+
+        // The catalyst signal path: a forwarded response carrying the
+        // map lets the edge validate its own holdings proactively.
+        if resp.headers.contains(HeaderName::X_ETAG_CONFIG) {
+            self.apply_config(host, &resp, t_secs);
+        }
+
+        self.audit(
+            host,
+            req,
+            t_secs,
+            decision,
+            resp.etag().map(|t| t.to_string()),
+            (!resp.body.is_empty()).then_some(&resp.body[..]),
+        );
+        self.trace_finish(hop, t_secs, decision, &key);
+        resp
+    }
+}

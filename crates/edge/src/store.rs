@@ -1,0 +1,402 @@
+//! The edge's object store: sharded, ETag-keyed, LRU-evicted under a
+//! byte budget.
+//!
+//! Keys are `host + path`. Each shard owns an independent byte budget
+//! (`total / shards`) and evicts its own least-recently-used entries,
+//! so eviction never takes a global lock. Freshness is an explicit
+//! `fresh_until` instant per entry — the cache layer computes it from
+//! HTTP freshness, the validation debounce, or a catalyst mark — and
+//! negative entries (cached 404s) carry the same machinery with a
+//! short TTL.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use cachecatalyst_httpwire::{EntityTag, Response};
+use parking_lot::Mutex;
+
+/// One stored object.
+#[derive(Clone)]
+pub struct StoredEntry {
+    /// The full response to replay (the `Bytes` body makes cloning an
+    /// entry a refcount bump, not a copy).
+    pub response: Response,
+    /// The validator the object was stored under.
+    pub etag: Option<EntityTag>,
+    /// When the edge last confirmed this entry with the origin (store
+    /// or revalidation), in virtual seconds.
+    pub validated_at: i64,
+    /// Servable without contacting the origin until this instant
+    /// (exclusive). At or past it, the entry is *stale*: still held,
+    /// usable as a revalidation candidate via its validator.
+    pub fresh_until: i64,
+    /// A negatively-cached 404.
+    pub negative: bool,
+    seq: u64,
+    size: usize,
+}
+
+impl StoredEntry {
+    /// Approximate retained size: body plus headers on the wire.
+    fn sized(response: Response, etag: Option<EntityTag>, validated_at: i64) -> StoredEntry {
+        let size = response.wire_len();
+        StoredEntry {
+            response,
+            etag,
+            validated_at,
+            fresh_until: validated_at,
+            negative: false,
+            seq: 0,
+            size,
+        }
+    }
+}
+
+/// Outcome of a catalyst mark against one stored entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MarkOutcome {
+    /// The stored validator matches the map: freshness extended.
+    Fresh,
+    /// The stored validator disagrees with the map: marked stale (the
+    /// body is kept so the refetch can be a conditional GET).
+    Mismatch,
+    /// Nothing stored under this key.
+    Absent,
+}
+
+struct Shard {
+    map: HashMap<String, StoredEntry>,
+    bytes: usize,
+}
+
+/// The sharded store. All operations lock exactly one shard.
+pub struct EdgeStore {
+    shards: Vec<Mutex<Shard>>,
+    budget_per_shard: usize,
+    clock: AtomicU64,
+    bytes_held: AtomicUsize,
+    evictions: AtomicU64,
+}
+
+impl EdgeStore {
+    /// A store spreading `byte_budget` over `shards` shards.
+    pub fn new(byte_budget: usize, shards: usize) -> EdgeStore {
+        let shards = shards.max(1);
+        EdgeStore {
+            budget_per_shard: (byte_budget / shards).max(1),
+            shards: (0..shards)
+                .map(|_| {
+                    Mutex::new(Shard {
+                        map: HashMap::new(),
+                        bytes: 0,
+                    })
+                })
+                .collect(),
+            clock: AtomicU64::new(0),
+            bytes_held: AtomicUsize::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_of(&self, key: &str) -> &Mutex<Shard> {
+        // FNV-1a over the key picks the shard; stable across runs.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in key.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        &self.shards[(h % self.shards.len() as u64) as usize]
+    }
+
+    fn touch(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// The entry under `key` (fresh or stale), bumping its recency.
+    pub fn get(&self, key: &str) -> Option<StoredEntry> {
+        let seq = self.touch();
+        let mut shard = self.shard_of(key).lock();
+        let entry = shard.map.get_mut(key)?;
+        entry.seq = seq;
+        Some(entry.clone())
+    }
+
+    /// Stores a positive entry. `fresh_until` is absolute virtual
+    /// seconds. Evicts LRU entries from the shard if the insert pushes
+    /// it over budget; an object larger than a whole shard budget is
+    /// simply not stored (the edge then behaves as a pass-through for
+    /// it).
+    pub fn insert(
+        &self,
+        key: &str,
+        response: Response,
+        etag: Option<EntityTag>,
+        validated_at: i64,
+        fresh_until: i64,
+    ) {
+        let mut entry = StoredEntry::sized(response, etag, validated_at);
+        entry.fresh_until = fresh_until;
+        self.insert_entry(key, entry);
+    }
+
+    /// Stores a negative (404) entry fresh until `fresh_until`.
+    pub fn insert_negative(
+        &self,
+        key: &str,
+        response: Response,
+        validated_at: i64,
+        fresh_until: i64,
+    ) {
+        let mut entry = StoredEntry::sized(response, None, validated_at);
+        entry.fresh_until = fresh_until;
+        entry.negative = true;
+        self.insert_entry(key, entry);
+    }
+
+    fn insert_entry(&self, key: &str, mut entry: StoredEntry) {
+        if entry.size > self.budget_per_shard {
+            return;
+        }
+        entry.seq = self.touch();
+        let size = entry.size;
+        let mut shard = self.shard_of(key).lock();
+        if let Some(old) = shard.map.insert(key.to_owned(), entry) {
+            shard.bytes -= old.size;
+            self.bytes_held.fetch_sub(old.size, Ordering::Relaxed);
+        }
+        shard.bytes += size;
+        self.bytes_held.fetch_add(size, Ordering::Relaxed);
+        while shard.bytes > self.budget_per_shard {
+            // O(n) min-scan per eviction: shards are small and
+            // eviction is the rare path; a heap would buy nothing at
+            // this scale.
+            let Some(victim) = shard
+                .map
+                .iter()
+                .filter(|(k, _)| k.as_str() != key)
+                .min_by_key(|(_, e)| e.seq)
+                .map(|(k, _)| k.clone())
+            else {
+                break;
+            };
+            if let Some(evicted) = shard.map.remove(&victim) {
+                shard.bytes -= evicted.size;
+                self.bytes_held.fetch_sub(evicted.size, Ordering::Relaxed);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Replaces the stored response under `key` after a revalidation,
+    /// keeping the body but adopting headers/validator and extending
+    /// freshness. No-op if the key vanished (e.g. evicted mid-flight).
+    pub fn refresh(
+        &self,
+        key: &str,
+        response: Response,
+        etag: Option<EntityTag>,
+        validated_at: i64,
+        fresh_until: i64,
+    ) {
+        let seq = self.touch();
+        let mut shard = self.shard_of(key).lock();
+        let shard = &mut *shard;
+        if let Some(entry) = shard.map.get_mut(key) {
+            let new_size = response.wire_len();
+            shard.bytes = shard.bytes - entry.size + new_size;
+            if new_size >= entry.size {
+                self.bytes_held
+                    .fetch_add(new_size - entry.size, Ordering::Relaxed);
+            } else {
+                self.bytes_held
+                    .fetch_sub(entry.size - new_size, Ordering::Relaxed);
+            }
+            entry.size = new_size;
+            entry.response = response;
+            entry.etag = etag;
+            entry.validated_at = validated_at;
+            entry.fresh_until = fresh_until;
+            entry.seq = seq;
+        }
+    }
+
+    /// Applies a catalyst mark: if the stored validator matches
+    /// `current`, freshness extends to at least `fresh_until`; if it
+    /// disagrees, the entry is made immediately stale (body retained
+    /// for a conditional refetch).
+    pub fn mark(&self, key: &str, current: &EntityTag, now: i64, fresh_until: i64) -> MarkOutcome {
+        let mut shard = self.shard_of(key).lock();
+        let Some(entry) = shard.map.get_mut(key) else {
+            return MarkOutcome::Absent;
+        };
+        if entry.negative {
+            // The map says this path exists now; the cached 404 is out
+            // of date.
+            entry.fresh_until = now;
+            return MarkOutcome::Mismatch;
+        }
+        match &entry.etag {
+            Some(tag) if tag.strong_eq(current) || tag.weak_eq(current) => {
+                entry.validated_at = now;
+                entry.fresh_until = entry.fresh_until.max(fresh_until);
+                MarkOutcome::Fresh
+            }
+            _ => {
+                entry.fresh_until = entry.fresh_until.min(now);
+                MarkOutcome::Mismatch
+            }
+        }
+    }
+
+    /// Removes `key` outright (e.g. a poisoned or superseded entry).
+    pub fn remove(&self, key: &str) {
+        let mut shard = self.shard_of(key).lock();
+        if let Some(old) = shard.map.remove(key) {
+            shard.bytes -= old.size;
+            self.bytes_held.fetch_sub(old.size, Ordering::Relaxed);
+        }
+    }
+
+    /// Total bytes currently held across all shards.
+    pub fn bytes_held(&self) -> usize {
+        self.bytes_held.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative count of budget evictions.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Number of stored objects.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().map.len()).sum()
+    }
+
+    /// True when nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn resp(body: &str, tag: &str) -> Response {
+        Response::ok(body.as_bytes().to_vec()).with_header("etag", &format!("\"{tag}\""))
+    }
+
+    fn store_one(store: &EdgeStore, key: &str, body: &str, tag: &str, t: i64, fresh: i64) {
+        let r = resp(body, tag);
+        let e = r.etag();
+        store.insert(key, r, e, t, fresh);
+    }
+
+    #[test]
+    fn get_returns_what_was_stored() {
+        let store = EdgeStore::new(1 << 20, 4);
+        store_one(&store, "h/a", "alpha", "v1", 0, 10);
+        let entry = store.get("h/a").unwrap();
+        assert_eq!(entry.response.body.as_ref(), b"alpha");
+        assert_eq!(entry.fresh_until, 10);
+        assert!(!entry.negative);
+        assert!(store.get("h/missing").is_none());
+    }
+
+    #[test]
+    fn lru_eviction_under_byte_budget() {
+        // One shard so the budget applies globally and recency is
+        // strictly ordered.
+        let unit = resp("x".repeat(100).as_str(), "v").wire_len();
+        let store = EdgeStore::new(unit * 3, 1);
+        for key in ["h/1", "h/2", "h/3"] {
+            store_one(&store, key, &"x".repeat(100), "v", 0, 10);
+        }
+        assert_eq!(store.len(), 3);
+        assert_eq!(store.evictions(), 0);
+        // Touch h/1 so h/2 is now least recent; a fourth insert evicts
+        // exactly one entry: h/2.
+        store.get("h/1");
+        store_one(&store, "h/4", &"x".repeat(100), "v", 0, 10);
+        assert_eq!(store.evictions(), 1);
+        assert!(store.get("h/2").is_none(), "LRU victim");
+        assert!(store.get("h/1").is_some());
+        assert!(store.get("h/3").is_some());
+        assert!(store.get("h/4").is_some());
+        assert!(store.bytes_held() <= unit * 3);
+    }
+
+    #[test]
+    fn oversized_objects_are_not_stored() {
+        let store = EdgeStore::new(64, 1);
+        store_one(&store, "h/big", &"x".repeat(10_000), "v", 0, 10);
+        assert!(store.is_empty());
+        assert_eq!(store.bytes_held(), 0);
+    }
+
+    #[test]
+    fn reinsert_replaces_and_accounts_bytes() {
+        let store = EdgeStore::new(1 << 20, 2);
+        store_one(&store, "h/a", &"x".repeat(500), "v1", 0, 5);
+        let b1 = store.bytes_held();
+        store_one(&store, "h/a", &"y".repeat(20), "v2", 1, 6);
+        assert_eq!(store.len(), 1);
+        assert!(store.bytes_held() < b1);
+        let entry = store.get("h/a").unwrap();
+        assert_eq!(entry.etag, EntityTag::strong("v2").ok());
+    }
+
+    #[test]
+    fn mark_extends_matching_and_stales_mismatching() {
+        let store = EdgeStore::new(1 << 20, 4);
+        store_one(&store, "h/a", "alpha", "v1", 0, 1);
+        let v1 = EntityTag::strong("v1").unwrap();
+        let v2 = EntityTag::strong("v2").unwrap();
+        assert_eq!(store.mark("h/a", &v1, 100, 105), MarkOutcome::Fresh);
+        assert_eq!(store.get("h/a").unwrap().fresh_until, 105);
+        assert_eq!(store.mark("h/a", &v2, 200, 205), MarkOutcome::Mismatch);
+        // fresh_until clamps to min(existing 105, now 200) = 105.
+        assert_eq!(store.get("h/a").unwrap().fresh_until, 105);
+        assert_eq!(store.mark("h/none", &v1, 0, 5), MarkOutcome::Absent);
+    }
+
+    #[test]
+    fn negative_entries_round_trip_and_marks_invalidate_them() {
+        let store = EdgeStore::new(1 << 20, 4);
+        store.insert_negative(
+            "h/gone",
+            Response::empty(cachecatalyst_httpwire::StatusCode::NOT_FOUND),
+            0,
+            5,
+        );
+        let entry = store.get("h/gone").unwrap();
+        assert!(entry.negative);
+        assert_eq!(entry.fresh_until, 5);
+        let v1 = EntityTag::strong("v1").unwrap();
+        assert_eq!(store.mark("h/gone", &v1, 2, 7), MarkOutcome::Mismatch);
+        assert_eq!(store.get("h/gone").unwrap().fresh_until, 2);
+    }
+
+    #[test]
+    fn refresh_adopts_headers_and_extends_freshness() {
+        let store = EdgeStore::new(1 << 20, 4);
+        store_one(&store, "h/a", "alpha", "v1", 0, 1);
+        let refreshed = resp("alpha", "v1").with_header("x-new", "yes");
+        let tag = refreshed.etag();
+        store.refresh("h/a", refreshed, tag, 50, 55);
+        let entry = store.get("h/a").unwrap();
+        assert_eq!(entry.validated_at, 50);
+        assert_eq!(entry.fresh_until, 55);
+        assert_eq!(entry.response.headers.get("x-new"), Some("yes"));
+    }
+
+    #[test]
+    fn remove_releases_bytes() {
+        let store = EdgeStore::new(1 << 20, 4);
+        store_one(&store, "h/a", "alpha", "v1", 0, 1);
+        assert!(store.bytes_held() > 0);
+        store.remove("h/a");
+        assert_eq!(store.bytes_held(), 0);
+        assert!(store.is_empty());
+    }
+}

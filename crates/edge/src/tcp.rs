@@ -1,0 +1,115 @@
+//! A tokio TCP front end for a shared [`EdgeCache`].
+//!
+//! The client leg speaks HTTP/1.1 over real sockets; the upstream leg
+//! stays whatever [`Upstream`] the cache wraps (sans-IO origin,
+//! chaos decorator, multi-origin map). All connections share one
+//! `Arc<EdgeCache<_>>`, so coalescing and the byte budget are global
+//! across clients, exactly as on the discrete-event path.
+
+use std::io;
+use std::sync::Arc;
+
+use cachecatalyst_browser::Upstream;
+use cachecatalyst_httpwire::aio::{ConnError, ServerConn};
+use cachecatalyst_httpwire::{HeaderName, Response, StatusCode};
+use cachecatalyst_origin::Clock;
+use tokio::io::{AsyncRead, AsyncWrite};
+use tokio::net::TcpListener;
+use tokio::sync::watch;
+
+use crate::cache::EdgeCache;
+
+/// A running TCP edge tier in front of a shared [`EdgeCache`].
+pub struct TcpEdge {
+    /// The bound listening address (useful with `127.0.0.1:0`).
+    pub local_addr: std::net::SocketAddr,
+    shutdown: watch::Sender<bool>,
+    handle: tokio::task::JoinHandle<()>,
+}
+
+impl TcpEdge {
+    /// Binds `addr` and serves `cache` until [`TcpEdge::shutdown`].
+    ///
+    /// `clock` supplies the virtual time each request is handled at —
+    /// share it with the origin (see `cachecatalyst_origin::Clock`) so
+    /// freshness arithmetic on both tiers reads one timeline.
+    pub async fn bind<U>(addr: &str, cache: Arc<EdgeCache<U>>, clock: Clock) -> io::Result<TcpEdge>
+    where
+        U: Upstream + Send + Sync + 'static,
+    {
+        let listener = TcpListener::bind(addr).await?;
+        let local_addr = listener.local_addr()?;
+        let (shutdown, mut shutdown_rx) = watch::channel(false);
+        let handle = tokio::spawn(async move {
+            loop {
+                tokio::select! {
+                    accepted = listener.accept() => {
+                        let Ok((stream, _peer)) = accepted else { break };
+                        let cache = Arc::clone(&cache);
+                        let clock = clock.clone();
+                        tokio::spawn(async move {
+                            stream.set_nodelay(true).ok();
+                            let _ = serve_stream(&cache, &clock, stream).await;
+                        });
+                    }
+                    _ = shutdown_rx.changed() => break,
+                }
+            }
+        });
+        Ok(TcpEdge {
+            local_addr,
+            shutdown,
+            handle,
+        })
+    }
+
+    /// Stops accepting and tears the accept loop down.
+    pub async fn shutdown(self) {
+        let _ = self.shutdown.send(true);
+        let _ = self.handle.await;
+    }
+}
+
+/// Serves HTTP/1.1 on one byte stream against a shared edge cache
+/// until the peer closes or requests `Connection: close`. The `Host`
+/// header (required, as in HTTP/1.1) routes the request upstream.
+pub async fn serve_stream<U, S>(
+    cache: &EdgeCache<U>,
+    clock: &Clock,
+    stream: S,
+) -> Result<(), ConnError>
+where
+    U: Upstream,
+    S: AsyncRead + AsyncWrite + Unpin,
+{
+    let mut conn = ServerConn::new(stream);
+    loop {
+        let req = match conn.read_request().await {
+            Ok(req) => req,
+            Err(ConnError::Closed) => return Ok(()),
+            Err(ConnError::Wire(_)) => {
+                // Malformed request head: answer 400 best-effort and
+                // drop the connection (mirrors the origin listener).
+                let resp = Response::empty(StatusCode::BAD_REQUEST);
+                let _ = conn.write_response(&resp).await;
+                return Ok(());
+            }
+            Err(e) => return Err(e),
+        };
+        let close = req.headers.wants_close();
+        let resp = match req.headers.get(HeaderName::HOST) {
+            Some(host) => {
+                // `EdgeCache::handle` is synchronous sans-IO compute
+                // (its upstream is too), so calling it inline keeps
+                // request handling single-hop with no channel bounce.
+                let host = host.to_owned();
+                cache.handle(&host, &req, clock.secs())
+            }
+            None => Response::empty(StatusCode::BAD_REQUEST),
+        };
+        conn.write_response(&resp).await?;
+        if close {
+            return Ok(());
+        }
+    }
+}

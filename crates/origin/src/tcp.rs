@@ -3,6 +3,16 @@
 //! Serves the sans-IO handler over real HTTP/1.1 connections with
 //! keep-alive — the end-to-end path used by the live demo and the
 //! integration tests (the discrete-event benchmarks bypass TCP).
+//!
+//! Configuration goes through one builder, [`ServeOptions`]
+//! (`TcpOrigin::builder().server(..).ops(true).faults(plan)
+//! .bind(addr)`), which replaced the old `bind` / `bind_with_ops` /
+//! `bind_with_faults` constructors and the matching `serve_stream*`
+//! free functions. The old names remain as thin deprecated shims;
+//! unlike them, the builder composes — an origin can now serve
+//! `/metrics` *and* run a fault schedule at the same time.
+
+#![warn(missing_docs)]
 
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
@@ -81,107 +91,255 @@ pub fn watch_clock_ms(rx: watch::Receiver<i64>) -> Clock {
     Clock::from_millis_fn(move || *rx.borrow())
 }
 
+/// Everything configurable about serving an origin over TCP (or any
+/// byte stream): which [`OriginServer`], whose [`Clock`], whether the
+/// operational endpoints answer, and an optional fault schedule.
+///
+/// Obtained from [`TcpOrigin::builder`]; finish with
+/// [`ServeOptions::bind`] (a listening server) or
+/// [`ServeOptions::serve_stream`] (one already-connected stream).
+#[derive(Clone)]
+pub struct ServeOptions {
+    server: Option<Arc<OriginServer>>,
+    clock: Clock,
+    ops: bool,
+    faults: Option<Arc<ServerFaults>>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            server: None,
+            clock: wall_clock(),
+            ops: false,
+            faults: None,
+        }
+    }
+}
+
+impl ServeOptions {
+    /// An empty configuration: no server yet, wall clock, operational
+    /// endpoints off, no faults.
+    pub fn new() -> ServeOptions {
+        ServeOptions::default()
+    }
+
+    /// The origin to serve. Required before [`ServeOptions::bind`] /
+    /// [`ServeOptions::serve_stream`].
+    pub fn server(mut self, server: Arc<OriginServer>) -> ServeOptions {
+        self.server = Some(server);
+        self
+    }
+
+    /// The server's time source (defaults to [`wall_clock`]).
+    pub fn clock(mut self, clock: Clock) -> ServeOptions {
+        self.clock = clock;
+        self
+    }
+
+    /// Answer the operational endpoints `GET /metrics` (Prometheus
+    /// text exposition of the server's telemetry registry) and
+    /// `GET /healthz`. They never shadow the site: a site resource at
+    /// either path wins, and non-GET methods always go to site
+    /// dispatch. Off by default.
+    pub fn ops(mut self, enabled: bool) -> ServeOptions {
+        self.ops = enabled;
+        self
+    }
+
+    /// Serve through a fresh seeded fault schedule: every request
+    /// draws once, and the drawn fault damages the response (5xx
+    /// substitution, delayed writes, config-map tampering, mid-body
+    /// truncation, connection drops). Same plan + same request order
+    /// ⇒ same damage, byte for byte. The schedule (and its
+    /// consecutive-fault progress guarantee) is shared across all
+    /// connections of this configuration.
+    pub fn faults(self, plan: FaultPlan) -> ServeOptions {
+        self.shared_faults(ServerFaults::new(plan))
+    }
+
+    /// Like [`ServeOptions::faults`], but sharing an existing
+    /// [`ServerFaults`] state — e.g. one schedule spanning several
+    /// listeners, or a per-stream serving loop that must keep its
+    /// draw order across connections.
+    pub fn shared_faults(mut self, faults: Arc<ServerFaults>) -> ServeOptions {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// Binds `addr` (e.g. `127.0.0.1:0`) and serves until
+    /// [`TcpOrigin::shutdown`] is called. Fails with
+    /// `InvalidInput` if no server was configured.
+    pub async fn bind(self, addr: &str) -> std::io::Result<TcpOrigin> {
+        if self.server.is_none() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "ServeOptions::bind requires a server (ServeOptions::server)",
+            ));
+        }
+        let listener = TcpListener::bind(addr).await?;
+        let local_addr = listener.local_addr()?;
+        let (shutdown, mut shutdown_rx) = watch::channel(false);
+        let handle = tokio::spawn(async move {
+            loop {
+                tokio::select! {
+                    accepted = listener.accept() => {
+                        let Ok((stream, _peer)) = accepted else { break };
+                        let opts = self.clone();
+                        tokio::spawn(async move {
+                            stream.set_nodelay(true).ok();
+                            let _ = opts.serve_stream(stream).await;
+                        });
+                    }
+                    _ = shutdown_rx.changed() => break,
+                }
+            }
+        });
+        Ok(TcpOrigin {
+            local_addr,
+            shutdown,
+            handle,
+        })
+    }
+
+    /// Serves HTTP/1.1 on one byte stream (TCP, duplex pipe, emulated
+    /// link) until the peer closes or requests `Connection: close`,
+    /// honoring every configured option. Fails with an
+    /// `InvalidInput` I/O error if no server was configured.
+    pub async fn serve_stream<S>(self, stream: S) -> Result<(), ConnError>
+    where
+        S: AsyncRead + AsyncWrite + Unpin,
+    {
+        let Some(server) = self.server else {
+            return Err(ConnError::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "ServeOptions::serve_stream requires a server (ServeOptions::server)",
+            )));
+        };
+        let mut conn = ServerConn::new(stream);
+        loop {
+            let req = match conn.read_request().await {
+                Ok(req) => req,
+                Err(ConnError::Closed) => return Ok(()),
+                Err(ConnError::Wire(e)) => {
+                    // Malformed or truncated request head: the peer is
+                    // broken, not the server. Answer 400 best-effort
+                    // and drop the connection instead of surfacing an
+                    // error (a panicking or erroring task would look
+                    // like an origin failure in the chaos harness).
+                    let resp = bad_request_response(&e, &self.clock);
+                    let _ = conn.write_response(&resp).await;
+                    return Ok(());
+                }
+                Err(e) => return Err(e),
+            };
+            let close = req.headers.wants_close();
+            let mut resp = match ops_endpoint_of(&server, &req, self.ops) {
+                Some(OpsEndpoint::Metrics) => metrics_response(&server, &self.clock),
+                Some(OpsEndpoint::Health) => health_response(&self.clock),
+                None => server.handle(&req, self.clock.secs()),
+            };
+            match self.faults.as_ref().and_then(|f| f.draw()) {
+                None => {}
+                Some(Fault::ServerError { status }) => {
+                    resp = Response::empty(StatusCode::new(status).expect("5xx is valid"))
+                        .with_header("x-cc-fault", "server-error");
+                }
+                Some(Fault::Delay { ms }) | Some(Fault::SlowStart { ms }) => {
+                    tokio::time::sleep(Duration::from_millis(ms)).await;
+                }
+                Some(Fault::CorruptConfigEntry { salt }) => {
+                    cachecatalyst_catalyst::tamper_config_headers(&mut resp, Some(salt));
+                }
+                Some(Fault::StaleConfigEntry) => {
+                    cachecatalyst_catalyst::tamper_config_headers(&mut resp, None);
+                }
+                Some(Fault::ResetMidBody { fraction } | Fault::TruncateBody { fraction }) => {
+                    // Announce the full length, deliver a prefix,
+                    // close: the client's response parser must see a
+                    // clean unexpected-EOF, never a short "valid"
+                    // body.
+                    let wire = codec::encode_response(&resp);
+                    let cut = ((wire.len() as f64 * fraction) as usize).clamp(1, wire.len() - 1);
+                    let mut stream = conn.into_inner();
+                    let _ = stream.write_all(&wire[..cut]).await;
+                    let _ = stream.flush().await;
+                    return Ok(());
+                }
+                Some(Fault::Stall | Fault::LossBurst { .. }) => {
+                    return Ok(());
+                }
+            }
+            conn.write_response(&resp).await?;
+            if close {
+                return Ok(());
+            }
+        }
+    }
+}
+
 /// A running TCP origin.
 pub struct TcpOrigin {
+    /// The bound listening address (useful with `127.0.0.1:0`).
     pub local_addr: std::net::SocketAddr,
     shutdown: watch::Sender<bool>,
     handle: tokio::task::JoinHandle<()>,
 }
 
 impl TcpOrigin {
-    /// Binds `addr` (e.g. `127.0.0.1:0`) and serves `server` until
-    /// [`TcpOrigin::shutdown`] is called. Only site traffic is served;
-    /// the operational endpoints are opt-in via
-    /// [`TcpOrigin::bind_with_ops`].
+    /// Starts configuring a TCP origin:
+    /// `TcpOrigin::builder().server(origin).clock(clock).bind(addr)`.
+    /// See [`ServeOptions`] for every knob.
+    pub fn builder() -> ServeOptions {
+        ServeOptions::new()
+    }
+
+    /// Binds `addr` and serves `server` until [`TcpOrigin::shutdown`]
+    /// is called: site traffic only, no operational endpoints.
+    #[deprecated(note = "use `TcpOrigin::builder().server(..).clock(..).bind(addr)`")]
     pub async fn bind(
         addr: &str,
         server: Arc<OriginServer>,
         clock: Clock,
     ) -> std::io::Result<TcpOrigin> {
-        Self::bind_inner(addr, server, clock, false).await
+        TcpOrigin::builder()
+            .server(server)
+            .clock(clock)
+            .bind(addr)
+            .await
     }
 
-    /// Like [`TcpOrigin::bind`], additionally answering the
-    /// operational endpoints `GET /metrics` (Prometheus text
-    /// exposition of the server's telemetry registry) and
-    /// `GET /healthz` — but never shadowing the site: a site resource
-    /// at either path wins, and non-GET methods always go to site
-    /// dispatch.
+    /// Like `bind`, additionally answering `GET /metrics` and
+    /// `GET /healthz` (see [`ServeOptions::ops`]).
+    #[deprecated(note = "use `TcpOrigin::builder().server(..).clock(..).ops(true).bind(addr)`")]
     pub async fn bind_with_ops(
         addr: &str,
         server: Arc<OriginServer>,
         clock: Clock,
     ) -> std::io::Result<TcpOrigin> {
-        Self::bind_inner(addr, server, clock, true).await
+        TcpOrigin::builder()
+            .server(server)
+            .clock(clock)
+            .ops(true)
+            .bind(addr)
+            .await
     }
 
-    /// Like [`TcpOrigin::bind`], but serving through a seeded fault
-    /// schedule (see [`serve_stream_with_faults`]): same plan + same
-    /// request order ⇒ same damage, byte for byte.
+    /// Like `bind`, but serving through a seeded fault schedule (see
+    /// [`ServeOptions::faults`]).
+    #[deprecated(note = "use `TcpOrigin::builder().server(..).clock(..).faults(plan).bind(addr)`")]
     pub async fn bind_with_faults(
         addr: &str,
         server: Arc<OriginServer>,
         clock: Clock,
         plan: FaultPlan,
     ) -> std::io::Result<TcpOrigin> {
-        let listener = TcpListener::bind(addr).await?;
-        let local_addr = listener.local_addr()?;
-        let (shutdown, mut shutdown_rx) = watch::channel(false);
-        let faults = ServerFaults::new(plan);
-        let handle = tokio::spawn(async move {
-            loop {
-                tokio::select! {
-                    accepted = listener.accept() => {
-                        let Ok((stream, _peer)) = accepted else { break };
-                        let server = Arc::clone(&server);
-                        let clock = clock.clone();
-                        let faults = Arc::clone(&faults);
-                        tokio::spawn(async move {
-                            stream.set_nodelay(true).ok();
-                            let _ = serve_stream_with_faults(stream, server, clock, faults).await;
-                        });
-                    }
-                    _ = shutdown_rx.changed() => break,
-                }
-            }
-        });
-        Ok(TcpOrigin {
-            local_addr,
-            shutdown,
-            handle,
-        })
-    }
-
-    async fn bind_inner(
-        addr: &str,
-        server: Arc<OriginServer>,
-        clock: Clock,
-        ops_endpoints: bool,
-    ) -> std::io::Result<TcpOrigin> {
-        let listener = TcpListener::bind(addr).await?;
-        let local_addr = listener.local_addr()?;
-        let (shutdown, mut shutdown_rx) = watch::channel(false);
-        let handle = tokio::spawn(async move {
-            loop {
-                tokio::select! {
-                    accepted = listener.accept() => {
-                        let Ok((stream, _peer)) = accepted else { break };
-                        let server = Arc::clone(&server);
-                        let clock = clock.clone();
-                        tokio::spawn(async move {
-                            stream.set_nodelay(true).ok();
-                            let _ = serve_stream_inner(stream, server, clock, ops_endpoints).await;
-                        });
-                    }
-                    _ = shutdown_rx.changed() => break,
-                }
-            }
-        });
-        Ok(TcpOrigin {
-            local_addr,
-            shutdown,
-            handle,
-        })
+        TcpOrigin::builder()
+            .server(server)
+            .clock(clock)
+            .faults(plan)
+            .bind(addr)
+            .await
     }
 
     /// Stops accepting and waits for the accept loop to exit
@@ -192,10 +350,9 @@ impl TcpOrigin {
     }
 }
 
-/// Serves HTTP/1.1 on any byte stream (TCP, duplex pipe, emulated
-/// link) until the peer closes or requests `Connection: close`.
-/// Site traffic only; for the operational endpoints use
-/// [`serve_stream_with_ops`].
+/// Serves HTTP/1.1 on any byte stream until the peer closes or
+/// requests `Connection: close`. Site traffic only.
+#[deprecated(note = "use `TcpOrigin::builder().server(..).clock(..).serve_stream(stream)`")]
 pub async fn serve_stream<S>(
     stream: S,
     server: Arc<OriginServer>,
@@ -204,13 +361,18 @@ pub async fn serve_stream<S>(
 where
     S: AsyncRead + AsyncWrite + Unpin,
 {
-    serve_stream_inner(stream, server, clock, false).await
+    TcpOrigin::builder()
+        .server(server)
+        .clock(clock)
+        .serve_stream(stream)
+        .await
 }
 
-/// Like [`serve_stream`], additionally answering `GET /metrics`
-/// (Prometheus text exposition) and `GET /healthz`. The endpoints
-/// never shadow the site: a site resource at either path wins, and
-/// non-GET methods fall through to site dispatch.
+/// Like `serve_stream`, additionally answering `GET /metrics` and
+/// `GET /healthz` (see [`ServeOptions::ops`]).
+#[deprecated(
+    note = "use `TcpOrigin::builder().server(..).clock(..).ops(true).serve_stream(stream)`"
+)]
 pub async fn serve_stream_with_ops<S>(
     stream: S,
     server: Arc<OriginServer>,
@@ -219,46 +381,12 @@ pub async fn serve_stream_with_ops<S>(
 where
     S: AsyncRead + AsyncWrite + Unpin,
 {
-    serve_stream_inner(stream, server, clock, true).await
-}
-
-async fn serve_stream_inner<S>(
-    stream: S,
-    server: Arc<OriginServer>,
-    clock: Clock,
-    ops_endpoints: bool,
-) -> Result<(), ConnError>
-where
-    S: AsyncRead + AsyncWrite + Unpin,
-{
-    let mut conn = ServerConn::new(stream);
-    loop {
-        let req = match conn.read_request().await {
-            Ok(req) => req,
-            Err(ConnError::Closed) => return Ok(()),
-            Err(ConnError::Wire(e)) => {
-                // Malformed or truncated request head: the peer is
-                // broken, not the server. Answer 400 best-effort and
-                // drop the connection instead of surfacing an error
-                // (a panicking or erroring task would look like an
-                // origin failure in the chaos harness).
-                let resp = bad_request_response(&e, &clock);
-                let _ = conn.write_response(&resp).await;
-                return Ok(());
-            }
-            Err(e) => return Err(e),
-        };
-        let close = req.headers.wants_close();
-        let resp = match ops_endpoint_of(&server, &req, ops_endpoints) {
-            Some(OpsEndpoint::Metrics) => metrics_response(&server, &clock),
-            Some(OpsEndpoint::Health) => health_response(&clock),
-            None => server.handle(&req, clock.secs()),
-        };
-        conn.write_response(&resp).await?;
-        if close {
-            return Ok(());
-        }
-    }
+    TcpOrigin::builder()
+        .server(server)
+        .clock(clock)
+        .ops(true)
+        .serve_stream(stream)
+        .await
 }
 
 /// Shared, seeded fault state for a TCP origin: one draw per request,
@@ -270,6 +398,7 @@ pub struct ServerFaults {
 }
 
 impl ServerFaults {
+    /// Fresh shared fault state from a seeded plan.
     pub fn new(plan: FaultPlan) -> Arc<ServerFaults> {
         Arc::new(ServerFaults {
             state: Mutex::new((plan.schedule(), 0)),
@@ -285,13 +414,11 @@ impl ServerFaults {
     }
 }
 
-/// Like [`serve_stream`], but every request first draws from `faults`
-/// and the response is damaged accordingly: 5xx substitution, delayed
-/// or slow-started writes, config-map tampering, mid-body connection
-/// resets and truncation. Stalls and loss bursts degenerate to an
-/// immediate close at this seam — holding a socket for a wall-clock
-/// timeout would stall the test run, and packet loss belongs to the
-/// link, not the server.
+/// Like `serve_stream`, but every request first draws from `faults`
+/// (see [`ServeOptions::shared_faults`]).
+#[deprecated(
+    note = "use `TcpOrigin::builder().server(..).clock(..).shared_faults(faults).serve_stream(stream)`"
+)]
 pub async fn serve_stream_with_faults<S>(
     stream: S,
     server: Arc<OriginServer>,
@@ -301,55 +428,12 @@ pub async fn serve_stream_with_faults<S>(
 where
     S: AsyncRead + AsyncWrite + Unpin,
 {
-    let mut conn = ServerConn::new(stream);
-    loop {
-        let req = match conn.read_request().await {
-            Ok(req) => req,
-            Err(ConnError::Closed) => return Ok(()),
-            Err(ConnError::Wire(e)) => {
-                let resp = bad_request_response(&e, &clock);
-                let _ = conn.write_response(&resp).await;
-                return Ok(());
-            }
-            Err(e) => return Err(e),
-        };
-        let close = req.headers.wants_close();
-        let mut resp = server.handle(&req, clock.secs());
-        match faults.draw() {
-            None => {}
-            Some(Fault::ServerError { status }) => {
-                resp = Response::empty(StatusCode::new(status).expect("5xx is valid"))
-                    .with_header("x-cc-fault", "server-error");
-            }
-            Some(Fault::Delay { ms }) | Some(Fault::SlowStart { ms }) => {
-                tokio::time::sleep(Duration::from_millis(ms)).await;
-            }
-            Some(Fault::CorruptConfigEntry { salt }) => {
-                cachecatalyst_catalyst::tamper_config_headers(&mut resp, Some(salt));
-            }
-            Some(Fault::StaleConfigEntry) => {
-                cachecatalyst_catalyst::tamper_config_headers(&mut resp, None);
-            }
-            Some(Fault::ResetMidBody { fraction } | Fault::TruncateBody { fraction }) => {
-                // Announce the full length, deliver a prefix, close:
-                // the client's response parser must see a clean
-                // unexpected-EOF, never a short "valid" body.
-                let wire = codec::encode_response(&resp);
-                let cut = ((wire.len() as f64 * fraction) as usize).clamp(1, wire.len() - 1);
-                let mut stream = conn.into_inner();
-                let _ = stream.write_all(&wire[..cut]).await;
-                let _ = stream.flush().await;
-                return Ok(());
-            }
-            Some(Fault::Stall | Fault::LossBurst { .. }) => {
-                return Ok(());
-            }
-        }
-        conn.write_response(&resp).await?;
-        if close {
-            return Ok(());
-        }
-    }
+    TcpOrigin::builder()
+        .server(server)
+        .clock(clock)
+        .shared_faults(faults)
+        .serve_stream(stream)
+        .await
 }
 
 fn bad_request_response(err: &cachecatalyst_httpwire::WireError, clock: &Clock) -> Response {
@@ -427,11 +511,18 @@ mod tests {
         Arc::new(OriginServer::new(example_site(), HeaderMode::Catalyst))
     }
 
+    async fn bind_plain() -> TcpOrigin {
+        TcpOrigin::builder()
+            .server(origin())
+            .clock(fixed_clock(0))
+            .bind("127.0.0.1:0")
+            .await
+            .unwrap()
+    }
+
     #[tokio::test]
     async fn serves_over_real_tcp() {
-        let server = TcpOrigin::bind("127.0.0.1:0", origin(), fixed_clock(0))
-            .await
-            .unwrap();
+        let server = bind_plain().await;
         let stream = TcpStream::connect(server.local_addr).await.unwrap();
         let mut client = ClientConn::new(stream);
         let resp = client
@@ -444,10 +535,16 @@ mod tests {
     }
 
     #[tokio::test]
+    async fn bind_without_server_is_an_input_error() {
+        let Err(err) = TcpOrigin::builder().bind("127.0.0.1:0").await else {
+            panic!("bind without a server must fail");
+        };
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+    }
+
+    #[tokio::test]
     async fn keep_alive_and_conditional_requests() {
-        let server = TcpOrigin::bind("127.0.0.1:0", origin(), fixed_clock(0))
-            .await
-            .unwrap();
+        let server = bind_plain().await;
         let stream = TcpStream::connect(server.local_addr).await.unwrap();
         let mut client = ClientConn::new(stream);
         let first = client.round_trip(&Request::get("/a.css")).await.unwrap();
@@ -462,9 +559,7 @@ mod tests {
 
     #[tokio::test]
     async fn connection_close_honored() {
-        let server = TcpOrigin::bind("127.0.0.1:0", origin(), fixed_clock(0))
-            .await
-            .unwrap();
+        let server = bind_plain().await;
         let stream = TcpStream::connect(server.local_addr).await.unwrap();
         let mut client = ClientConn::new(stream);
         let resp = client
@@ -480,9 +575,7 @@ mod tests {
 
     #[tokio::test]
     async fn parallel_clients() {
-        let server = TcpOrigin::bind("127.0.0.1:0", origin(), fixed_clock(0))
-            .await
-            .unwrap();
+        let server = bind_plain().await;
         let addr = server.local_addr;
         let mut tasks = Vec::new();
         for _ in 0..8 {
@@ -528,7 +621,11 @@ mod tests {
 
     #[tokio::test]
     async fn metrics_and_healthz_served_when_opted_in() {
-        let server = TcpOrigin::bind_with_ops("127.0.0.1:0", origin(), fixed_clock(0))
+        let server = TcpOrigin::builder()
+            .server(origin())
+            .clock(fixed_clock(0))
+            .ops(true)
+            .bind("127.0.0.1:0")
             .await
             .unwrap();
         let stream = TcpStream::connect(server.local_addr).await.unwrap();
@@ -558,9 +655,7 @@ mod tests {
 
     #[tokio::test]
     async fn ops_endpoints_are_off_by_default() {
-        let server = TcpOrigin::bind("127.0.0.1:0", origin(), fixed_clock(0))
-            .await
-            .unwrap();
+        let server = bind_plain().await;
         let stream = TcpStream::connect(server.local_addr).await.unwrap();
         let mut client = ClientConn::new(stream);
         for path in ["/metrics", "/healthz"] {
@@ -572,7 +667,11 @@ mod tests {
 
     #[tokio::test]
     async fn ops_endpoints_answer_get_only() {
-        let server = TcpOrigin::bind_with_ops("127.0.0.1:0", origin(), fixed_clock(0))
+        let server = TcpOrigin::builder()
+            .server(origin())
+            .clock(fixed_clock(0))
+            .ops(true)
+            .bind("127.0.0.1:0")
             .await
             .unwrap();
         let stream = TcpStream::connect(server.local_addr).await.unwrap();
@@ -604,7 +703,11 @@ mod tests {
             policy: HeaderPolicy::NoCache,
         });
         let origin = Arc::new(OriginServer::new(site, HeaderMode::Catalyst));
-        let server = TcpOrigin::bind_with_ops("127.0.0.1:0", origin, fixed_clock(0))
+        let server = TcpOrigin::builder()
+            .server(origin)
+            .clock(fixed_clock(0))
+            .ops(true)
+            .bind("127.0.0.1:0")
             .await
             .unwrap();
         let stream = TcpStream::connect(server.local_addr).await.unwrap();
@@ -627,9 +730,7 @@ mod tests {
     #[tokio::test]
     async fn malformed_request_head_answers_400_and_closes() {
         use tokio::io::{AsyncReadExt, AsyncWriteExt};
-        let server = TcpOrigin::bind("127.0.0.1:0", origin(), fixed_clock(0))
-            .await
-            .unwrap();
+        let server = bind_plain().await;
         let mut stream = TcpStream::connect(server.local_addr).await.unwrap();
         stream.write_all(b"THIS IS NOT HTTP\r\n\r\n").await.unwrap();
         let mut buf = Vec::new();
@@ -649,9 +750,7 @@ mod tests {
     #[tokio::test]
     async fn truncated_request_head_does_not_kill_the_server() {
         use tokio::io::AsyncWriteExt;
-        let server = TcpOrigin::bind("127.0.0.1:0", origin(), fixed_clock(0))
-            .await
-            .unwrap();
+        let server = bind_plain().await;
         // Half a request head, then a hangup.
         let mut stream = TcpStream::connect(server.local_addr).await.unwrap();
         stream.write_all(b"GET /index.html HT").await.unwrap();
@@ -670,14 +769,13 @@ mod tests {
     #[tokio::test]
     async fn faulted_origin_damages_some_responses_but_guarantees_progress() {
         use cachecatalyst_netsim::FaultPlan;
-        let server = TcpOrigin::bind_with_faults(
-            "127.0.0.1:0",
-            origin(),
-            fixed_clock(0),
-            FaultPlan::new(11).with_fault_rate(0.7),
-        )
-        .await
-        .unwrap();
+        let server = TcpOrigin::builder()
+            .server(origin())
+            .clock(fixed_clock(0))
+            .faults(FaultPlan::new(11).with_fault_rate(0.7))
+            .bind("127.0.0.1:0")
+            .await
+            .unwrap();
         let mut outcomes = Vec::new();
         // A client that redials after any failure must always make
         // progress: the schedule serves clean after two consecutive
@@ -704,9 +802,46 @@ mod tests {
     }
 
     #[tokio::test]
+    async fn ops_and_faults_compose_on_one_listener() {
+        // The old trio could not express this: a fault schedule AND
+        // the operational endpoints on the same server.
+        use cachecatalyst_netsim::FaultPlan;
+        let server = TcpOrigin::builder()
+            .server(origin())
+            .clock(fixed_clock(0))
+            .ops(true)
+            .faults(FaultPlan::new(7).with_fault_rate(1.0))
+            .bind("127.0.0.1:0")
+            .await
+            .unwrap();
+        // At rate 1.0 with max_consecutive 2, at least one of any
+        // three consecutive requests is served clean — including the
+        // scrape endpoint (faults damage ops responses too; the
+        // schedule does not special-case them).
+        let mut ok = false;
+        for _ in 0..6 {
+            let stream = TcpStream::connect(server.local_addr).await.unwrap();
+            let mut client = ClientConn::new(stream);
+            if let Ok(resp) = client.round_trip(&Request::get("/metrics")).await {
+                if resp.status == StatusCode::OK
+                    && String::from_utf8_lossy(&resp.body).contains("origin_clock_milliseconds")
+                {
+                    ok = true;
+                    break;
+                }
+            }
+        }
+        assert!(ok, "a clean /metrics scrape must get through");
+        server.shutdown().await;
+    }
+
+    #[tokio::test]
     async fn virtual_clock_changes_served_content() {
         let (tx, rx) = watch::channel(0i64);
-        let server = TcpOrigin::bind("127.0.0.1:0", origin(), watch_clock(rx))
+        let server = TcpOrigin::builder()
+            .server(origin())
+            .clock(watch_clock(rx))
+            .bind("127.0.0.1:0")
             .await
             .unwrap();
         let stream = TcpStream::connect(server.local_addr).await.unwrap();

@@ -2,7 +2,7 @@
 //!
 //! Wraps any upstream — an origin, or one of the proxy comparators —
 //! and damages responses according to a seeded
-//! [`FaultSchedule`](cachecatalyst_netsim::FaultSchedule), so chaos
+//! [`FaultSchedule`], so chaos
 //! runs can place the failure *behind* a proxy hop: the browser then
 //! exercises its retry/degradation machinery against a proxy whose
 //! backend is misbehaving, not just against a flaky last mile.

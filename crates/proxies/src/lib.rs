@@ -18,7 +18,8 @@
 //! same page-load engine measures them under identical conditions.
 //! Every proxy is also a traced hop: sampled requests (`x-cc-trace`)
 //! get a `proxy.*` span nested between the browser's fetch span and
-//! the origin's `origin.handle` span ([`trace`], crate-internal).
+//! the origin's `origin.handle` span (the crate-internal `trace`
+//! module).
 
 pub mod chaos;
 pub mod extreme;

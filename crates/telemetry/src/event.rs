@@ -65,6 +65,14 @@ pub enum CacheDecision {
     /// but degraded — extra round trips or a distrusted
     /// `X-Etag-Config` map were involved.
     Degraded,
+    /// A shared edge cache served its stored bytes without contacting
+    /// the origin — either classic freshness or the catalyst map
+    /// validating the edge's own copy (the paper's zero-RTT path,
+    /// applied one tier down).
+    EdgeHit,
+    /// A shared edge cache answered from a negatively-cached `404`
+    /// within its short TTL.
+    EdgeNegative,
 }
 
 impl CacheDecision {
@@ -75,6 +83,8 @@ impl CacheDecision {
             CacheDecision::FullFetch => "full-fetch",
             CacheDecision::Bypass => "bypass",
             CacheDecision::Degraded => "degraded",
+            CacheDecision::EdgeHit => "edge-hit",
+            CacheDecision::EdgeNegative => "edge-negative",
         }
     }
 }
@@ -478,6 +488,8 @@ mod tests {
         assert_eq!(CacheDecision::FullFetch.as_str(), "full-fetch");
         assert_eq!(CacheDecision::Bypass.as_str(), "bypass");
         assert_eq!(CacheDecision::Degraded.as_str(), "degraded");
+        assert_eq!(CacheDecision::EdgeHit.as_str(), "edge-hit");
+        assert_eq!(CacheDecision::EdgeNegative.as_str(), "edge-negative");
     }
 
     #[test]

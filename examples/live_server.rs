@@ -8,7 +8,7 @@ use std::sync::Arc;
 
 use cachecatalyst::httpwire::aio::ClientConn;
 use cachecatalyst::netsim::emu::emulated_link;
-use cachecatalyst::origin::{serve_stream, watch_clock, TcpOrigin};
+use cachecatalyst::origin::{watch_clock, TcpOrigin};
 use cachecatalyst::prelude::*;
 use tokio::net::TcpStream;
 use tokio::sync::watch;
@@ -19,13 +19,12 @@ async fn main() {
     let origin = Arc::new(OriginServer::new(example_site(), HeaderMode::Catalyst));
 
     // 1. A real TCP listener on loopback.
-    let server = TcpOrigin::bind(
-        "127.0.0.1:0",
-        Arc::clone(&origin),
-        watch_clock(clock_rx.clone()),
-    )
-    .await
-    .expect("bind loopback");
+    let server = TcpOrigin::builder()
+        .server(Arc::clone(&origin))
+        .clock(watch_clock(clock_rx.clone()))
+        .bind("127.0.0.1:0")
+        .await
+        .expect("bind loopback");
     println!("origin listening on http://{}\n", server.local_addr);
 
     let stream = TcpStream::connect(server.local_addr).await.unwrap();
@@ -69,10 +68,11 @@ async fn main() {
         cond.label()
     );
     let (client_end, server_end) = emulated_link(cond);
-    let origin2 = Arc::clone(&origin);
-    let clock = watch_clock(clock_rx);
+    let opts = TcpOrigin::builder()
+        .server(Arc::clone(&origin))
+        .clock(watch_clock(clock_rx));
     tokio::spawn(async move {
-        let _ = serve_stream(server_end, origin2, clock).await;
+        let _ = opts.serve_stream(server_end).await;
     });
     let mut emu_client = ClientConn::new(client_end);
     let start = std::time::Instant::now();

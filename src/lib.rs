@@ -25,11 +25,13 @@
 //! * [`origin`] — the modified origin server (sans-IO handler + tokio
 //!   TCP front end);
 //! * [`browser`] — the page-load engine measuring PLT;
+//! * [`edge`] — a catalyst-aware shared edge-cache tier with
+//!   single-flight request coalescing;
 //! * [`proxies`] — Server Push, RDR-proxy and Extreme-Cache
 //!   comparators;
 //! * [`telemetry`] — counters, latency histograms and structured
 //!   page-load events, exposed by the origin at `/metrics` (Prometheus
-//!   text format; opt-in via `TcpOrigin::bind_with_ops`).
+//!   text format; opt-in via `TcpOrigin::builder().ops(true)`).
 //!
 //! ## Quickstart
 //!
@@ -52,6 +54,7 @@
 
 pub use cachecatalyst_browser as browser;
 pub use cachecatalyst_catalyst as catalyst;
+pub use cachecatalyst_edge as edge;
 pub use cachecatalyst_httpcache as httpcache;
 pub use cachecatalyst_httpwire as httpwire;
 pub use cachecatalyst_netsim as netsim;

@@ -113,8 +113,12 @@ fn cmd_serve(args: &Args) {
     rt.block_on(async move {
         let origin = Arc::new(OriginServer::new(site.clone(), mode));
         // The CLI server opts into the operational endpoints; library
-        // users get them only via `bind_with_ops`.
-        let server = TcpOrigin::bind_with_ops(&format!("127.0.0.1:{port}"), origin, wall_clock())
+        // users get them only via `.ops(true)` on the builder.
+        let server = TcpOrigin::builder()
+            .server(origin)
+            .clock(wall_clock())
+            .ops(true)
+            .bind(&format!("127.0.0.1:{port}"))
             .await
             .expect("bind");
         println!(

@@ -1,0 +1,411 @@
+//! Builder parity: every deprecated `TcpOrigin` entry point must be
+//! observationally identical to the [`ServeOptions`] builder chain it
+//! now delegates to — same response bytes, same deterministic
+//! `/metrics` series, same fault-schedule consumption for the same
+//! seed. These tests are the contract that lets the old names be
+//! deleted in a later release without anyone noticing.
+//!
+//! [`ServeOptions`]: cachecatalyst::origin::ServeOptions
+
+#![allow(deprecated)]
+
+use std::sync::Arc;
+
+use cachecatalyst::httpwire::aio::ClientConn;
+use cachecatalyst::netsim::FaultPlan;
+use cachecatalyst::origin::{
+    fixed_clock, serve_stream, serve_stream_with_faults, serve_stream_with_ops, watch_clock,
+    ServeOptions, ServerFaults, TcpOrigin,
+};
+use cachecatalyst::prelude::*;
+use tokio::net::TcpStream;
+use tokio::sync::watch;
+
+const PATHS: [&str; 5] = ["/index.html", "/a.css", "/b.js", "/c.js", "/d.jpg"];
+
+fn origin() -> Arc<OriginServer> {
+    Arc::new(OriginServer::new(example_site(), HeaderMode::Catalyst))
+}
+
+/// The full observable surface of one response. Virtual clocks make
+/// even the `Date` header deterministic, so everything is compared.
+fn fingerprint(resp: &Response) -> String {
+    let mut headers: Vec<String> = resp
+        .headers
+        .iter()
+        .map(|(k, v)| format!("{}: {}", k.as_str(), v.as_str()))
+        .collect();
+    headers.sort();
+    format!(
+        "{} | {} | body[{}]={:016x}",
+        resp.status,
+        headers.join("; "),
+        resp.body.len(),
+        fnv64(&resp.body)
+    )
+}
+
+/// FNV-1a, the digest the rest of the test suite standardizes on.
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf29ce484222325;
+    for b in bytes {
+        hash ^= u64::from(*b);
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    hash
+}
+
+/// Drives the canonical traffic pattern — a cold visit of every
+/// resource, then a two-hour-later conditional revisit — against a
+/// listening origin and returns every response fingerprint in order.
+async fn drive(addr: std::net::SocketAddr, clock: &watch::Sender<i64>) -> Vec<String> {
+    let stream = TcpStream::connect(addr).await.unwrap();
+    let mut conn = ClientConn::new(stream);
+    let mut prints = Vec::new();
+    let mut etags = Vec::new();
+    clock.send(0).unwrap();
+    for path in PATHS {
+        let resp = conn
+            .round_trip(&Request::get(path).with_header("host", "example.org"))
+            .await
+            .unwrap();
+        etags.push(resp.etag().expect("validator").to_string());
+        prints.push(fingerprint(&resp));
+    }
+    clock.send(7200).unwrap();
+    for (path, tag) in PATHS.iter().zip(&etags) {
+        let resp = conn
+            .round_trip(&Request::get(path).with_header("if-none-match", tag))
+            .await
+            .unwrap();
+        prints.push(fingerprint(&resp));
+    }
+    prints
+}
+
+/// Parses a Prometheus exposition into (a) the set of metric names
+/// and (b) the exact value of every monotonic-counter sample. The
+/// `_total` counters are fully determined by the traffic; latency
+/// histogram buckets are wall-clock-shaped and only compared by name.
+fn deterministic_series(text: &str) -> (Vec<String>, Vec<(String, String)>) {
+    let mut names = std::collections::BTreeSet::new();
+    let mut counters = Vec::new();
+    for line in text.lines() {
+        if line.starts_with('#') || line.is_empty() {
+            continue;
+        }
+        let name = line
+            .split(['{', ' '])
+            .next()
+            .expect("split is never empty")
+            .to_owned();
+        if name.ends_with("_total") {
+            let (series, value) = line.rsplit_once(' ').expect("sample line");
+            counters.push((series.to_owned(), value.to_owned()));
+        }
+        names.insert(name);
+    }
+    (names.into_iter().collect(), counters)
+}
+
+#[tokio::test]
+async fn deprecated_bind_serves_the_same_bytes_as_the_builder() {
+    let (tx_old, rx_old) = watch::channel(0i64);
+    let old = TcpOrigin::bind("127.0.0.1:0", origin(), watch_clock(rx_old))
+        .await
+        .unwrap();
+    let (tx_new, rx_new) = watch::channel(0i64);
+    let new = TcpOrigin::builder()
+        .server(origin())
+        .clock(watch_clock(rx_new))
+        .bind("127.0.0.1:0")
+        .await
+        .unwrap();
+
+    let old_prints = drive(old.local_addr, &tx_old).await;
+    let new_prints = drive(new.local_addr, &tx_new).await;
+    assert_eq!(old_prints.len(), 2 * PATHS.len());
+    assert_eq!(old_prints, new_prints);
+
+    // Ops endpoints stay opt-in on both paths: site dispatch answers.
+    for addr in [old.local_addr, new.local_addr] {
+        let stream = TcpStream::connect(addr).await.unwrap();
+        let mut conn = ClientConn::new(stream);
+        let resp = conn.round_trip(&Request::get("/metrics")).await.unwrap();
+        assert_eq!(resp.status, StatusCode::NOT_FOUND);
+    }
+    old.shutdown().await;
+    new.shutdown().await;
+}
+
+#[tokio::test]
+async fn deprecated_bind_with_ops_exposes_the_same_metrics_as_the_builder() {
+    let (tx_old, rx_old) = watch::channel(0i64);
+    let old = TcpOrigin::bind_with_ops("127.0.0.1:0", origin(), watch_clock(rx_old))
+        .await
+        .unwrap();
+    let (tx_new, rx_new) = watch::channel(0i64);
+    let new = TcpOrigin::builder()
+        .server(origin())
+        .clock(watch_clock(rx_new))
+        .ops(true)
+        .bind("127.0.0.1:0")
+        .await
+        .unwrap();
+
+    assert_eq!(
+        drive(old.local_addr, &tx_old).await,
+        drive(new.local_addr, &tx_new).await
+    );
+
+    let mut scrapes = Vec::new();
+    for addr in [old.local_addr, new.local_addr] {
+        let stream = TcpStream::connect(addr).await.unwrap();
+        let mut conn = ClientConn::new(stream);
+        let resp = conn.round_trip(&Request::get("/metrics")).await.unwrap();
+        assert_eq!(resp.status, StatusCode::OK);
+        scrapes.push(String::from_utf8(resp.body.to_vec()).unwrap());
+    }
+    let (old_names, old_counters) = deterministic_series(&scrapes[0]);
+    let (new_names, new_counters) = deterministic_series(&scrapes[1]);
+    assert_eq!(old_names, new_names, "series sets diverge");
+    assert_eq!(old_counters, new_counters, "counter values diverge");
+    assert!(
+        old_counters
+            .iter()
+            .any(|(series, value)| series.starts_with("origin_requests_total") && value == "10"),
+        "traffic not accounted: {old_counters:?}"
+    );
+    old.shutdown().await;
+    new.shutdown().await;
+}
+
+/// One request against a possibly-faulting origin, reduced to a
+/// deterministic outcome tag. Connection-level faults (stalls, resets,
+/// truncation) surface as client errors; those tear the connection
+/// down, so the driver reconnects for the next draw.
+async fn fault_outcomes(addr: std::net::SocketAddr, attempts: usize) -> Vec<String> {
+    let mut outcomes = Vec::new();
+    let mut conn: Option<ClientConn<TcpStream>> = None;
+    for i in 0..attempts {
+        if conn.is_none() {
+            conn = Some(ClientConn::new(TcpStream::connect(addr).await.unwrap()));
+        }
+        let path = PATHS[i % PATHS.len()];
+        match conn
+            .as_mut()
+            .expect("connected above")
+            .round_trip(&Request::get(path).with_header("host", "example.org"))
+            .await
+        {
+            Ok(resp) => outcomes.push(format!(
+                "{}:{}:{:016x}",
+                resp.status.as_u16(),
+                resp.headers.get("x-cc-fault").unwrap_or("-"),
+                fnv64(&resp.body)
+            )),
+            Err(_) => {
+                outcomes.push("conn-error".to_owned());
+                conn = None;
+            }
+        }
+    }
+    outcomes
+}
+
+#[tokio::test(flavor = "multi_thread", worker_threads = 2)]
+async fn deprecated_bind_with_faults_consumes_the_same_schedule_as_the_builder() {
+    let plan = FaultPlan::new(11)
+        .with_fault_rate(0.4)
+        .with_max_consecutive(2);
+    let old = TcpOrigin::bind_with_faults("127.0.0.1:0", origin(), fixed_clock(0), plan)
+        .await
+        .unwrap();
+    let new = TcpOrigin::builder()
+        .server(origin())
+        .clock(fixed_clock(0))
+        .faults(plan)
+        .bind("127.0.0.1:0")
+        .await
+        .unwrap();
+
+    let old_outcomes = fault_outcomes(old.local_addr, 30).await;
+    let new_outcomes = fault_outcomes(new.local_addr, 30).await;
+    assert_eq!(old_outcomes, new_outcomes, "schedule consumption diverges");
+    // The comparison must not be vacuous: this seed fires visibly.
+    assert!(
+        old_outcomes
+            .iter()
+            .any(|o| o == "conn-error" || o.contains(":server-error:")),
+        "no observable fault in 30 draws: {old_outcomes:?}"
+    );
+    old.shutdown().await;
+    new.shutdown().await;
+}
+
+/// Runs `client` against a serving loop over an in-process duplex
+/// pipe, returning the client's result once the server task settles.
+async fn over_duplex<Srv, Fut, Out, FutC>(
+    serve: Srv,
+    client: impl FnOnce(ClientConn<tokio::io::DuplexStream>) -> FutC,
+) -> Out
+where
+    Srv: FnOnce(tokio::io::DuplexStream) -> Fut,
+    Fut: std::future::Future<Output = ()> + Send + 'static,
+    FutC: std::future::Future<Output = Out>,
+{
+    let (client_end, server_end) = tokio::io::duplex(64 * 1024);
+    let server = tokio::spawn(serve(server_end));
+    let out = client(ClientConn::new(client_end)).await;
+    // Dropping the client's pipe end lands the serving loop on a clean
+    // `Closed`, so the task joins instead of lingering.
+    server.await.expect("serving loop settles");
+    out
+}
+
+#[tokio::test]
+async fn deprecated_serve_stream_matches_the_builder_over_a_pipe() {
+    let fetch_all = |mut conn: ClientConn<tokio::io::DuplexStream>| async move {
+        let mut prints = Vec::new();
+        for path in PATHS {
+            let resp = conn
+                .round_trip(&Request::get(path).with_header("host", "example.org"))
+                .await
+                .unwrap();
+            prints.push(fingerprint(&resp));
+        }
+        prints
+    };
+
+    let old_origin = origin();
+    let old = over_duplex(
+        move |stream| async move {
+            let _ = serve_stream(stream, old_origin, fixed_clock(3600)).await;
+        },
+        fetch_all,
+    )
+    .await;
+    let new_origin = origin();
+    let new = over_duplex(
+        move |stream| async move {
+            let _ = ServeOptions::new()
+                .server(new_origin)
+                .clock(fixed_clock(3600))
+                .serve_stream(stream)
+                .await;
+        },
+        fetch_all,
+    )
+    .await;
+    assert_eq!(old, new);
+}
+
+#[tokio::test]
+async fn deprecated_serve_stream_with_ops_matches_the_builder_over_a_pipe() {
+    let scrape = |mut conn: ClientConn<tokio::io::DuplexStream>| async move {
+        for path in PATHS {
+            conn.round_trip(&Request::get(path).with_header("host", "example.org"))
+                .await
+                .unwrap();
+        }
+        let resp = conn.round_trip(&Request::get("/metrics")).await.unwrap();
+        assert_eq!(resp.status, StatusCode::OK);
+        String::from_utf8(resp.body.to_vec()).unwrap()
+    };
+
+    let old_origin = origin();
+    let old = over_duplex(
+        move |stream| async move {
+            let _ = serve_stream_with_ops(stream, old_origin, fixed_clock(0)).await;
+        },
+        scrape,
+    )
+    .await;
+    let new_origin = origin();
+    let new = over_duplex(
+        move |stream| async move {
+            let _ = ServeOptions::new()
+                .server(new_origin)
+                .clock(fixed_clock(0))
+                .ops(true)
+                .serve_stream(stream)
+                .await;
+        },
+        scrape,
+    )
+    .await;
+    assert_eq!(deterministic_series(&old), deterministic_series(&new));
+}
+
+#[tokio::test(flavor = "multi_thread", worker_threads = 2)]
+async fn deprecated_serve_stream_with_faults_matches_the_builder_over_pipes() {
+    let plan = FaultPlan::new(23)
+        .with_fault_rate(0.4)
+        .with_max_consecutive(2);
+
+    // Each serving loop owns one stream; the shared `ServerFaults`
+    // keeps the draw order across reconnects, exactly like a listener.
+    async fn outcomes_via<F>(spawn_server: F) -> Vec<String>
+    where
+        F: Fn(tokio::io::DuplexStream),
+    {
+        let mut outcomes = Vec::new();
+        let mut conn: Option<ClientConn<tokio::io::DuplexStream>> = None;
+        for i in 0..30 {
+            let mut c = match conn.take() {
+                Some(c) => c,
+                None => {
+                    let (client_end, server_end) = tokio::io::duplex(64 * 1024);
+                    spawn_server(server_end);
+                    ClientConn::new(client_end)
+                }
+            };
+            let path = PATHS[i % PATHS.len()];
+            match c
+                .round_trip(&Request::get(path).with_header("host", "example.org"))
+                .await
+            {
+                Ok(resp) => {
+                    outcomes.push(format!(
+                        "{}:{}",
+                        resp.status.as_u16(),
+                        resp.headers.get("x-cc-fault").unwrap_or("-")
+                    ));
+                    conn = Some(c);
+                }
+                Err(_) => outcomes.push("conn-error".to_owned()),
+            }
+        }
+        outcomes
+    }
+
+    let old_origin = origin();
+    let old_faults = ServerFaults::new(plan);
+    let old = outcomes_via(move |stream| {
+        let origin = Arc::clone(&old_origin);
+        let faults = Arc::clone(&old_faults);
+        tokio::spawn(async move {
+            let _ = serve_stream_with_faults(stream, origin, fixed_clock(0), faults).await;
+        });
+    })
+    .await;
+
+    let new_origin = origin();
+    let new_faults = ServerFaults::new(plan);
+    let new = outcomes_via(move |stream| {
+        let opts = ServeOptions::new()
+            .server(Arc::clone(&new_origin))
+            .clock(fixed_clock(0))
+            .shared_faults(Arc::clone(&new_faults));
+        tokio::spawn(async move {
+            let _ = opts.serve_stream(stream).await;
+        });
+    })
+    .await;
+
+    assert_eq!(old, new, "schedule consumption diverges");
+    assert!(
+        old.iter().any(|o| o != "200:-"),
+        "no observable fault in 30 draws: {old:?}"
+    );
+}

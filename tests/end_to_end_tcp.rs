@@ -16,7 +16,10 @@ use tokio::sync::watch;
 async fn start_origin(mode: HeaderMode) -> (TcpOrigin, watch::Sender<i64>) {
     let (tx, rx) = watch::channel(0i64);
     let origin = Arc::new(OriginServer::new(example_site(), mode));
-    let server = TcpOrigin::bind("127.0.0.1:0", origin, watch_clock(rx))
+    let server = TcpOrigin::builder()
+        .server(origin)
+        .clock(watch_clock(rx))
+        .bind("127.0.0.1:0")
         .await
         .expect("bind");
     (server, tx)
@@ -194,13 +197,12 @@ async fn large_etag_maps_split_and_survive_tcp() {
     assert!(expected_config.len() >= 250, "{}", expected_config.len());
 
     let (_tx, rx) = watch::channel(0i64);
-    let server = TcpOrigin::bind(
-        "127.0.0.1:0",
-        origin,
-        cachecatalyst::origin::watch_clock(rx),
-    )
-    .await
-    .unwrap();
+    let server = TcpOrigin::builder()
+        .server(origin)
+        .clock(cachecatalyst::origin::watch_clock(rx))
+        .bind("127.0.0.1:0")
+        .await
+        .unwrap();
     let stream = TcpStream::connect(server.local_addr).await.unwrap();
     let mut conn = ClientConn::new(stream);
     let resp = conn.round_trip(&Request::get("/index.html")).await.unwrap();

@@ -13,12 +13,16 @@ use tokio::net::TcpStream;
 use tokio::sync::watch;
 
 /// Starts an origin with the operational endpoints enabled (they are
-/// opt-in: `TcpOrigin::bind` serves site traffic only). The returned
-/// sender drives a millisecond-resolution virtual clock.
+/// opt-in: the builder serves site traffic only unless `.ops(true)`).
+/// The returned sender drives a millisecond-resolution virtual clock.
 async fn start_origin(mode: HeaderMode) -> (TcpOrigin, watch::Sender<i64>) {
     let (tx, rx) = watch::channel(0i64);
     let origin = Arc::new(OriginServer::new(example_site(), mode));
-    let server = TcpOrigin::bind_with_ops("127.0.0.1:0", origin, watch_clock_ms(rx))
+    let server = TcpOrigin::builder()
+        .server(origin)
+        .clock(watch_clock_ms(rx))
+        .ops(true)
+        .bind("127.0.0.1:0")
         .await
         .expect("bind");
     (server, tx)

@@ -12,7 +12,7 @@ use std::sync::Arc;
 use cachecatalyst::browser::live::{Dialer, LiveBrowser, LiveMode};
 use cachecatalyst::chaos::{live_slack_ms, within_band};
 use cachecatalyst::netsim::emu::emulated_link;
-use cachecatalyst::origin::{fixed_clock, serve_stream};
+use cachecatalyst::origin::{fixed_clock, TcpOrigin};
 use cachecatalyst::prelude::*;
 
 fn dialer_for(origin: Arc<OriginServer>, cond: NetworkConditions, t_secs: i64) -> Dialer {
@@ -20,9 +20,11 @@ fn dialer_for(origin: Arc<OriginServer>, cond: NetworkConditions, t_secs: i64) -
         let origin = Arc::clone(&origin);
         Box::pin(async move {
             let (client_end, server_end) = emulated_link(cond);
-            let clock = fixed_clock(t_secs);
+            let opts = TcpOrigin::builder()
+                .server(origin)
+                .clock(fixed_clock(t_secs));
             tokio::spawn(async move {
-                let _ = serve_stream(server_end, origin, clock).await;
+                let _ = opts.serve_stream(server_end).await;
             });
             // TCP connection establishment: one round trip before the
             // stream is usable (the simulator charges the same).
