@@ -12,9 +12,13 @@
 //! * `coalesce` — per round, all threads hit the *same* cold key
 //!   behind a barrier: single-flight should collapse M concurrent
 //!   misses into one upstream fetch (upstream/req ≈ 1/M).
+//! * `zipf` (opt-in via `--zipf`) — keys drawn rank-weighted from the
+//!   fleet engine's [`ZipfSampler`]: the realistic CDN blend of a hot
+//!   head (pure hits) and a long tail (misses + evictions) in one
+//!   request stream.
 //!
 //! Usage:
-//!   edge_throughput [--smoke] [--threads M] [--iters N] [--label L]
+//!   edge_throughput [--smoke] [--zipf] [--threads M] [--iters N] [--label L]
 //!
 //! Appends a labelled section to `results/edge_throughput.txt` and
 //! rewrites `BENCH_edge.json` (repo root) with machine-readable rows
@@ -29,7 +33,8 @@ use cachecatalyst_browser::{SingleOrigin, Upstream};
 use cachecatalyst_edge::EdgeCache;
 use cachecatalyst_httpwire::Request;
 use cachecatalyst_origin::{HeaderMode, OriginServer};
-use cachecatalyst_webmodel::{ResourceKind, Site, SiteSpec};
+use cachecatalyst_webmodel::stats::rng_for;
+use cachecatalyst_webmodel::{ResourceKind, Site, SiteSpec, ZipfSampler};
 
 /// One measured configuration.
 struct Row {
@@ -160,6 +165,29 @@ fn run_coalesce(threads: usize, rounds: usize) -> Row {
     )
 }
 
+/// Zipf-skewed mix: each thread draws keys from the fleet workload
+/// engine's rank-weighted sampler. With a budget that holds the hot
+/// head but not the tail, this exercises the hit, miss and evict
+/// paths in the proportions a population-scale request stream
+/// produces, rather than in isolation.
+fn run_zipf(threads: usize, iters: usize, exponent: f64) -> Row {
+    let (origin, paths) = bench_site();
+    let edge = EdgeCache::builder(SingleOrigin(origin))
+        .byte_budget(1 << 20)
+        .min_fresh_secs(1 << 20)
+        .build();
+    let sampler = ZipfSampler::new(paths.len(), exponent);
+    let (paths, edge, sampler) = (&paths, &edge, &sampler);
+    measure("zipf", threads, threads * iters, edge, move |thread_id| {
+        let mut rng = rng_for(0x21BF, &format!("edge-zipf-{thread_id}"));
+        for _ in 0..iters {
+            let p = &paths[sampler.sample(&mut rng)];
+            let resp = edge.handle("edge-bench.example", &get(p), 0);
+            assert!(resp.status.as_u16() < 500, "unexpected {}", resp.status);
+        }
+    })
+}
+
 fn render_table(rows: &[Row], threads: usize, iters: usize, label: &str) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "## {label} — {threads} threads x {iters} iters/thread");
@@ -214,11 +242,14 @@ fn main() {
         .unwrap_or(if smoke { 50 } else { 2000 });
     let label = opt("--label").unwrap_or_else(|| "run".to_owned());
 
-    let rows = vec![
+    let mut rows = vec![
         run_hot(threads, iters),
         run_churn(threads, iters),
         run_coalesce(threads, iters.min(500)),
     ];
+    if flag("--zipf") {
+        rows.push(run_zipf(threads, iters, 1.0));
+    }
 
     let table = render_table(&rows, threads, iters, &label);
     print!("{table}");
@@ -230,6 +261,15 @@ fn main() {
         coalesce.upstream_per_req <= 1.0,
         "single-flight must never amplify upstream traffic"
     );
+    if let Some(zipf) = rows.iter().find(|r| r.workload == "zipf") {
+        // The skewed stream must land between the pure-hit and
+        // pure-churn extremes: the hot head hits, the tail doesn't.
+        assert!(
+            zipf.hit_pct > rows[1].hit_pct && zipf.hit_pct < rows[0].hit_pct,
+            "zipf hit rate {:.1}% outside (churn, hot) band",
+            zipf.hit_pct
+        );
+    }
 
     if smoke {
         // Smoke runs exist to prove the binary works (CI); their

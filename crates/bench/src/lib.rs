@@ -5,10 +5,12 @@
 //! rendering. Each figure/table of the paper has a binary in
 //! `src/bin/` that regenerates it (see DESIGN.md §4 for the index).
 
+pub mod fleet;
 pub mod runner;
 pub mod table;
 pub mod tracefmt;
 
+pub use fleet::{run_fleet, FleetOptions, FleetReport};
 pub use runner::{
     visit_pair, visit_pair_traced, ClientKind, ExperimentGrid, GridCell, TracedVisits, VisitPair,
     REVISIT_DELAYS,

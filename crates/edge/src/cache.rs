@@ -64,6 +64,8 @@ struct Counters {
     misses: Arc<cachecatalyst_telemetry::Counter>,
     coalesced_waiters: Arc<cachecatalyst_telemetry::Counter>,
     upstream_requests: Arc<cachecatalyst_telemetry::Counter>,
+    hit_bytes: Arc<cachecatalyst_telemetry::Counter>,
+    upstream_bytes: Arc<cachecatalyst_telemetry::Counter>,
     revalidated_304: Arc<cachecatalyst_telemetry::Counter>,
     revalidated_changed: Arc<cachecatalyst_telemetry::Counter>,
     marks_fresh: Arc<cachecatalyst_telemetry::Counter>,
@@ -101,6 +103,14 @@ impl Counters {
             upstream_requests: c(
                 "edge_upstream_requests_total",
                 "Requests the edge sent to its upstream (excluding pass-through)",
+            ),
+            hit_bytes: c(
+                "edge_hit_bytes_total",
+                "Body bytes served from the edge store (byte-hit-ratio numerator)",
+            ),
+            upstream_bytes: c(
+                "edge_upstream_bytes_total",
+                "Body bytes fetched from the upstream by the edge",
             ),
             revalidated_304: c(
                 "edge_revalidations_not_modified_total",
@@ -173,6 +183,10 @@ pub struct EdgeMetrics {
     pub coalesced_waiters: u64,
     /// Requests sent upstream (excluding pass-through forwards).
     pub upstream_requests: u64,
+    /// Body bytes served from the store (byte-hit-ratio numerator).
+    pub hit_bytes: u64,
+    /// Body bytes fetched from the upstream.
+    pub upstream_bytes: u64,
     /// Conditional fetches answered `304 Not Modified`.
     pub revalidated_304: u64,
     /// Conditional fetches that returned a changed body.
@@ -351,6 +365,8 @@ impl<U: Upstream> EdgeCache<U> {
             misses: self.counters.misses.get(),
             coalesced_waiters: self.counters.coalesced_waiters.get(),
             upstream_requests: self.counters.upstream_requests.get(),
+            hit_bytes: self.counters.hit_bytes.get(),
+            upstream_bytes: self.counters.upstream_bytes.get(),
             revalidated_304: self.counters.revalidated_304.get(),
             revalidated_changed: self.counters.revalidated_changed.get(),
             marks_fresh: self.counters.marks_fresh.get(),
@@ -577,6 +593,7 @@ impl<U: Upstream> EdgeCache<U> {
         };
         self.counters.upstream_requests.inc();
         let resp = self.upstream.handle(host, &up_req, t_secs);
+        self.counters.upstream_bytes.add(resp.body.len() as u64);
 
         if resp.status == StatusCode::NOT_MODIFIED {
             if let Some(entry) = stale {
@@ -684,6 +701,9 @@ impl<U: Upstream> Upstream for EdgeCache<U> {
                     self.counters.hits.inc();
                     CacheDecision::EdgeHit
                 };
+                self.counters
+                    .hit_bytes
+                    .add(entry.response.body.len() as u64);
                 let resp = Self::replay(req, &entry.response, entry.etag.as_ref());
                 self.audit(
                     host,
@@ -722,6 +742,9 @@ impl<U: Upstream> Upstream for EdgeCache<U> {
                     self.counters.hits.inc();
                     CacheDecision::EdgeHit
                 };
+                self.counters
+                    .hit_bytes
+                    .add(entry.response.body.len() as u64);
                 (
                     Self::replay(req, &entry.response, entry.etag.as_ref()),
                     decision,

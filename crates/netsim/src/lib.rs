@@ -7,6 +7,8 @@
 //!
 //! * [`time`] — virtual clock ([`SimTime`]) and transmission-time math.
 //! * [`queue`] — deterministic time-ordered event queue.
+//! * [`sched`] — virtual-clock scheduling of arrival processes on top
+//!   of the queue (fleet replay advances through idle gaps instantly).
 //! * [`link`] — fluid, egalitarian processor-sharing link: concurrent
 //!   transfers share capacity the way parallel browser connections do.
 //! * [`bucket`] — a token-bucket shaper (the burst-capable model real
@@ -33,6 +35,7 @@ pub mod fetch;
 pub mod link;
 pub mod network;
 pub mod queue;
+pub mod sched;
 pub mod time;
 pub mod trace;
 
@@ -46,5 +49,6 @@ pub use fetch::FetchPlan;
 pub use link::{FlowToken, FluidLink};
 pub use network::{LinkId, NetEvent, Network};
 pub use queue::EventQueue;
+pub use sched::VirtualSchedule;
 pub use time::{transmission_time, SimTime};
 pub use trace::{FetchOutcome, FetchTrace, LoadTrace};

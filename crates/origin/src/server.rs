@@ -279,6 +279,21 @@ impl OriginServer {
         &self.telemetry
     }
 
+    /// Registers this origin's series in `registry` instead of a
+    /// private one. Fleet harnesses hand the same registry to every
+    /// origin: the registry dedupes series by `(name, labels)`, so
+    /// counters aggregate across the whole origin tier and one scrape
+    /// reads fleet totals. Apply before the first handled request —
+    /// the hot metric handles freeze on first use.
+    pub fn with_registry(mut self, registry: Arc<Registry>) -> OriginServer {
+        assert!(
+            self.hot.get().is_none(),
+            "with_registry must be applied before the first request"
+        );
+        self.telemetry = registry;
+        self
+    }
+
     /// Routes origin-side tracing spans to `spans`. With the sink's
     /// sampling off (the default) the handler's tracing cost is one
     /// relaxed atomic load per request.

@@ -18,6 +18,8 @@
 //! * [`inventory`] — build a site from a plain-text listing of *your*
 //!   resources (sizes, change periods, current headers).
 //! * [`stats`] — seeded distributions and summaries.
+//! * [`workload`] — population-scale visit traces: Zipf popularity,
+//!   per-user sessions, diurnal arrivals and flash crowds.
 
 pub mod content;
 pub mod corpus;
@@ -29,6 +31,7 @@ pub mod resource;
 pub mod site;
 pub mod stats;
 pub mod ttl;
+pub mod workload;
 
 pub use corpus::{corpus_specs, generate_corpus, CorpusSpec};
 pub use example::{example_site, revisit_delay, EXAMPLE_HOST};
@@ -38,3 +41,7 @@ pub use jsdialect::evaluate as evaluate_js;
 pub use resource::{ChangeModel, Discovery, ResourceKind, ResourceSpec};
 pub use site::{GeneratedResource, Site, SiteSpec};
 pub use ttl::{DeveloperPolicyParams, HeaderPolicy};
+pub use workload::{
+    generate as generate_workload, DiurnalCurve, FlashCrowd, SessionParams, Trace, VisitEvent,
+    WorkloadSpec, ZipfSampler,
+};

@@ -1,0 +1,168 @@
+//! Statistical self-tests for the workload generators: the fleet
+//! engine's realism claims are asserted, not hoped for. All seeds are
+//! fixed, so these are deterministic checks of the shipped sampler
+//! code, not flaky goodness-of-fit lotteries.
+
+use cachecatalyst_webmodel::stats::rng_for;
+use cachecatalyst_webmodel::workload::{
+    generate, DiurnalCurve, SessionParams, WorkloadSpec, ZipfSampler,
+};
+
+/// Least-squares slope of `y` against `x`.
+fn slope(x: &[f64], y: &[f64]) -> f64 {
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let cov: f64 = x.iter().zip(y).map(|(a, b)| (a - mx) * (b - my)).sum();
+    let var: f64 = x.iter().map(|a| (a - mx) * (a - mx)).sum();
+    cov / var
+}
+
+/// The empirical rank-frequency slope of Zipf samples must match the
+/// configured exponent: log f(k) ≈ const − s·log(k+1).
+#[test]
+fn zipf_rank_frequency_slope_matches_exponent() {
+    for s in [0.7, 1.0] {
+        let sampler = ZipfSampler::new(100, s);
+        let mut rng = rng_for(0xF1EE7, "zipf-slope");
+        let n = 300_000;
+        let mut counts = vec![0u64; 100];
+        for _ in 0..n {
+            counts[sampler.sample(&mut rng)] += 1;
+        }
+        // Fit over the well-populated head (rank tail counts are too
+        // small for a stable log).
+        let head = 30;
+        let xs: Vec<f64> = (0..head).map(|k| ((k + 1) as f64).ln()).collect();
+        let ys: Vec<f64> = counts[..head]
+            .iter()
+            .map(|&c| (c.max(1) as f64 / n as f64).ln())
+            .collect();
+        let fitted = -slope(&xs, &ys);
+        assert!((fitted - s).abs() < 0.05, "s={s}: fitted slope {fitted:.3}");
+    }
+}
+
+/// Chi-squared-style bound: observed rank counts against the
+/// sampler's own probabilities. With 100 cells and a healthy sampler
+/// the statistic sits near its ~99 expectation; a broken CDF table
+/// sends it orders of magnitude higher.
+#[test]
+fn zipf_chi_squared_within_bound() {
+    let sampler = ZipfSampler::new(100, 1.0);
+    let mut rng = rng_for(0xF1EE7, "zipf-chi2");
+    let n = 200_000u64;
+    let mut counts = vec![0u64; 100];
+    for _ in 0..n {
+        counts[sampler.sample(&mut rng)] += 1;
+    }
+    let chi2: f64 = (0..100)
+        .map(|k| {
+            let expected = sampler.probability(k) * n as f64;
+            let d = counts[k] as f64 - expected;
+            d * d / expected
+        })
+        .sum();
+    // 99.9th percentile of chi²(99) ≈ 149; anything near that is a
+    // healthy sampler under a fixed seed.
+    assert!(chi2 < 160.0, "chi² {chi2:.1}");
+}
+
+/// Revisit gaps follow the configured log-normal: the sample median
+/// matches `revisit_median_secs` and the log-gap spread matches
+/// `revisit_sigma`.
+#[test]
+fn revisit_gaps_match_configured_distribution() {
+    let params = SessionParams {
+        revisit_median_secs: 5400.0,
+        revisit_sigma: 0.8,
+        ..Default::default()
+    };
+    let mut rng = rng_for(0xF1EE7, "gaps");
+    let mut gaps: Vec<f64> = (0..50_000)
+        .map(|_| params.sample_gap_secs(&mut rng))
+        .collect();
+    gaps.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = gaps[gaps.len() / 2];
+    let rel = (median - 5400.0).abs() / 5400.0;
+    assert!(rel < 0.05, "median {median:.0} off by {rel:.3}");
+
+    let logs: Vec<f64> = gaps.iter().map(|g| g.ln()).collect();
+    let mean = logs.iter().sum::<f64>() / logs.len() as f64;
+    let var = logs.iter().map(|l| (l - mean) * (l - mean)).sum::<f64>() / logs.len() as f64;
+    let sigma = var.sqrt();
+    assert!((sigma - 0.8).abs() < 0.05, "log-sigma {sigma:.3}");
+}
+
+/// Per-user visit counts average out to the configured mean.
+#[test]
+fn visit_counts_match_configured_mean() {
+    let params = SessionParams::default();
+    let mut rng = rng_for(0xF1EE7, "visits");
+    let n = 50_000;
+    let total: usize = (0..n).map(|_| params.sample_visits(&mut rng)).sum();
+    let mean = total as f64 / n as f64;
+    let rel = (mean - params.visits_mean).abs() / params.visits_mean;
+    assert!(
+        rel < 0.05,
+        "mean visits {mean:.2} (want {})",
+        params.visits_mean
+    );
+}
+
+/// The diurnal curve's bucket masses sum to exactly the configured
+/// rate, and empirical arrival hours track the curve's fractions.
+#[test]
+fn diurnal_bucket_mass_sums_to_rate_and_shapes_arrivals() {
+    let curve = DiurnalCurve::typical();
+    let total = 123_456.0;
+    let mass = curve.bucket_mass(total);
+    assert!((mass.iter().sum::<f64>() - total).abs() < 1e-6);
+
+    let mut rng = rng_for(0xF1EE7, "diurnal");
+    let n = 200_000;
+    let mut hour_counts = [0u64; 24];
+    for _ in 0..n {
+        let secs = curve.sample_offset_secs(&mut rng);
+        assert!(secs < 86_400);
+        hour_counts[(secs / 3600) as usize] += 1;
+    }
+    for (h, &count) in hour_counts.iter().enumerate() {
+        let observed = count as f64 / n as f64;
+        let expected = curve.fraction(h);
+        assert!(
+            (observed - expected).abs() < 0.005,
+            "hour {h}: observed {observed:.4}, expected {expected:.4}"
+        );
+    }
+    // The shape itself: the evening peak draws more than the trough.
+    assert!(hour_counts[20] > 3 * hour_counts[3]);
+}
+
+/// End-to-end: a generated trace's site popularity reproduces the
+/// spec's Zipf skew (the hottest site dominates) and its arrival
+/// histogram follows the diurnal curve.
+#[test]
+fn generated_trace_inherits_skew_and_diurnal_shape() {
+    let spec = WorkloadSpec {
+        users: 20_000,
+        sites: 50,
+        horizon_secs: 86_400,
+        ..Default::default()
+    };
+    let trace = generate(&spec);
+    let mut site_counts = vec![0u64; 50];
+    let mut hour_counts = [0u64; 24];
+    for e in &trace.events {
+        site_counts[e.site as usize] += 1;
+        hour_counts[(e.t_ms / 3_600_000) as usize] += 1;
+    }
+    // Zipf skew survives the session layer (home bias re-uses the
+    // same Zipf-drawn home): rank 0 clearly beats rank 9 and the
+    // median site.
+    assert!(site_counts[0] > 4 * site_counts[9], "{site_counts:?}");
+    assert!(site_counts[0] > 10 * site_counts[25]);
+    // Arrivals keep the diurnal shape (revisit gaps smear it, so the
+    // bound is loose: peak hour at least double the trough hour).
+    assert!(hour_counts[20] > 2 * hour_counts[4], "{hour_counts:?}");
+}
