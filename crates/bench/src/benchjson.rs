@@ -1,0 +1,104 @@
+//! Section-spliced benchmark JSON.
+//!
+//! `BENCH_edge.json` is written by two binaries — `edge_throughput`
+//! owns the `"throughput"` section, `edge_tier_bench` owns `"tier"` —
+//! so neither may clobber the other's committed baseline. Each binary
+//! renders only its own section and splices it into the file,
+//! preserving whatever the other section currently says.
+//!
+//! The format is deliberately trivial (no JSON parser in the
+//! workspace): top-level sections are `"name": { ... }` objects
+//! extracted by brace matching. Section bodies contain no string
+//! escapes that could confuse the scan — the renderers only emit
+//! numbers, plain labels and fixed keys.
+
+/// Extracts the top-level object value of `"key": { ... }` from
+/// `text`, returning the `{ ... }` slice (braces included).
+pub fn extract_section(text: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\":");
+    let at = text.find(&needle)?;
+    let rest = &text[at + needle.len()..];
+    let open = rest.find('{')?;
+    let mut depth = 0usize;
+    for (i, c) in rest[open..].char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(rest[open..=open + i].to_owned());
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Renders the spliced `BENCH_edge.json`: the section under `key`
+/// replaced with `section`, every other known section carried over
+/// from `existing` verbatim.
+pub fn splice_bench_edge(existing: Option<&str>, key: &str, section: &str) -> String {
+    const SECTIONS: [&str; 2] = ["throughput", "tier"];
+    assert!(SECTIONS.contains(&key), "unknown BENCH_edge section {key}");
+    let mut out = String::from("{\n  \"bench\": \"edge\"");
+    for name in SECTIONS {
+        let value = if name == key {
+            Some(section.to_owned())
+        } else {
+            existing.and_then(|text| extract_section(text, name))
+        };
+        if let Some(value) = value {
+            out.push_str(",\n  \"");
+            out.push_str(name);
+            out.push_str("\": ");
+            out.push_str(&value);
+        }
+    }
+    out.push_str("\n}\n");
+    out
+}
+
+/// Reads `path` (if present), splices `section` under `key`, and
+/// writes the result back.
+pub fn write_bench_edge(path: &str, key: &str, section: &str) {
+    let existing = std::fs::read_to_string(path).ok();
+    std::fs::write(path, splice_bench_edge(existing.as_deref(), key, section))
+        .unwrap_or_else(|e| panic!("write {path}: {e}"));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splice_preserves_the_other_section() {
+        let first = splice_bench_edge(None, "throughput", "{\n    \"rows\": [1, 2]\n  }");
+        assert!(first.contains("\"bench\": \"edge\""));
+        assert!(first.contains("\"throughput\": {"));
+        assert!(!first.contains("\"tier\""));
+
+        let second = splice_bench_edge(Some(&first), "tier", "{\n    \"rows\": [3]\n  }");
+        assert!(second.contains("\"throughput\": {"));
+        assert!(second.contains("[1, 2]"));
+        assert!(second.contains("\"tier\": {"));
+
+        // Re-splicing throughput keeps the tier section intact.
+        let third = splice_bench_edge(Some(&second), "throughput", "{\n    \"rows\": [9]\n  }");
+        assert!(third.contains("[9]"));
+        assert!(!third.contains("[1, 2]"));
+        assert!(third.contains("\"tier\": {"));
+        assert!(third.contains("[3]"));
+    }
+
+    #[test]
+    fn extract_handles_nested_braces() {
+        let text = "{\"a\": {\"x\": {\"y\": 1}, \"z\": 2}, \"b\": {\"w\": 3}}";
+        assert_eq!(
+            extract_section(text, "a").as_deref(),
+            Some("{\"x\": {\"y\": 1}, \"z\": 2}")
+        );
+        assert_eq!(extract_section(text, "b").as_deref(), Some("{\"w\": 3}"));
+        assert_eq!(extract_section(text, "c"), None);
+    }
+}

@@ -21,9 +21,10 @@
 //!   edge_throughput [--smoke] [--zipf] [--threads M] [--iters N] [--label L]
 //!
 //! Appends a labelled section to `results/edge_throughput.txt` and
-//! rewrites `BENCH_edge.json` (repo root) with machine-readable rows
-//! `{workload, threads, reqs_per_sec, hit_pct, upstream_per_req,
-//! evictions}`.
+//! splices the `"throughput"` section of `BENCH_edge.json` (repo
+//! root) with machine-readable rows `{workload, threads,
+//! reqs_per_sec, hit_pct, upstream_per_req, evictions}` —
+//! `edge_tier_bench`'s `"tier"` section is preserved.
 
 use std::fmt::Write as _;
 use std::sync::{Arc, Barrier};
@@ -206,20 +207,22 @@ fn render_table(rows: &[Row], threads: usize, iters: usize, label: &str) -> Stri
     out
 }
 
-fn render_json(rows: &[Row], label: &str) -> String {
-    let mut out = String::from("{\n  \"bench\": \"edge_throughput\",\n");
-    let _ = writeln!(out, "  \"label\": \"{label}\",");
-    out.push_str("  \"rows\": [\n");
+/// The `"throughput"` section of `BENCH_edge.json` (spliced in next
+/// to `edge_tier_bench`'s `"tier"` section).
+fn render_section(rows: &[Row], label: &str) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "    \"label\": \"{label}\",");
+    out.push_str("    \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
         let comma = if i + 1 < rows.len() { "," } else { "" };
         let _ = writeln!(
             out,
-            "    {{\"workload\": \"{}\", \"threads\": {}, \"reqs_per_sec\": {:.0}, \
+            "      {{\"workload\": \"{}\", \"threads\": {}, \"reqs_per_sec\": {:.0}, \
              \"hit_pct\": {:.1}, \"upstream_per_req\": {:.3}, \"evictions\": {}}}{comma}",
             r.workload, r.threads, r.reqs_per_sec, r.hit_pct, r.upstream_per_req, r.evictions
         );
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("    ]\n  }");
     out
 }
 
@@ -285,5 +288,9 @@ fn main() {
         .open("results/edge_throughput.txt")
         .expect("open results/edge_throughput.txt");
     txt.write_all(table.as_bytes()).expect("append results");
-    std::fs::write("BENCH_edge.json", render_json(&rows, &label)).expect("write BENCH_edge.json");
+    cachecatalyst_bench::benchjson::write_bench_edge(
+        "BENCH_edge.json",
+        "throughput",
+        &render_section(&rows, &label),
+    );
 }

@@ -11,8 +11,15 @@
 //! Usage:
 //!   fleet_load [--smoke] [--users N] [--sites N] [--horizon SECS]
 //!              [--seed N] [--resources-median F] [--label L]
-//!              [--mode baseline|catalyst|both]
+//!              [--mode baseline|catalyst|both] [--disk-tier \[DIR\]]
 //!              [--write-trace PATH] [--replay PATH]
+//!
+//! `--disk-tier` attaches the persistent segment-file tier under the
+//! edge's DRAM front (scratch directory under the system temp dir
+//! unless a DIR operand follows the flag; one subdirectory per mode).
+//! What is served does not change — the replay stays deterministic —
+//! but demotions/promotions and the disk hit counters become visible
+//! in the edge metrics, and wall-clock time pays the segment I/O.
 //!
 //! `--write-trace` archives the generated trace as versioned JSONL;
 //! `--replay` re-runs a previously archived trace instead of
@@ -27,6 +34,7 @@ use std::time::Instant;
 
 use cachecatalyst_bench::fleet::{run_fleet, FleetOptions, FleetReport};
 use cachecatalyst_bench::ClientKind;
+use cachecatalyst_edge::DiskTierOptions;
 use cachecatalyst_webmodel::workload::{generate, FlashCrowd, Trace, WorkloadSpec};
 
 fn render_table(rows: &[FleetReport], trace: &Trace, label: &str, wall_secs: f64) -> String {
@@ -184,15 +192,37 @@ fn main() {
         other => panic!("unknown --mode {other:?} (baseline|catalyst|both)"),
     };
 
+    // `--disk-tier [DIR]`: DIR is optional; a following `--flag` means
+    // the operand was omitted and a scratch directory is used.
+    let disk_root = if flag("--disk-tier") {
+        Some(
+            opt("--disk-tier")
+                .filter(|v| !v.starts_with("--"))
+                .map(std::path::PathBuf::from)
+                .unwrap_or_else(|| {
+                    std::env::temp_dir().join(format!("cc-fleet-disk-{}", std::process::id()))
+                }),
+        )
+    } else {
+        None
+    };
+
     let started = Instant::now();
     let rows: Vec<FleetReport> = kinds
         .into_iter()
         .map(|kind| {
+            let disk = disk_root.as_ref().map(|root| {
+                // One subdirectory per mode: each replay starts cold.
+                let dir = root.join(format!("{kind:?}").to_lowercase());
+                let _ = std::fs::remove_dir_all(&dir);
+                DiskTierOptions::at(dir)
+            });
             run_fleet(
                 &trace,
                 &FleetOptions {
                     kind,
                     resources_median,
+                    disk,
                     ..Default::default()
                 },
             )
@@ -200,7 +230,21 @@ fn main() {
         .collect();
     let wall_secs = started.elapsed().as_secs_f64();
 
-    let table = render_table(&rows, &trace, &label, wall_secs);
+    let mut table = render_table(&rows, &trace, &label, wall_secs);
+    if disk_root.is_some() {
+        for r in &rows {
+            let _ = writeln!(
+                table,
+                "  {} disk tier: hits {} promotions {} demotions {} rejects {} objects {}",
+                r.mode,
+                r.edge.disk_hits,
+                r.edge.promotions,
+                r.edge.demotions,
+                r.edge.admission_rejects,
+                r.edge.disk_objects,
+            );
+        }
+    }
     print!("{table}");
 
     // Sanity bounds: a fleet with Zipf skew and persistent per-user

@@ -18,7 +18,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use cachecatalyst_browser::{Browser, ClientOptions, MultiOrigin};
-use cachecatalyst_edge::{EdgeCache, EdgeMetrics};
+use cachecatalyst_edge::{DiskTierOptions, EdgeCache, EdgeMetrics, StoreOptions};
 use cachecatalyst_netsim::{NetworkConditions, SimTime, VirtualSchedule};
 use cachecatalyst_origin::OriginServer;
 use cachecatalyst_telemetry::{CacheAudit, Event, Histogram, MemoryRecorder, Registry};
@@ -43,6 +43,11 @@ pub struct FleetOptions {
     pub cond: NetworkConditions,
     /// Edge store byte budget.
     pub edge_budget: usize,
+    /// Optional persistent second tier under the DRAM front. The
+    /// replay itself stays deterministic (the disk tier changes where
+    /// bytes live, not what is served); wall-clock throughput pays the
+    /// segment-file I/O.
+    pub disk: Option<DiskTierOptions>,
     /// Record the edge's cache-decision audit sequence per visit
     /// (URL-sorted). Costs memory proportional to total fetches —
     /// meant for reduced-scale parity tests, not full fleet runs.
@@ -56,6 +61,7 @@ impl Default for FleetOptions {
             resources_median: 28.0,
             cond: NetworkConditions::five_g_median(),
             edge_budget: 256 * 1024 * 1024,
+            disk: None,
             collect_audits: false,
         }
     }
@@ -187,15 +193,19 @@ pub fn run_fleet(trace: &Trace, opts: &FleetOptions) -> FleetReport {
     }
 
     let recorder = opts.collect_audits.then(|| Arc::new(MemoryRecorder::new()));
+    let mut store = StoreOptions::new().mem_budget(opts.edge_budget);
+    if let Some(disk) = &opts.disk {
+        store = store.disk(disk.clone());
+    }
     let mut builder = EdgeCache::builder(multi)
-        .byte_budget(opts.edge_budget)
+        .store(store)
         .registry(Arc::clone(&registry));
     if let Some(recorder) = &recorder {
         let client_opts = ClientOptions::new()
             .recorder(Arc::clone(recorder) as Arc<dyn cachecatalyst_telemetry::Recorder>);
         builder = builder.client_options(&client_opts);
     }
-    let edge = builder.build();
+    let edge = builder.try_build().expect("edge store opens");
 
     let plt_hist = Histogram::new(&plt_bounds());
     let mut bytes_down = 0u64;
@@ -296,6 +306,44 @@ mod tests {
         let a = run_fleet(&trace, &opts);
         let b = run_fleet(&trace, &opts);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn disk_tier_replay_is_deterministic_and_demotes() {
+        let trace = small_trace();
+        let dir = |run: u32| {
+            let d =
+                std::env::temp_dir().join(format!("cc-fleet-test-{}-{run}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&d);
+            d
+        };
+        // A DRAM front far under the working set, so the tail demotes.
+        let opts = |run: u32| FleetOptions {
+            edge_budget: 64 << 10,
+            disk: Some(DiskTierOptions::at(dir(run))),
+            ..Default::default()
+        };
+        let a = run_fleet(&trace, &opts(0));
+        let b = run_fleet(&trace, &opts(1));
+        assert_eq!(a, b, "disk tier must not break replay determinism");
+        assert!(a.edge.demotions > 0, "constrained DRAM must demote");
+        assert!(a.edge.disk_hits > 0, "the demoted tail must serve hits");
+        let mem_only = run_fleet(
+            &trace,
+            &FleetOptions {
+                edge_budget: 64 << 10,
+                ..Default::default()
+            },
+        );
+        assert!(
+            a.object_hit_ratio() > mem_only.object_hit_ratio(),
+            "hybrid {:.4} must beat mem-only {:.4} under constrained DRAM",
+            a.object_hit_ratio(),
+            mem_only.object_hit_ratio()
+        );
+        for run in 0..2 {
+            let _ = std::fs::remove_dir_all(dir(run));
+        }
     }
 
     #[test]

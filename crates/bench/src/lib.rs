@@ -5,6 +5,7 @@
 //! rendering. Each figure/table of the paper has a binary in
 //! `src/bin/` that regenerates it (see DESIGN.md §4 for the index).
 
+pub mod benchjson;
 pub mod fleet;
 pub mod runner;
 pub mod table;

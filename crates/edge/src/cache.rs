@@ -43,7 +43,21 @@ use cachecatalyst_telemetry::span::{Span, SpanId, SpanSink, TraceContext};
 use cachecatalyst_telemetry::{CacheAudit, CacheDecision, Event, Recorder, Registry};
 use parking_lot::Mutex;
 
-use crate::store::{EdgeStore, MarkOutcome, StoredEntry};
+use crate::store::{EdgeStore, MarkOutcome, StoreOptions, StoredEntry, Tier, TierHit};
+
+/// Minimal JSON string escaping for the inspector document.
+fn json_escape(s: impl ToString) -> String {
+    let mut out = String::new();
+    for ch in s.to_string().chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
 
 /// FNV-1a, the digest the serve-correct-bytes oracle compares.
 fn fnv64(bytes: &[u8]) -> u64 {
@@ -74,8 +88,20 @@ struct Counters {
     passthrough: Arc<cachecatalyst_telemetry::Counter>,
     uncacheable: Arc<cachecatalyst_telemetry::Counter>,
     evictions: Arc<cachecatalyst_telemetry::Counter>,
+    disk_hits: Arc<cachecatalyst_telemetry::Counter>,
+    promotions: Arc<cachecatalyst_telemetry::Counter>,
+    demotions: Arc<cachecatalyst_telemetry::Counter>,
+    admission_rejects: Arc<cachecatalyst_telemetry::Counter>,
+    disk_written_bytes: Arc<cachecatalyst_telemetry::Counter>,
+    disk_read_errors: Arc<cachecatalyst_telemetry::Counter>,
+    disk_recovered: Arc<cachecatalyst_telemetry::Counter>,
+    disk_recovered_refreshed: Arc<cachecatalyst_telemetry::Counter>,
+    disk_retired_segments: Arc<cachecatalyst_telemetry::Counter>,
     bytes_held: Arc<cachecatalyst_telemetry::Gauge>,
     objects_held: Arc<cachecatalyst_telemetry::Gauge>,
+    disk_bytes: Arc<cachecatalyst_telemetry::Gauge>,
+    disk_objects: Arc<cachecatalyst_telemetry::Gauge>,
+    disk_segments: Arc<cachecatalyst_telemetry::Gauge>,
     object_bytes: Arc<cachecatalyst_telemetry::Histogram>,
 }
 
@@ -144,6 +170,42 @@ impl Counters {
                 "edge_evictions_total",
                 "Objects evicted to keep the store within its byte budget",
             ),
+            disk_hits: c(
+                "edge_disk_hits_total",
+                "Requests served from the persistent disk tier",
+            ),
+            promotions: c(
+                "edge_disk_promotions_total",
+                "Disk hits copied up into the DRAM tier",
+            ),
+            demotions: c(
+                "edge_disk_demotions_total",
+                "DRAM evictions written down to the disk tier",
+            ),
+            admission_rejects: c(
+                "edge_disk_admission_rejects_total",
+                "Demotions the disk admission policy refused",
+            ),
+            disk_written_bytes: c(
+                "edge_disk_written_bytes_total",
+                "Bytes appended to disk-tier segment files",
+            ),
+            disk_read_errors: c(
+                "edge_disk_read_errors_total",
+                "Disk-tier records failing checksum/parse validation when read back",
+            ),
+            disk_recovered: c(
+                "edge_disk_recovered_total",
+                "Entries rebuilt into the disk index by the boot-time recovery scan",
+            ),
+            disk_recovered_refreshed: c(
+                "edge_disk_recovered_refreshed_total",
+                "Recovered entries re-freshened by a catalyst map with zero origin contact",
+            ),
+            disk_retired_segments: c(
+                "edge_disk_retired_segments_total",
+                "Whole segments retired to keep the disk tier within its byte budget",
+            ),
             bytes_held: registry.gauge(
                 "edge_store_bytes",
                 "Bytes currently held by the edge store",
@@ -152,6 +214,21 @@ impl Counters {
             objects_held: registry.gauge(
                 "edge_store_objects",
                 "Objects currently held by the edge store",
+                &[],
+            ),
+            disk_bytes: registry.gauge(
+                "edge_disk_bytes",
+                "Live bytes currently indexed by the disk tier",
+                &[],
+            ),
+            disk_objects: registry.gauge(
+                "edge_disk_objects",
+                "Objects currently indexed by the disk tier",
+                &[],
+            ),
+            disk_segments: registry.gauge(
+                "edge_disk_segments",
+                "Segment files currently on disk",
                 &[],
             ),
             object_bytes: registry.histogram_with(
@@ -205,13 +282,29 @@ pub struct EdgeMetrics {
     pub evictions: u64,
     /// Bytes currently held.
     pub bytes_held: u64,
+    /// Served from the persistent disk tier.
+    pub disk_hits: u64,
+    /// Disk hits copied up into DRAM.
+    pub promotions: u64,
+    /// DRAM evictions written down to disk.
+    pub demotions: u64,
+    /// Demotions the disk admission policy refused.
+    pub admission_rejects: u64,
+    /// Entries rebuilt from segment files at boot.
+    pub disk_recovered: u64,
+    /// Recovered entries re-freshened by a catalyst map with zero
+    /// origin contact.
+    pub disk_recovered_refreshed: u64,
+    /// Live bytes currently indexed by the disk tier.
+    pub disk_bytes_held: u64,
+    /// Objects currently indexed by the disk tier.
+    pub disk_objects: u64,
 }
 
 /// Configures an [`EdgeCache`]; obtained from [`EdgeCache::builder`].
 pub struct EdgeBuilder<U> {
     upstream: U,
-    byte_budget: usize,
-    shards: usize,
+    store: StoreOptions,
     min_fresh_secs: i64,
     catalyst_fresh_secs: i64,
     negative_ttl_secs: i64,
@@ -221,16 +314,35 @@ pub struct EdgeBuilder<U> {
 }
 
 impl<U: Upstream> EdgeBuilder<U> {
-    /// Total bytes the store may hold (default 64 MiB), spread over
-    /// the shards.
+    /// Total bytes the DRAM tier may hold (default 64 MiB), spread
+    /// over the shards. Shorthand for `StoreOptions::mem_budget`.
     pub fn byte_budget(mut self, bytes: usize) -> EdgeBuilder<U> {
-        self.byte_budget = bytes;
+        self.store = self.store.mem_budget(bytes.max(1));
         self
     }
 
-    /// Number of independent store shards (default 8).
+    /// Number of independent DRAM shards (default 8). Shorthand for
+    /// `StoreOptions::shards`.
     pub fn shards(mut self, shards: usize) -> EdgeBuilder<U> {
-        self.shards = shards.max(1);
+        self.store = self.store.shards(shards);
+        self
+    }
+
+    /// Full store configuration — DRAM budget/sharding plus an
+    /// optional persistent disk tier with admission control:
+    ///
+    /// ```no_run
+    /// # use cachecatalyst_edge::{AdmissionPolicy, DiskTierOptions, StoreOptions};
+    /// StoreOptions::new()
+    ///     .mem_budget(16 << 20)
+    ///     .disk(
+    ///         DiskTierOptions::at("/var/cache/edge")
+    ///             .segment_bytes(4 << 20)
+    ///             .admission(AdmissionPolicy::TinyLfuAdmit { min_hits: 2 }),
+    ///     );
+    /// ```
+    pub fn store(mut self, store: StoreOptions) -> EdgeBuilder<U> {
+        self.store = store;
         self
     }
 
@@ -280,12 +392,24 @@ impl<U: Upstream> EdgeBuilder<U> {
     }
 
     /// Builds the edge cache.
+    ///
+    /// # Panics
+    ///
+    /// When a disk tier was configured and its directory cannot be
+    /// opened or recovered; use [`Self::try_build`] to handle that.
     pub fn build(self) -> EdgeCache<U> {
+        self.try_build()
+            .expect("edge store disk tier failed to open")
+    }
+
+    /// Builds the edge cache, surfacing disk-tier open/recovery
+    /// failures instead of panicking.
+    pub fn try_build(self) -> std::io::Result<EdgeCache<U>> {
         let registry = self.registry.unwrap_or_else(|| Arc::new(Registry::new()));
         let counters = Counters::register(&registry);
-        EdgeCache {
+        Ok(EdgeCache {
             upstream: self.upstream,
-            store: EdgeStore::new(self.byte_budget, self.shards),
+            store: self.store.build()?,
             flights: Mutex::new(HashMap::new()),
             registry,
             counters,
@@ -296,7 +420,7 @@ impl<U: Upstream> EdgeBuilder<U> {
             min_fresh_secs: self.min_fresh_secs,
             catalyst_fresh_secs: self.catalyst_fresh_secs,
             negative_ttl_secs: self.negative_ttl_secs,
-        }
+        })
     }
 }
 
@@ -329,8 +453,7 @@ impl<U: Upstream> EdgeCache<U> {
     pub fn builder(upstream: U) -> EdgeBuilder<U> {
         EdgeBuilder {
             upstream,
-            byte_budget: 64 << 20,
-            shards: 8,
+            store: StoreOptions::new(),
             min_fresh_secs: 1,
             catalyst_fresh_secs: 2,
             negative_ttl_secs: 5,
@@ -376,6 +499,14 @@ impl<U: Upstream> EdgeCache<U> {
             uncacheable: self.counters.uncacheable.get(),
             evictions: self.counters.evictions.get(),
             bytes_held: self.counters.bytes_held.get() as u64,
+            disk_hits: self.counters.disk_hits.get(),
+            promotions: self.counters.promotions.get(),
+            demotions: self.counters.demotions.get(),
+            admission_rejects: self.counters.admission_rejects.get(),
+            disk_recovered: self.counters.disk_recovered.get(),
+            disk_recovered_refreshed: self.counters.disk_recovered_refreshed.get(),
+            disk_bytes_held: self.counters.disk_bytes.get() as u64,
+            disk_objects: self.counters.disk_objects.get() as u64,
         }
     }
 
@@ -385,15 +516,70 @@ impl<U: Upstream> EdgeCache<U> {
     }
 
     /// Mirrors the store's gauges/eviction count into the registry
-    /// (called after every store mutation and on snapshot).
+    /// (called after every store mutation and on snapshot). The store
+    /// keeps its own atomics; the registry counters follow by delta so
+    /// scrapes and [`EdgeCache::metrics`] read one source of truth.
     fn sync_store_series(&self) {
         self.counters.bytes_held.set(self.store.bytes_held() as f64);
         self.counters.objects_held.set(self.store.len() as f64);
-        let total = self.store.evictions();
-        let seen = self.counters.evictions.get();
-        if total > seen {
-            self.counters.evictions.add(total - seen);
+        let delta = |counter: &cachecatalyst_telemetry::Counter, total: u64| {
+            let seen = counter.get();
+            if total > seen {
+                counter.add(total - seen);
+            }
+        };
+        delta(&self.counters.evictions, self.store.evictions());
+        let movement = self.store.counters();
+        delta(&self.counters.promotions, movement.promotions);
+        delta(&self.counters.demotions, movement.demotions);
+        delta(&self.counters.admission_rejects, movement.admission_rejects);
+        if let Some(disk) = self.store.disk_stats() {
+            delta(&self.counters.disk_written_bytes, disk.written_bytes);
+            delta(&self.counters.disk_read_errors, disk.read_errors);
+            delta(&self.counters.disk_recovered, disk.recovered);
+            delta(
+                &self.counters.disk_recovered_refreshed,
+                disk.recovered_refreshed,
+            );
+            delta(&self.counters.disk_retired_segments, disk.retired_segments);
+            self.counters.disk_bytes.set(disk.live_bytes as f64);
+            self.counters.disk_objects.set(disk.objects as f64);
+            self.counters.disk_segments.set(disk.segments as f64);
         }
+    }
+
+    /// The read-only inspector document served by `GET /inspect` on
+    /// [`TcpEdge`](crate::tcp::TcpEdge) ops: one JSON object per
+    /// stored entry (key, tier, size, freshness, validator), sorted by
+    /// key then tier so the output is diff-stable.
+    pub fn inspect(&self, t_secs: i64) -> String {
+        let mut entries = self.store.entries();
+        entries.sort_by(|a, b| a.key.cmp(&b.key).then(a.tier.cmp(b.tier)));
+        let mut out = String::from("{\n  \"entries\": [\n");
+        for (i, e) in entries.iter().enumerate() {
+            let etag = match &e.etag {
+                Some(tag) => format!("\"{}\"", json_escape(tag)),
+                None => "null".to_owned(),
+            };
+            out.push_str(&format!(
+                "    {{\"key\": \"{}\", \"tier\": \"{}\", \"size\": {}, \"etag\": {}, \
+                 \"validated_at\": {}, \"fresh_until\": {}, \"fresh\": {}, \"negative\": {}}}{}\n",
+                json_escape(&e.key),
+                e.tier,
+                e.size,
+                etag,
+                e.validated_at,
+                e.fresh_until,
+                t_secs < e.fresh_until,
+                e.negative,
+                if i + 1 < entries.len() { "," } else { "" },
+            ));
+        }
+        out.push_str(&format!(
+            "  ],\n  \"t_secs\": {t_secs},\n  \"count\": {}\n}}\n",
+            entries.len()
+        ));
+        out
     }
 
     fn key(host: &str, req: &Request) -> String {
@@ -691,12 +877,17 @@ impl<U: Upstream> Upstream for EdgeCache<U> {
 
         // Fast path: a fresh stored entry serves with zero upstream
         // contact — classic freshness, the catalyst window, or a live
-        // negative entry.
-        if let Some(entry) = self.store.get(&key) {
+        // negative entry. A disk-tier hit was just promoted into DRAM.
+        if let Some((entry, tier)) = self.store.get_traced(&key) {
             if t_secs < entry.fresh_until {
                 let decision = if entry.negative {
                     self.counters.negative_hits.inc();
                     CacheDecision::EdgeNegative
+                } else if tier == TierHit::Disk {
+                    self.counters.hits.inc();
+                    self.counters.disk_hits.inc();
+                    self.sync_store_series();
+                    CacheDecision::EdgeDiskHit
                 } else {
                     self.counters.hits.inc();
                     CacheDecision::EdgeHit
@@ -733,11 +924,16 @@ impl<U: Upstream> Upstream for EdgeCache<U> {
         };
         // Holding the flight lock: re-check the store, because another
         // request may have landed the object while we queued.
-        let (resp, decision) = match self.store.get(&key) {
-            Some(entry) if t_secs < entry.fresh_until => {
+        let (resp, decision) = match self.store.get_traced(&key) {
+            Some((entry, tier)) if t_secs < entry.fresh_until => {
                 let decision = if entry.negative {
                     self.counters.negative_hits.inc();
                     CacheDecision::EdgeNegative
+                } else if tier == TierHit::Disk {
+                    self.counters.hits.inc();
+                    self.counters.disk_hits.inc();
+                    self.sync_store_series();
+                    CacheDecision::EdgeDiskHit
                 } else {
                     self.counters.hits.inc();
                     CacheDecision::EdgeHit
@@ -752,6 +948,7 @@ impl<U: Upstream> Upstream for EdgeCache<U> {
             }
             stale => {
                 self.counters.misses.inc();
+                let stale = stale.map(|(entry, _)| entry);
                 let out = self.fetch_and_store(host, req, &fwd, t_secs, &key, stale.as_ref());
                 // Only the thread that actually flew removes the
                 // flight entry: a waiter waking to a hit must not tear

@@ -6,8 +6,11 @@
 //!
 //! The tier is built from three layers:
 //!
-//! * [`EdgeStore`] — a sharded, ETag-keyed object store with LRU
-//!   eviction under a byte budget and negative caching of 404s;
+//! * [`TieredStore`] (alias [`EdgeStore`]) — the object store: a
+//!   sharded, byte-budgeted DRAM front with LRU eviction and negative
+//!   caching of 404s, plus an optional persistent segment-file tier
+//!   with admission control and crash-tolerant warm restarts
+//!   (configured through [`StoreOptions`]);
 //! * [`EdgeCache`] — the cache proper: an [`Upstream`] decorator with
 //!   **single-flight coalescing** (N concurrent misses for one key
 //!   cost exactly one upstream fetch) and **catalyst-aware freshness**
@@ -48,8 +51,11 @@ pub mod store;
 pub mod tcp;
 
 pub use cache::{EdgeBuilder, EdgeCache, EdgeMetrics};
-pub use store::{EdgeStore, MarkOutcome, StoredEntry};
-pub use tcp::TcpEdge;
+pub use store::{
+    AdmissionPolicy, DiskStats, DiskTierOptions, EdgeStore, EntryInfo, MarkOutcome, StoreOptions,
+    StoredEntry, Tier, TierHit, TierStats, TieredCounters, TieredStore,
+};
+pub use tcp::{EdgeServeOptions, TcpEdge};
 
 // Re-exported so edge users name the decorated trait without also
 // depending on the browser crate directly.

@@ -1,0 +1,732 @@
+//! The persistent tier: append-only segment files plus an in-memory
+//! index.
+//!
+//! Writes are sequential appends of self-describing records into
+//! fixed-size segment files (`seg-NNNNNNNN.seg`); reads go through an
+//! index rebuilt from record headers on boot, so the only random I/O
+//! is serving a hit. Superseded and evicted records are left in place
+//! as garbage until their whole segment is retired (oldest first) to
+//! stay under the byte budget — a log-structured layout with segment
+//! granularity instead of per-record compaction.
+//!
+//! Each record carries an FNV-1a checksum over its header, key and
+//! encoded response. Recovery scans every segment sequentially,
+//! stopping a segment at the first record that fails validation and
+//! truncating the file back to the last valid boundary — so a crash
+//! mid-append costs exactly the record being written, never an
+//! earlier one. Recovered entries enter the index *stale*
+//! (`fresh_until = i64::MIN`): they serve as revalidation candidates
+//! immediately, and the first verified catalyst config map re-freshens
+//! the matching ones through [`Tier::mark`] with zero origin contact.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use cachecatalyst_httpwire::{codec, EntityTag, Method, ParseLimits, Parsed};
+use parking_lot::Mutex;
+
+use super::{fnv64, AdmissionPolicy, EntryInfo, MarkOutcome, StoredEntry, Tier, TierStats};
+
+/// First four bytes of every record.
+const MAGIC: u32 = 0xED6E_5E61;
+/// magic + key_len + wire_len + validated_at + fresh_until + flags.
+const HEADER_LEN: usize = 4 + 4 + 4 + 8 + 8 + 4;
+/// Trailing FNV-1a checksum.
+const TRAILER_LEN: usize = 8;
+const FLAG_NEGATIVE: u32 = 1;
+/// Sanity bounds applied during recovery; anything larger is treated
+/// as corruption (they mirror `ParseLimits::default()`).
+const MAX_KEY_LEN: u32 = 1 << 16;
+const MAX_WIRE_LEN: u32 = 1 << 26;
+
+/// Configures the persistent tier of a
+/// [`TieredStore`](super::TieredStore).
+#[derive(Clone, Debug)]
+pub struct DiskTierOptions {
+    dir: PathBuf,
+    segment_bytes: u64,
+    byte_budget: u64,
+    pub(super) admission: AdmissionPolicy,
+}
+
+impl DiskTierOptions {
+    /// A disk tier rooted at `dir` (created if missing; existing
+    /// segments are recovered). Defaults: 4 MiB segments, 1 GiB
+    /// budget, [`AdmissionPolicy::TinyLfuAdmit`] with `min_hits: 2`.
+    pub fn at(dir: impl Into<PathBuf>) -> DiskTierOptions {
+        DiskTierOptions {
+            dir: dir.into(),
+            segment_bytes: 4 << 20,
+            byte_budget: 1 << 30,
+            admission: AdmissionPolicy::TinyLfuAdmit { min_hits: 2 },
+        }
+    }
+
+    /// Bytes per segment file before rotation. The retirement
+    /// granularity: smaller segments reclaim space sooner at the cost
+    /// of more files.
+    pub fn segment_bytes(mut self, bytes: u64) -> DiskTierOptions {
+        self.segment_bytes = bytes.max(1024);
+        self
+    }
+
+    /// Total bytes of segment files to keep; the oldest segment is
+    /// retired (file deleted, its live entries dropped) when exceeded.
+    /// Clamped to at least one segment.
+    pub fn byte_budget(mut self, bytes: u64) -> DiskTierOptions {
+        self.byte_budget = bytes;
+        self
+    }
+
+    /// The admission policy gating every demotion onto this tier.
+    pub fn admission(mut self, policy: AdmissionPolicy) -> DiskTierOptions {
+        self.admission = policy;
+        self
+    }
+}
+
+/// Where one live record sits, plus the metadata the index answers
+/// without touching the file.
+struct IndexEntry {
+    segment: u64,
+    offset: u64,
+    record_len: u64,
+    key_len: u32,
+    wire_len: u32,
+    etag: Option<EntityTag>,
+    validated_at: i64,
+    fresh_until: i64,
+    negative: bool,
+    /// Rebuilt from a segment scan and not yet re-freshened by a
+    /// catalyst map.
+    recovered: bool,
+}
+
+struct DiskState {
+    index: HashMap<String, IndexEntry>,
+    /// Segment id → bytes written (the active segment included).
+    segments: BTreeMap<u64, u64>,
+    active_id: u64,
+    active: File,
+    /// Bytes appended to the active segment so far.
+    written: u64,
+    /// Sum of live (indexed) wire bytes; segment files additionally
+    /// hold garbage awaiting retirement.
+    live_bytes: usize,
+}
+
+/// Cumulative disk-tier counters, snapshot via [`DiskTier::disk_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DiskStats {
+    /// Live (indexed) objects.
+    pub objects: usize,
+    /// Live wire bytes (excludes segment-file garbage).
+    pub live_bytes: usize,
+    /// Total bytes across all segment files, garbage included.
+    pub segment_file_bytes: u64,
+    /// Number of segment files on disk.
+    pub segments: usize,
+    /// Successful reads served.
+    pub hits: u64,
+    /// Bytes appended to segment files since open.
+    pub written_bytes: u64,
+    /// Records that failed checksum/parse validation when read back.
+    pub read_errors: u64,
+    /// Entries rebuilt into the index by the boot-time recovery scan.
+    pub recovered: u64,
+    /// Recovered entries re-freshened by a catalyst mark with zero
+    /// origin contact.
+    pub recovered_refreshed: u64,
+    /// Whole segments retired to stay under the byte budget.
+    pub retired_segments: u64,
+    /// Live entries dropped because their segment was retired.
+    pub evicted_entries: u64,
+}
+
+/// The segment-file tier. One coarse lock covers index and files —
+/// this is the slow path behind the DRAM tier, and serialising I/O
+/// with index updates closes every read-after-retire race.
+pub struct DiskTier {
+    dir: PathBuf,
+    segment_bytes: u64,
+    byte_budget: u64,
+    state: Mutex<DiskState>,
+    hits: AtomicU64,
+    written_bytes: AtomicU64,
+    read_errors: AtomicU64,
+    recovered: AtomicU64,
+    recovered_refreshed: AtomicU64,
+    retired_segments: AtomicU64,
+    evicted_entries: AtomicU64,
+}
+
+fn segment_path(dir: &Path, id: u64) -> PathBuf {
+    dir.join(format!("seg-{id:08}.seg"))
+}
+
+fn segment_id(name: &str) -> Option<u64> {
+    name.strip_prefix("seg-")?
+        .strip_suffix(".seg")?
+        .parse()
+        .ok()
+}
+
+fn encode_record(key: &str, entry: &StoredEntry) -> Vec<u8> {
+    let wire = codec::encode_response(&entry.response);
+    let mut rec = Vec::with_capacity(HEADER_LEN + key.len() + wire.len() + TRAILER_LEN);
+    rec.extend_from_slice(&MAGIC.to_le_bytes());
+    rec.extend_from_slice(&(key.len() as u32).to_le_bytes());
+    rec.extend_from_slice(&(wire.len() as u32).to_le_bytes());
+    rec.extend_from_slice(&entry.validated_at.to_le_bytes());
+    rec.extend_from_slice(&entry.fresh_until.to_le_bytes());
+    rec.extend_from_slice(&if entry.negative { FLAG_NEGATIVE } else { 0 }.to_le_bytes());
+    rec.extend_from_slice(key.as_bytes());
+    rec.extend_from_slice(&wire);
+    let sum = fnv64(&rec);
+    rec.extend_from_slice(&sum.to_le_bytes());
+    rec
+}
+
+struct RecordHeader {
+    key_len: u32,
+    wire_len: u32,
+    validated_at: i64,
+    negative: bool,
+}
+
+fn le_u32(buf: &[u8]) -> u32 {
+    u32::from_le_bytes(buf[..4].try_into().unwrap())
+}
+
+fn le_i64(buf: &[u8]) -> i64 {
+    i64::from_le_bytes(buf[..8].try_into().unwrap())
+}
+
+fn decode_header(buf: &[u8]) -> Option<RecordHeader> {
+    if buf.len() < HEADER_LEN || le_u32(buf) != MAGIC {
+        return None;
+    }
+    let key_len = le_u32(&buf[4..]);
+    let wire_len = le_u32(&buf[8..]);
+    if key_len == 0 || key_len > MAX_KEY_LEN || wire_len == 0 || wire_len > MAX_WIRE_LEN {
+        return None;
+    }
+    let flags = le_u32(&buf[28..]);
+    Some(RecordHeader {
+        key_len,
+        wire_len,
+        validated_at: le_i64(&buf[12..]),
+        // The record's fresh_until (bytes 20..28) is deliberately not
+        // surfaced: no freshness claim survives a restart un-verified.
+        negative: flags & FLAG_NEGATIVE != 0,
+    })
+}
+
+impl DiskTier {
+    /// Opens (or creates) the tier at `opts.dir`, recovering every
+    /// valid record from existing segments into the index. Recovered
+    /// entries are stale until a catalyst map or revalidation
+    /// re-freshens them. A segment's first invalid record truncates
+    /// that segment back to the last valid boundary.
+    pub fn open(opts: &DiskTierOptions) -> std::io::Result<DiskTier> {
+        fs::create_dir_all(&opts.dir)?;
+        let mut ids: Vec<u64> = fs::read_dir(&opts.dir)?
+            .filter_map(|e| segment_id(e.ok()?.file_name().to_str()?))
+            .collect();
+        ids.sort_unstable();
+
+        let mut index: HashMap<String, IndexEntry> = HashMap::new();
+        let mut segments = BTreeMap::new();
+        for id in &ids {
+            let path = segment_path(&opts.dir, *id);
+            let len = Self::recover_segment(&path, *id, &mut index)?;
+            segments.insert(*id, len);
+        }
+        let recovered = index.len() as u64;
+        let live_bytes = index.values().map(|e| e.wire_len as usize).sum();
+
+        // Resume appending to the last segment when it has room,
+        // otherwise start a fresh one.
+        let segment_bytes = opts.segment_bytes;
+        let last = ids.last().copied();
+        let active_id = match last {
+            Some(id) if segments[&id] < segment_bytes => id,
+            Some(id) => id + 1,
+            None => 0,
+        };
+        let written = segments.get(&active_id).copied().unwrap_or(0);
+        segments.entry(active_id).or_insert(0);
+        let active = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(segment_path(&opts.dir, active_id))?;
+
+        Ok(DiskTier {
+            dir: opts.dir.clone(),
+            segment_bytes,
+            byte_budget: opts.byte_budget.max(opts.segment_bytes),
+            state: Mutex::new(DiskState {
+                index,
+                segments,
+                active_id,
+                active,
+                written,
+                live_bytes,
+            }),
+            hits: AtomicU64::new(0),
+            written_bytes: AtomicU64::new(0),
+            read_errors: AtomicU64::new(0),
+            recovered: AtomicU64::new(recovered),
+            recovered_refreshed: AtomicU64::new(0),
+            retired_segments: AtomicU64::new(0),
+            evicted_entries: AtomicU64::new(0),
+        })
+    }
+
+    /// Scans one segment sequentially, indexing every checksum-valid
+    /// record (later records win duplicate keys) and truncating the
+    /// file at the first invalid one. Returns the segment's valid
+    /// length.
+    fn recover_segment(
+        path: &Path,
+        id: u64,
+        index: &mut HashMap<String, IndexEntry>,
+    ) -> std::io::Result<u64> {
+        let buf = fs::read(path)?;
+        let mut pos = 0usize;
+        while pos < buf.len() {
+            let Some(header) = decode_header(&buf[pos..]) else {
+                break;
+            };
+            let body_len = header.key_len as usize + header.wire_len as usize;
+            let total = HEADER_LEN + body_len + TRAILER_LEN;
+            if pos + total > buf.len() {
+                break; // crash mid-append: the tail record is incomplete
+            }
+            let payload = &buf[pos..pos + HEADER_LEN + body_len];
+            let stored_sum = u64::from_le_bytes(
+                buf[pos + HEADER_LEN + body_len..pos + total][..8]
+                    .try_into()
+                    .unwrap(),
+            );
+            if fnv64(payload) != stored_sum {
+                break;
+            }
+            let key_bytes = &payload[HEADER_LEN..HEADER_LEN + header.key_len as usize];
+            let Ok(key) = std::str::from_utf8(key_bytes) else {
+                break;
+            };
+            let wire = &payload[HEADER_LEN + header.key_len as usize..];
+            // The validator lives in the encoded response; parse it
+            // back out so catalyst marks can match without file I/O.
+            let etag = match codec::parse_response(wire, &Method::Get, &ParseLimits::default()) {
+                Ok(Parsed::Complete { message, .. }) => message.etag(),
+                _ => break,
+            };
+            index.insert(
+                key.to_owned(),
+                IndexEntry {
+                    segment: id,
+                    offset: pos as u64,
+                    record_len: total as u64,
+                    key_len: header.key_len,
+                    wire_len: header.wire_len,
+                    etag,
+                    validated_at: header.validated_at,
+                    // Recovered entries start stale: no freshness
+                    // claim survives a restart un-verified.
+                    fresh_until: i64::MIN,
+                    negative: header.negative,
+                    recovered: true,
+                },
+            );
+            pos += total;
+        }
+        if pos < buf.len() {
+            // Drop the invalid tail so the next append starts at a
+            // clean record boundary.
+            OpenOptions::new()
+                .write(true)
+                .open(path)?
+                .set_len(pos as u64)?;
+        }
+        Ok(pos as u64)
+    }
+
+    fn remove_live(state: &mut DiskState, key: &str) -> Option<IndexEntry> {
+        let old = state.index.remove(key)?;
+        state.live_bytes -= old.wire_len as usize;
+        Some(old)
+    }
+
+    /// Retires oldest segments until total file bytes fit the budget.
+    /// The active segment is never retired.
+    fn enforce_budget(&self, state: &mut DiskState) {
+        while state.segments.values().sum::<u64>() > self.byte_budget && state.segments.len() > 1 {
+            let oldest = *state.segments.keys().next().unwrap();
+            if oldest == state.active_id {
+                break;
+            }
+            state.segments.remove(&oldest);
+            let _ = fs::remove_file(segment_path(&self.dir, oldest));
+            let doomed: Vec<String> = state
+                .index
+                .iter()
+                .filter(|(_, e)| e.segment == oldest)
+                .map(|(k, _)| k.clone())
+                .collect();
+            self.evicted_entries
+                .fetch_add(doomed.len() as u64, Ordering::Relaxed);
+            for key in doomed {
+                Self::remove_live(state, &key);
+            }
+            self.retired_segments.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// The stored validator under `key`: `None` when absent,
+    /// `Some(etag)` when live. Lets the tiered store detect
+    /// supersession without reading the record back.
+    pub(super) fn stored_etag(&self, key: &str) -> Option<Option<EntityTag>> {
+        let state = self.state.lock();
+        state.index.get(key).map(|e| e.etag.clone())
+    }
+
+    /// Live object count.
+    pub fn len(&self) -> usize {
+        self.state.lock().index.len()
+    }
+
+    /// True when the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Full cumulative counter snapshot.
+    pub fn disk_stats(&self) -> DiskStats {
+        let state = self.state.lock();
+        DiskStats {
+            objects: state.index.len(),
+            live_bytes: state.live_bytes,
+            segment_file_bytes: state.segments.values().sum(),
+            segments: state.segments.len(),
+            hits: self.hits.load(Ordering::Relaxed),
+            written_bytes: self.written_bytes.load(Ordering::Relaxed),
+            read_errors: self.read_errors.load(Ordering::Relaxed),
+            recovered: self.recovered.load(Ordering::Relaxed),
+            recovered_refreshed: self.recovered_refreshed.load(Ordering::Relaxed),
+            retired_segments: self.retired_segments.load(Ordering::Relaxed),
+            evicted_entries: self.evicted_entries.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reads one record back and re-validates its checksum. A failed
+    /// read drops the index entry (counted in `read_errors`) so the
+    /// cache falls through to the origin instead of looping.
+    fn read_entry(&self, state: &mut DiskState, key: &str) -> Option<StoredEntry> {
+        let entry = state.index.get(key)?;
+        let (segment, offset, record_len) = (entry.segment, entry.offset, entry.record_len);
+        let (key_len, wire_len) = (entry.key_len as usize, entry.wire_len as usize);
+        let mut buf = vec![0u8; record_len as usize];
+        let read = (|| -> std::io::Result<()> {
+            let mut file = File::open(segment_path(&self.dir, segment))?;
+            file.seek(SeekFrom::Start(offset))?;
+            file.read_exact(&mut buf)
+        })();
+        let parsed = read.ok().and_then(|()| {
+            let payload = &buf[..HEADER_LEN + key_len + wire_len];
+            let stored_sum =
+                u64::from_le_bytes(buf[buf.len() - TRAILER_LEN..][..8].try_into().ok()?);
+            if fnv64(payload) != stored_sum {
+                return None;
+            }
+            let wire = &payload[HEADER_LEN + key_len..];
+            match codec::parse_response(wire, &Method::Get, &ParseLimits::default()) {
+                Ok(Parsed::Complete { message, .. }) => Some(message),
+                _ => None,
+            }
+        });
+        let Some(response) = parsed else {
+            self.read_errors.fetch_add(1, Ordering::Relaxed);
+            Self::remove_live(state, key);
+            return None;
+        };
+        let entry = &state.index[key];
+        let stored = if entry.negative {
+            StoredEntry::negative(response, entry.validated_at, entry.fresh_until)
+        } else {
+            StoredEntry::positive(
+                response,
+                entry.etag.clone(),
+                entry.validated_at,
+                entry.fresh_until,
+            )
+        };
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        Some(stored)
+    }
+}
+
+impl Tier for DiskTier {
+    fn name(&self) -> &'static str {
+        "disk"
+    }
+
+    fn get(&self, key: &str) -> Option<StoredEntry> {
+        let mut state = self.state.lock();
+        self.read_entry(&mut state, key)
+    }
+
+    fn insert(&self, key: &str, entry: StoredEntry) -> bool {
+        let rec = encode_record(key, &entry);
+        let mut state = self.state.lock();
+        // Rotate when the active segment is full (a record larger than
+        // a whole segment gets a dedicated one).
+        if state.written > 0 && state.written + rec.len() as u64 > self.segment_bytes {
+            let next = state.active_id + 1;
+            let file = match OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(segment_path(&self.dir, next))
+            {
+                Ok(f) => f,
+                Err(_) => return false,
+            };
+            state.active_id = next;
+            state.active = file;
+            state.written = 0;
+            state.segments.insert(next, 0);
+        }
+        if state.active.write_all(&rec).is_err() {
+            return false;
+        }
+        let offset = state.written;
+        state.written += rec.len() as u64;
+        let (active_id, written) = (state.active_id, state.written);
+        state.segments.insert(active_id, written);
+        self.written_bytes
+            .fetch_add(rec.len() as u64, Ordering::Relaxed);
+        // The old record (if any) becomes garbage in its segment.
+        Self::remove_live(&mut state, key);
+        let wire_len = (rec.len() - HEADER_LEN - key.len() - TRAILER_LEN) as u32;
+        state.live_bytes += wire_len as usize;
+        state.index.insert(
+            key.to_owned(),
+            IndexEntry {
+                segment: active_id,
+                offset,
+                record_len: rec.len() as u64,
+                key_len: key.len() as u32,
+                wire_len,
+                etag: entry.etag.clone(),
+                validated_at: entry.validated_at,
+                fresh_until: entry.fresh_until,
+                negative: entry.negative,
+                recovered: false,
+            },
+        );
+        self.enforce_budget(&mut state);
+        true
+    }
+
+    fn mark(&self, key: &str, current: &EntityTag, now: i64, fresh_until: i64) -> MarkOutcome {
+        // Index-only: freshness metadata never rewrites the segment
+        // files, which is what makes warm-restart re-freshening free.
+        let mut state = self.state.lock();
+        let Some(entry) = state.index.get_mut(key) else {
+            return MarkOutcome::Absent;
+        };
+        if entry.negative {
+            entry.fresh_until = now;
+            return MarkOutcome::Mismatch;
+        }
+        match &entry.etag {
+            Some(tag) if tag.strong_eq(current) || tag.weak_eq(current) => {
+                entry.validated_at = now;
+                entry.fresh_until = entry.fresh_until.max(fresh_until);
+                if entry.recovered {
+                    entry.recovered = false;
+                    self.recovered_refreshed.fetch_add(1, Ordering::Relaxed);
+                }
+                MarkOutcome::Fresh
+            }
+            _ => {
+                entry.fresh_until = entry.fresh_until.min(now);
+                MarkOutcome::Mismatch
+            }
+        }
+    }
+
+    fn evict(&self, key: &str) {
+        let mut state = self.state.lock();
+        Self::remove_live(&mut state, key);
+    }
+
+    fn stats(&self) -> TierStats {
+        let state = self.state.lock();
+        TierStats {
+            objects: state.index.len(),
+            bytes: state.live_bytes,
+            evictions: self.evicted_entries.load(Ordering::Relaxed),
+        }
+    }
+
+    fn entries(&self) -> Vec<EntryInfo> {
+        let state = self.state.lock();
+        state
+            .index
+            .iter()
+            .map(|(key, e)| EntryInfo {
+                key: key.clone(),
+                tier: "disk",
+                size: e.wire_len as usize,
+                etag: e.etag.as_ref().map(|t| t.to_string()),
+                validated_at: e.validated_at,
+                fresh_until: e.fresh_until,
+                negative: e.negative,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cachecatalyst_httpwire::Response;
+    use std::sync::atomic::AtomicU32;
+
+    static DIR_SEQ: AtomicU32 = AtomicU32::new(0);
+
+    /// A unique, initially-absent directory under the OS tempdir.
+    fn scratch_dir(name: &str) -> PathBuf {
+        let seq = DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("cc-edge-disk-{}-{name}-{seq}", std::process::id()))
+    }
+
+    fn entry(body: &str, tag: &str, t: i64, fresh: i64) -> StoredEntry {
+        let r = Response::ok(body.as_bytes().to_vec()).with_header("etag", &format!("\"{tag}\""));
+        let e = r.etag();
+        StoredEntry::positive(r, e, t, fresh)
+    }
+
+    #[test]
+    fn roundtrips_positive_and_negative_records() {
+        let dir = scratch_dir("roundtrip");
+        let tier = DiskTier::open(&DiskTierOptions::at(&dir)).unwrap();
+        tier.insert("h/a", entry("alpha", "v1", 5, 60));
+        let miss = Response::empty(cachecatalyst_httpwire::StatusCode::NOT_FOUND);
+        tier.insert("h/gone", StoredEntry::negative(miss, 5, 10));
+        let got = tier.get("h/a").unwrap();
+        assert_eq!(&got.response.body[..], b"alpha");
+        assert_eq!(got.validated_at, 5);
+        assert_eq!(got.fresh_until, 60);
+        assert!(!got.negative);
+        let neg = tier.get("h/gone").unwrap();
+        assert!(neg.negative);
+        assert_eq!(neg.response.status.as_u16(), 404);
+        assert!(tier.get("h/missing").is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reopen_recovers_entries_stale_and_mark_refreshes_them() {
+        let dir = scratch_dir("reopen");
+        {
+            let tier = DiskTier::open(&DiskTierOptions::at(&dir)).unwrap();
+            tier.insert("h/a", entry("alpha", "v1", 5, 60));
+            tier.insert("h/b", entry("beta", "v2", 5, 60));
+        }
+        let tier = DiskTier::open(&DiskTierOptions::at(&dir)).unwrap();
+        assert_eq!(tier.disk_stats().recovered, 2);
+        let got = tier.get("h/a").unwrap();
+        assert_eq!(got.fresh_until, i64::MIN, "recovered entries are stale");
+        assert_eq!(&got.response.body[..], b"alpha");
+        // A catalyst mark with the matching validator re-freshens with
+        // zero file I/O.
+        let tag = EntityTag::strong("v1").unwrap();
+        assert_eq!(tier.mark("h/a", &tag, 100, 400), MarkOutcome::Fresh);
+        assert_eq!(tier.disk_stats().recovered_refreshed, 1);
+        assert_eq!(tier.get("h/a").unwrap().fresh_until, 400);
+        // A mismatching validator keeps the entry stale.
+        let wrong = EntityTag::strong("v9").unwrap();
+        assert_eq!(tier.mark("h/b", &wrong, 100, 400), MarkOutcome::Mismatch);
+        assert_eq!(tier.disk_stats().recovered_refreshed, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rotation_and_retirement_bound_disk_usage() {
+        let dir = scratch_dir("retire");
+        let opts = DiskTierOptions::at(&dir)
+            .segment_bytes(2048)
+            .byte_budget(6144);
+        let tier = DiskTier::open(&opts).unwrap();
+        for i in 0..40 {
+            tier.insert(&format!("h/{i}"), entry(&"x".repeat(400), "v", 0, 10));
+        }
+        let stats = tier.disk_stats();
+        assert!(stats.segments > 1, "rotation must have happened");
+        assert!(
+            stats.segment_file_bytes <= 6144 + 2048,
+            "file bytes {} exceed budget + one segment",
+            stats.segment_file_bytes
+        );
+        assert!(stats.retired_segments > 0);
+        assert!(stats.evicted_entries > 0);
+        assert!(tier.get("h/0").is_none(), "oldest entries retired");
+        assert!(tier.get("h/39").is_some(), "newest entries live");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_tail_record_is_discarded_on_recovery() {
+        let dir = scratch_dir("crash");
+        {
+            let tier = DiskTier::open(&DiskTierOptions::at(&dir)).unwrap();
+            tier.insert("h/a", entry("alpha", "v1", 5, 60));
+            tier.insert("h/b", entry("beta", "v2", 5, 60));
+        }
+        // Simulate a crash mid-append: chop bytes off the final record.
+        let seg = segment_path(&dir, 0);
+        let len = fs::metadata(&seg).unwrap().len();
+        OpenOptions::new()
+            .write(true)
+            .open(&seg)
+            .unwrap()
+            .set_len(len - 7)
+            .unwrap();
+        let tier = DiskTier::open(&DiskTierOptions::at(&dir)).unwrap();
+        assert!(tier.get("h/a").is_some(), "intact record survives");
+        assert!(tier.get("h/b").is_none(), "torn record is dropped");
+        assert_eq!(tier.disk_stats().recovered, 1);
+        // The file was truncated to the record boundary, so appends
+        // land cleanly and survive another reopen.
+        tier.insert("h/c", entry("gamma", "v3", 6, 70));
+        drop(tier);
+        let tier = DiskTier::open(&DiskTierOptions::at(&dir)).unwrap();
+        assert_eq!(&tier.get("h/c").unwrap().response.body[..], b"gamma");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupted_checksum_is_never_served() {
+        let dir = scratch_dir("corrupt");
+        {
+            let tier = DiskTier::open(&DiskTierOptions::at(&dir)).unwrap();
+            tier.insert("h/a", entry("alpha", "v1", 5, 60));
+        }
+        // Flip one body byte without fixing the checksum.
+        let seg = segment_path(&dir, 0);
+        let mut bytes = fs::read(&seg).unwrap();
+        let mid = bytes.len() - TRAILER_LEN - 2;
+        bytes[mid] ^= 0xFF;
+        fs::write(&seg, &bytes).unwrap();
+        let tier = DiskTier::open(&DiskTierOptions::at(&dir)).unwrap();
+        assert_eq!(tier.disk_stats().recovered, 0, "corrupt record not indexed");
+        assert!(tier.get("h/a").is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

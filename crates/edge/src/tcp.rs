@@ -5,38 +5,69 @@
 //! chaos decorator, multi-origin map). All connections share one
 //! `Arc<EdgeCache<_>>`, so coalescing and the byte budget are global
 //! across clients, exactly as on the discrete-event path.
+//!
+//! Configuration is builder-first, mirroring the origin listener:
+//! `TcpEdge::builder(cache).clock(clock).ops(true).bind(addr)`. With
+//! ops enabled the edge answers `GET /metrics` (Prometheus text) and
+//! `GET /inspect` (a JSON listing of every stored entry, per tier) —
+//! but a site resource at either path always wins: the edge first
+//! serves the request normally and only answers from the operational
+//! surface when the site comes back `404`.
 
 use std::io;
 use std::sync::Arc;
 
 use cachecatalyst_browser::Upstream;
 use cachecatalyst_httpwire::aio::{ConnError, ServerConn};
-use cachecatalyst_httpwire::{HeaderName, Response, StatusCode};
-use cachecatalyst_origin::Clock;
+use cachecatalyst_httpwire::{HeaderName, Method, Request, Response, StatusCode};
+use cachecatalyst_origin::{wall_clock, Clock};
 use tokio::io::{AsyncRead, AsyncWrite};
 use tokio::net::TcpListener;
 use tokio::sync::watch;
 
 use crate::cache::EdgeCache;
 
-/// A running TCP edge tier in front of a shared [`EdgeCache`].
-pub struct TcpEdge {
-    /// The bound listening address (useful with `127.0.0.1:0`).
-    pub local_addr: std::net::SocketAddr,
-    shutdown: watch::Sender<bool>,
-    handle: tokio::task::JoinHandle<()>,
+/// Configures a TCP edge listener; obtained from [`TcpEdge::builder`].
+pub struct EdgeServeOptions<U> {
+    cache: Arc<EdgeCache<U>>,
+    clock: Clock,
+    ops: bool,
 }
 
-impl TcpEdge {
-    /// Binds `addr` and serves `cache` until [`TcpEdge::shutdown`].
-    ///
-    /// `clock` supplies the virtual time each request is handled at —
-    /// share it with the origin (see `cachecatalyst_origin::Clock`) so
-    /// freshness arithmetic on both tiers reads one timeline.
-    pub async fn bind<U>(addr: &str, cache: Arc<EdgeCache<U>>, clock: Clock) -> io::Result<TcpEdge>
-    where
-        U: Upstream + Send + Sync + 'static,
-    {
+impl<U> Clone for EdgeServeOptions<U> {
+    fn clone(&self) -> Self {
+        EdgeServeOptions {
+            cache: Arc::clone(&self.cache),
+            clock: self.clock.clone(),
+            ops: self.ops,
+        }
+    }
+}
+
+impl<U: Upstream + Send + Sync + 'static> EdgeServeOptions<U> {
+    /// The edge's time source (defaults to [`wall_clock`]). Share it
+    /// with the origin so freshness arithmetic on both tiers reads one
+    /// timeline.
+    pub fn clock(mut self, clock: Clock) -> EdgeServeOptions<U> {
+        self.clock = clock;
+        self
+    }
+
+    /// Answer the operational endpoints `GET /metrics` (Prometheus
+    /// text exposition of the edge's telemetry registry) and
+    /// `GET /inspect` (read-only JSON listing of every stored entry:
+    /// key, tier, size, freshness, validator). They never shadow the
+    /// site: the request is served normally first, and the operational
+    /// surface only answers when the site has no such resource (404).
+    /// Off by default.
+    pub fn ops(mut self, enabled: bool) -> EdgeServeOptions<U> {
+        self.ops = enabled;
+        self
+    }
+
+    /// Binds `addr` (e.g. `127.0.0.1:0`) and serves until
+    /// [`TcpEdge::shutdown`] is called.
+    pub async fn bind(self, addr: &str) -> io::Result<TcpEdge> {
         let listener = TcpListener::bind(addr).await?;
         let local_addr = listener.local_addr()?;
         let (shutdown, mut shutdown_rx) = watch::channel(false);
@@ -45,11 +76,10 @@ impl TcpEdge {
                 tokio::select! {
                     accepted = listener.accept() => {
                         let Ok((stream, _peer)) = accepted else { break };
-                        let cache = Arc::clone(&cache);
-                        let clock = clock.clone();
+                        let opts = self.clone();
                         tokio::spawn(async move {
                             stream.set_nodelay(true).ok();
-                            let _ = serve_stream(&cache, &clock, stream).await;
+                            let _ = opts.serve_stream(stream).await;
                         });
                     }
                     _ = shutdown_rx.changed() => break,
@@ -63,6 +93,142 @@ impl TcpEdge {
         })
     }
 
+    /// Serves HTTP/1.1 on one byte stream (TCP, duplex pipe, emulated
+    /// link) until the peer closes or requests `Connection: close`,
+    /// honoring every configured option. The `Host` header (required,
+    /// as in HTTP/1.1) routes the request upstream.
+    pub async fn serve_stream<S>(self, stream: S) -> Result<(), ConnError>
+    where
+        S: AsyncRead + AsyncWrite + Unpin,
+    {
+        let mut conn = ServerConn::new(stream);
+        loop {
+            let req = match conn.read_request().await {
+                Ok(req) => req,
+                Err(ConnError::Closed) => return Ok(()),
+                Err(ConnError::Wire(_)) => {
+                    // Malformed request head: answer 400 best-effort
+                    // and drop the connection (mirrors the origin
+                    // listener).
+                    let resp = Response::empty(StatusCode::BAD_REQUEST);
+                    let _ = conn.write_response(&resp).await;
+                    return Ok(());
+                }
+                Err(e) => return Err(e),
+            };
+            let close = req.headers.wants_close();
+            let resp = match req.headers.get(HeaderName::HOST) {
+                Some(host) => {
+                    // `EdgeCache::handle` is synchronous sans-IO
+                    // compute (its upstream is too), so calling it
+                    // inline keeps request handling single-hop with no
+                    // channel bounce.
+                    let host = host.to_owned();
+                    let now = self.clock.secs();
+                    let resp = self.cache.handle(&host, &req, now);
+                    match ops_endpoint_of(&req, self.ops, &resp) {
+                        Some(OpsEndpoint::Metrics) => self.metrics_response(),
+                        Some(OpsEndpoint::Inspect) => self.inspect_response(now),
+                        None => resp,
+                    }
+                }
+                None => Response::empty(StatusCode::BAD_REQUEST),
+            };
+            conn.write_response(&resp).await?;
+            if close {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Renders the edge's telemetry registry in the Prometheus text
+    /// format. Scrapes also publish the clock (ms resolution) so
+    /// dashboards can align virtual-time runs.
+    fn metrics_response(&self) -> Response {
+        self.cache
+            .telemetry()
+            .gauge(
+                "edge_clock_milliseconds",
+                "The edge clock at scrape time (virtual or wall ms)",
+                &[],
+            )
+            .set(self.clock.millis() as f64);
+        // Refresh the store gauges before rendering.
+        self.cache.metrics();
+        let body = self.cache.telemetry().render_prometheus();
+        Response::ok(body.into_bytes())
+            .with_header(HeaderName::CONTENT_TYPE, "text/plain; version=0.0.4")
+            .with_header(HeaderName::CACHE_CONTROL, "no-store")
+    }
+
+    /// The read-only per-tier entry listing.
+    fn inspect_response(&self, t_secs: i64) -> Response {
+        let body = self.cache.inspect(t_secs);
+        Response::ok(body.into_bytes())
+            .with_header(HeaderName::CONTENT_TYPE, "application/json")
+            .with_header(HeaderName::CACHE_CONTROL, "no-store")
+    }
+}
+
+enum OpsEndpoint {
+    Metrics,
+    Inspect,
+}
+
+/// Which operational endpoint (if any) answers `req`: only when the
+/// endpoints are enabled, only for GET, and only when the site served
+/// `404` for the path (site resources are never shadowed — the cache
+/// response `site_resp` is what the site actually said).
+fn ops_endpoint_of(req: &Request, enabled: bool, site_resp: &Response) -> Option<OpsEndpoint> {
+    if !enabled || req.method != Method::Get {
+        return None;
+    }
+    let endpoint = match req.target.path() {
+        "/metrics" => OpsEndpoint::Metrics,
+        "/inspect" => OpsEndpoint::Inspect,
+        _ => return None,
+    };
+    if site_resp.status != StatusCode::NOT_FOUND {
+        return None;
+    }
+    Some(endpoint)
+}
+
+/// A running TCP edge tier in front of a shared [`EdgeCache`].
+pub struct TcpEdge {
+    /// The bound listening address (useful with `127.0.0.1:0`).
+    pub local_addr: std::net::SocketAddr,
+    shutdown: watch::Sender<bool>,
+    handle: tokio::task::JoinHandle<()>,
+}
+
+impl TcpEdge {
+    /// Starts configuring a TCP edge listener:
+    /// `TcpEdge::builder(cache).clock(clock).ops(true).bind(addr)`.
+    /// See [`EdgeServeOptions`] for every knob.
+    pub fn builder<U: Upstream + Send + Sync + 'static>(
+        cache: Arc<EdgeCache<U>>,
+    ) -> EdgeServeOptions<U> {
+        EdgeServeOptions {
+            cache,
+            clock: wall_clock(),
+            ops: false,
+        }
+    }
+
+    /// Binds `addr` and serves `cache` until [`TcpEdge::shutdown`]:
+    /// site traffic only, no operational endpoints.
+    ///
+    /// `clock` supplies the virtual time each request is handled at —
+    /// share it with the origin (see `cachecatalyst_origin::Clock`) so
+    /// freshness arithmetic on both tiers reads one timeline.
+    pub async fn bind<U>(addr: &str, cache: Arc<EdgeCache<U>>, clock: Clock) -> io::Result<TcpEdge>
+    where
+        U: Upstream + Send + Sync + 'static,
+    {
+        TcpEdge::builder(cache).clock(clock).bind(addr).await
+    }
+
     /// Stops accepting and tears the accept loop down.
     pub async fn shutdown(self) {
         let _ = self.shutdown.send(true);
@@ -71,8 +237,10 @@ impl TcpEdge {
 }
 
 /// Serves HTTP/1.1 on one byte stream against a shared edge cache
-/// until the peer closes or requests `Connection: close`. The `Host`
-/// header (required, as in HTTP/1.1) routes the request upstream.
+/// until the peer closes or requests `Connection: close`: site traffic
+/// only, no operational endpoints (use
+/// [`TcpEdge::builder`] + [`EdgeServeOptions::serve_stream`] for
+/// those).
 pub async fn serve_stream<U, S>(
     cache: &EdgeCache<U>,
     clock: &Clock,
@@ -88,8 +256,6 @@ where
             Ok(req) => req,
             Err(ConnError::Closed) => return Ok(()),
             Err(ConnError::Wire(_)) => {
-                // Malformed request head: answer 400 best-effort and
-                // drop the connection (mirrors the origin listener).
                 let resp = Response::empty(StatusCode::BAD_REQUEST);
                 let _ = conn.write_response(&resp).await;
                 return Ok(());
@@ -99,9 +265,6 @@ where
         let close = req.headers.wants_close();
         let resp = match req.headers.get(HeaderName::HOST) {
             Some(host) => {
-                // `EdgeCache::handle` is synchronous sans-IO compute
-                // (its upstream is too), so calling it inline keeps
-                // request handling single-hop with no channel bounce.
                 let host = host.to_owned();
                 cache.handle(&host, &req, clock.secs())
             }

@@ -1,0 +1,234 @@
+//! Property and crash tests for the persistent disk tier.
+//!
+//! * **Admission** — under a flood of one-hit wonders, TinyLFU keeps
+//!   the segment files bounded: only keys seen at least `min_hits`
+//!   times earn a slot. Probabilistic admission is deterministic per
+//!   seed and honors its extremes (`p = 0` admits nothing, `p = 1`
+//!   everything).
+//! * **Crash-mid-write** — a torn record at the segment tail (the
+//!   bytes a crash cut short) is discarded by the boot scan; every
+//!   record before it survives byte-for-byte, and the reopened tier
+//!   appends cleanly over the truncation point.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use cachecatalyst_edge::store::{AdmissionPolicy, DiskTierOptions, StoreOptions, TieredStore};
+use cachecatalyst_httpwire::Response;
+use proptest::prelude::*;
+
+static DIR_SEQ: AtomicU32 = AtomicU32::new(0);
+
+fn scratch_dir(name: &str) -> PathBuf {
+    let seq = DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "cc-edge-disk-it-{}-{name}-{seq}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Disk-only store (no DRAM tier): every insert faces the admission
+/// policy directly, which is exactly what these properties probe.
+fn disk_only(dir: &PathBuf, admission: AdmissionPolicy) -> TieredStore {
+    StoreOptions::new()
+        .mem_budget(0)
+        .disk(DiskTierOptions::at(dir).admission(admission))
+        .build()
+        .expect("disk tier opens")
+}
+
+fn body_response(key: &str, tag: &str) -> Response {
+    Response::ok(format!("body-of-{key}").repeat(8).into_bytes())
+        .with_header("etag", &format!("\"{tag}\""))
+}
+
+/// One cache-shaped access: a lookup (feeding the admission sketch)
+/// followed, on miss, by a store attempt.
+fn touch(store: &TieredStore, key: &str) {
+    if store.get(key).is_none() {
+        let resp = body_response(key, "v1");
+        let etag = resp.etag();
+        store.insert(key, resp, etag, 0, 100);
+    }
+}
+
+proptest! {
+    /// The one-hit-wonder flood. Wonders are touched once, popular
+    /// keys twice (≥ `min_hits`); TinyLFU must keep the wonders out of
+    /// the segment files while admitting every repeat.
+    #[test]
+    fn one_hit_wonder_floods_keep_disk_bounded(
+        seed in any::<u64>(),
+        wonders in 40usize..120,
+        repeats in 4usize..12,
+    ) {
+        let dir = scratch_dir("flood");
+        let store = disk_only(&dir, AdmissionPolicy::TinyLfuAdmit { min_hits: 2 });
+
+        // Round 1: everything is seen once (estimate 1 at store time,
+        // so *nothing* is admitted yet — not even the future repeats).
+        for i in 0..wonders {
+            touch(&store, &format!("h/wonder-{seed:x}-{i}"));
+        }
+        for i in 0..repeats {
+            touch(&store, &format!("h/repeat-{seed:x}-{i}"));
+        }
+        // Round 2: only the repeats come back; their second lookup
+        // lifts the sketch estimate to min_hits and the re-store lands.
+        for i in 0..repeats {
+            touch(&store, &format!("h/repeat-{seed:x}-{i}"));
+        }
+
+        let stats = store.disk_stats().expect("disk tier attached");
+        // Sketch rows can collide, so allow a hair of slack — but the
+        // flood must not reach the segment files wholesale.
+        prop_assert!(
+            stats.objects <= repeats + 2,
+            "disk holds {} objects for {repeats} repeated keys ({wonders} wonders flooded)",
+            stats.objects
+        );
+        for i in 0..repeats {
+            let key = format!("h/repeat-{seed:x}-{i}");
+            let entry = store.get(&key);
+            prop_assert!(entry.is_some(), "repeated key {key} missing from disk");
+            prop_assert_eq!(
+                &entry.unwrap().response.body[..],
+                &body_response(&key, "v1").body[..]
+            );
+        }
+        // Each wonder burned exactly one refused store attempt.
+        prop_assert!(
+            store.counters().admission_rejects >= wonders as u64,
+            "expected ≥{wonders} rejects, saw {}",
+            store.counters().admission_rejects
+        );
+        // Bounded bytes, not just bounded objects: a record is well
+        // under 4 KiB here, so the files stay proportional to repeats.
+        prop_assert!(
+            stats.segment_file_bytes <= ((repeats + 2) * 4096) as u64,
+            "segment files hold {} bytes",
+            stats.segment_file_bytes
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Probabilistic admission is a pure function of (p, seed, draw
+    /// index): two stores given the same access sequence admit the
+    /// same keys.
+    #[test]
+    fn admit_p_is_deterministic_per_seed(seed in any::<u64>()) {
+        let keys: Vec<String> = (0..60).map(|i| format!("h/p-{i}")).collect();
+        let mut admitted = Vec::new();
+        for run in 0..2 {
+            let dir = scratch_dir(&format!("admitp-{run}"));
+            let store = disk_only(
+                &dir,
+                AdmissionPolicy::AdmitP { p: 0.5, seed },
+            );
+            for key in &keys {
+                touch(&store, key);
+            }
+            let on_disk: Vec<bool> = keys.iter().map(|k| store.get(k).is_some()).collect();
+            admitted.push(on_disk);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+        prop_assert_eq!(&admitted[0], &admitted[1], "same seed, different admits");
+        let hits = admitted[0].iter().filter(|b| **b).count();
+        prop_assert!(
+            (10..=50).contains(&hits),
+            "p=0.5 admitted {hits}/60 — far outside plausibility"
+        );
+    }
+}
+
+#[test]
+fn admit_p_extremes_admit_nothing_and_everything() {
+    for (p, want_all) in [(0.0, false), (1.0, true)] {
+        let dir = scratch_dir("extreme");
+        let store = disk_only(&dir, AdmissionPolicy::AdmitP { p, seed: 7 });
+        for i in 0..25 {
+            touch(&store, &format!("h/e-{i}"));
+        }
+        let objects = store.disk_stats().unwrap().objects;
+        if want_all {
+            assert_eq!(objects, 25, "p=1 must admit every store");
+            assert_eq!(store.counters().admission_rejects, 0);
+        } else {
+            assert_eq!(objects, 0, "p=0 must admit nothing");
+            assert_eq!(store.counters().admission_rejects, 25);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// The newest segment file in `dir` (highest sequence number) — the
+/// one a crash would tear.
+fn newest_segment(dir: &PathBuf) -> PathBuf {
+    let mut segs: Vec<PathBuf> = std::fs::read_dir(dir)
+        .expect("tier directory exists")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|e| e == "seg"))
+        .collect();
+    segs.sort();
+    segs.pop().expect("at least one segment file")
+}
+
+#[test]
+fn crash_mid_write_discards_torn_tail_and_preserves_prefix() {
+    let dir = scratch_dir("torn");
+    let keys: Vec<String> = (0..6).map(|i| format!("h/c-{i}")).collect();
+    {
+        let store = disk_only(&dir, AdmissionPolicy::AdmitAll);
+        for key in &keys {
+            touch(&store, key);
+        }
+        assert_eq!(store.disk_stats().unwrap().objects, keys.len());
+    } // process "exits" — nothing is flushed beyond the appends
+
+    // The crash: the last record loses its tail (checksum and part of
+    // the body never reached the platter).
+    let seg = newest_segment(&dir);
+    let len = std::fs::metadata(&seg).unwrap().len();
+    let file = std::fs::OpenOptions::new().write(true).open(&seg).unwrap();
+    file.set_len(len - 11).unwrap();
+    drop(file);
+
+    // Boot scan: the torn record is discarded, everything before it
+    // survives byte-for-byte.
+    let store = disk_only(&dir, AdmissionPolicy::AdmitAll);
+    let stats = store.disk_stats().unwrap();
+    assert_eq!(stats.recovered, keys.len() as u64 - 1);
+    assert!(
+        store.get(&keys[keys.len() - 1]).is_none(),
+        "torn record served"
+    );
+    for key in &keys[..keys.len() - 1] {
+        let entry = store.get(key).expect("intact record lost");
+        assert_eq!(
+            &entry.response.body[..],
+            &body_response(key, "v1").body[..],
+            "{key}: corrupted bytes after recovery"
+        );
+        assert_eq!(
+            entry.fresh_until,
+            i64::MIN,
+            "{key}: a recovered entry must come back stale"
+        );
+    }
+
+    // The reopened tier appends over the truncation point cleanly...
+    touch(&store, "h/after-crash");
+    assert!(store.get("h/after-crash").is_some());
+    drop(store);
+
+    // ...and a second clean reopen recovers old prefix + new record.
+    let store = disk_only(&dir, AdmissionPolicy::AdmitAll);
+    assert_eq!(
+        store.disk_stats().unwrap().recovered,
+        keys.len() as u64, // 5 surviving + 1 post-crash append
+    );
+    assert!(store.get("h/after-crash").is_some());
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -20,8 +20,3 @@ pub use tcp::{
     fixed_clock, fixed_clock_ms, wall_clock, watch_clock, watch_clock_ms, Clock, ServeOptions,
     ServerFaults, TcpOrigin,
 };
-// The deprecated per-configuration entry points stay re-exported so
-// pre-builder call sites keep compiling (they see the deprecation
-// warning at their own use site, not here).
-#[allow(deprecated)]
-pub use tcp::{serve_stream, serve_stream_with_faults, serve_stream_with_ops};

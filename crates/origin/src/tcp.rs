@@ -6,11 +6,11 @@
 //!
 //! Configuration goes through one builder, [`ServeOptions`]
 //! (`TcpOrigin::builder().server(..).ops(true).faults(plan)
-//! .bind(addr)`), which replaced the old `bind` / `bind_with_ops` /
-//! `bind_with_faults` constructors and the matching `serve_stream*`
-//! free functions. The old names remain as thin deprecated shims;
-//! unlike them, the builder composes — an origin can now serve
-//! `/metrics` *and* run a fault schedule at the same time.
+//! .bind(addr)`). The pre-builder per-configuration entry points
+//! (`bind_with_ops`, `serve_stream_with_faults`, …) were deprecated
+//! for two release cycles and removed in PR 10; unlike them, the
+//! builder composes — an origin can serve `/metrics` *and* run a
+//! fault schedule at the same time.
 
 #![warn(missing_docs)]
 
@@ -294,99 +294,12 @@ impl TcpOrigin {
         ServeOptions::new()
     }
 
-    /// Binds `addr` and serves `server` until [`TcpOrigin::shutdown`]
-    /// is called: site traffic only, no operational endpoints.
-    #[deprecated(note = "use `TcpOrigin::builder().server(..).clock(..).bind(addr)`")]
-    pub async fn bind(
-        addr: &str,
-        server: Arc<OriginServer>,
-        clock: Clock,
-    ) -> std::io::Result<TcpOrigin> {
-        TcpOrigin::builder()
-            .server(server)
-            .clock(clock)
-            .bind(addr)
-            .await
-    }
-
-    /// Like `bind`, additionally answering `GET /metrics` and
-    /// `GET /healthz` (see [`ServeOptions::ops`]).
-    #[deprecated(note = "use `TcpOrigin::builder().server(..).clock(..).ops(true).bind(addr)`")]
-    pub async fn bind_with_ops(
-        addr: &str,
-        server: Arc<OriginServer>,
-        clock: Clock,
-    ) -> std::io::Result<TcpOrigin> {
-        TcpOrigin::builder()
-            .server(server)
-            .clock(clock)
-            .ops(true)
-            .bind(addr)
-            .await
-    }
-
-    /// Like `bind`, but serving through a seeded fault schedule (see
-    /// [`ServeOptions::faults`]).
-    #[deprecated(note = "use `TcpOrigin::builder().server(..).clock(..).faults(plan).bind(addr)`")]
-    pub async fn bind_with_faults(
-        addr: &str,
-        server: Arc<OriginServer>,
-        clock: Clock,
-        plan: FaultPlan,
-    ) -> std::io::Result<TcpOrigin> {
-        TcpOrigin::builder()
-            .server(server)
-            .clock(clock)
-            .faults(plan)
-            .bind(addr)
-            .await
-    }
-
     /// Stops accepting and waits for the accept loop to exit
     /// (in-flight connections finish on their own).
     pub async fn shutdown(self) {
         let _ = self.shutdown.send(true);
         let _ = self.handle.await;
     }
-}
-
-/// Serves HTTP/1.1 on any byte stream until the peer closes or
-/// requests `Connection: close`. Site traffic only.
-#[deprecated(note = "use `TcpOrigin::builder().server(..).clock(..).serve_stream(stream)`")]
-pub async fn serve_stream<S>(
-    stream: S,
-    server: Arc<OriginServer>,
-    clock: Clock,
-) -> Result<(), ConnError>
-where
-    S: AsyncRead + AsyncWrite + Unpin,
-{
-    TcpOrigin::builder()
-        .server(server)
-        .clock(clock)
-        .serve_stream(stream)
-        .await
-}
-
-/// Like `serve_stream`, additionally answering `GET /metrics` and
-/// `GET /healthz` (see [`ServeOptions::ops`]).
-#[deprecated(
-    note = "use `TcpOrigin::builder().server(..).clock(..).ops(true).serve_stream(stream)`"
-)]
-pub async fn serve_stream_with_ops<S>(
-    stream: S,
-    server: Arc<OriginServer>,
-    clock: Clock,
-) -> Result<(), ConnError>
-where
-    S: AsyncRead + AsyncWrite + Unpin,
-{
-    TcpOrigin::builder()
-        .server(server)
-        .clock(clock)
-        .ops(true)
-        .serve_stream(stream)
-        .await
 }
 
 /// Shared, seeded fault state for a TCP origin: one draw per request,
@@ -412,28 +325,6 @@ impl ServerFaults {
         *consecutive = if fault.is_some() { *consecutive + 1 } else { 0 };
         fault
     }
-}
-
-/// Like `serve_stream`, but every request first draws from `faults`
-/// (see [`ServeOptions::shared_faults`]).
-#[deprecated(
-    note = "use `TcpOrigin::builder().server(..).clock(..).shared_faults(faults).serve_stream(stream)`"
-)]
-pub async fn serve_stream_with_faults<S>(
-    stream: S,
-    server: Arc<OriginServer>,
-    clock: Clock,
-    faults: Arc<ServerFaults>,
-) -> Result<(), ConnError>
-where
-    S: AsyncRead + AsyncWrite + Unpin,
-{
-    TcpOrigin::builder()
-        .server(server)
-        .clock(clock)
-        .shared_faults(faults)
-        .serve_stream(stream)
-        .await
 }
 
 fn bad_request_response(err: &cachecatalyst_httpwire::WireError, clock: &Clock) -> Response {

@@ -73,6 +73,10 @@ pub enum CacheDecision {
     /// A shared edge cache answered from a negatively-cached `404`
     /// within its short TTL.
     EdgeNegative,
+    /// A shared edge cache served its stored bytes from the persistent
+    /// disk tier (promoting them back into DRAM) without contacting
+    /// the origin.
+    EdgeDiskHit,
 }
 
 impl CacheDecision {
@@ -85,6 +89,7 @@ impl CacheDecision {
             CacheDecision::Degraded => "degraded",
             CacheDecision::EdgeHit => "edge-hit",
             CacheDecision::EdgeNegative => "edge-negative",
+            CacheDecision::EdgeDiskHit => "edge-disk-hit",
         }
     }
 }

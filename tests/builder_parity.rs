@@ -1,22 +1,22 @@
-//! Builder parity: every deprecated `TcpOrigin` entry point must be
-//! observationally identical to the [`ServeOptions`] builder chain it
-//! now delegates to — same response bytes, same deterministic
-//! `/metrics` series, same fault-schedule consumption for the same
-//! seed. These tests are the contract that lets the old names be
-//! deleted in a later release without anyone noticing.
+//! Builder determinism: two [`ServeOptions`] chains with the same
+//! configuration must be observationally identical — same response
+//! bytes, same deterministic `/metrics` series, same fault-schedule
+//! consumption for the same seed.
+//!
+//! Through PR 8–9 this file additionally pinned the deprecated
+//! `TcpOrigin::bind*` / `serve_stream*` entry points against their
+//! builder equivalents; those shims were removed in PR 10, so what
+//! remains is the half of the contract that still matters — the
+//! builder itself is deterministic, which is what every replayable
+//! experiment in EXPERIMENTS.md leans on.
 //!
 //! [`ServeOptions`]: cachecatalyst::origin::ServeOptions
-
-#![allow(deprecated)]
 
 use std::sync::Arc;
 
 use cachecatalyst::httpwire::aio::ClientConn;
 use cachecatalyst::netsim::FaultPlan;
-use cachecatalyst::origin::{
-    fixed_clock, serve_stream, serve_stream_with_faults, serve_stream_with_ops, watch_clock,
-    ServeOptions, ServerFaults, TcpOrigin,
-};
+use cachecatalyst::origin::{fixed_clock, watch_clock, ServeOptions, ServerFaults, TcpOrigin};
 use cachecatalyst::prelude::*;
 use tokio::net::TcpStream;
 use tokio::sync::watch;
@@ -109,75 +109,83 @@ fn deterministic_series(text: &str) -> (Vec<String>, Vec<(String, String)>) {
 }
 
 #[tokio::test]
-async fn deprecated_bind_serves_the_same_bytes_as_the_builder() {
-    let (tx_old, rx_old) = watch::channel(0i64);
-    let old = TcpOrigin::bind("127.0.0.1:0", origin(), watch_clock(rx_old))
+async fn identical_builder_configs_serve_identical_bytes() {
+    let (tx_a, rx_a) = watch::channel(0i64);
+    let a = TcpOrigin::builder()
+        .server(origin())
+        .clock(watch_clock(rx_a))
+        .bind("127.0.0.1:0")
         .await
         .unwrap();
-    let (tx_new, rx_new) = watch::channel(0i64);
-    let new = TcpOrigin::builder()
+    let (tx_b, rx_b) = watch::channel(0i64);
+    let b = TcpOrigin::builder()
         .server(origin())
-        .clock(watch_clock(rx_new))
+        .clock(watch_clock(rx_b))
         .bind("127.0.0.1:0")
         .await
         .unwrap();
 
-    let old_prints = drive(old.local_addr, &tx_old).await;
-    let new_prints = drive(new.local_addr, &tx_new).await;
-    assert_eq!(old_prints.len(), 2 * PATHS.len());
-    assert_eq!(old_prints, new_prints);
+    let a_prints = drive(a.local_addr, &tx_a).await;
+    let b_prints = drive(b.local_addr, &tx_b).await;
+    assert_eq!(a_prints.len(), 2 * PATHS.len());
+    assert_eq!(a_prints, b_prints);
 
-    // Ops endpoints stay opt-in on both paths: site dispatch answers.
-    for addr in [old.local_addr, new.local_addr] {
+    // Ops endpoints stay opt-in: without `.ops(true)`, site dispatch
+    // answers (and the example site has no /metrics resource).
+    for addr in [a.local_addr, b.local_addr] {
         let stream = TcpStream::connect(addr).await.unwrap();
         let mut conn = ClientConn::new(stream);
         let resp = conn.round_trip(&Request::get("/metrics")).await.unwrap();
         assert_eq!(resp.status, StatusCode::NOT_FOUND);
     }
-    old.shutdown().await;
-    new.shutdown().await;
+    a.shutdown().await;
+    b.shutdown().await;
 }
 
 #[tokio::test]
-async fn deprecated_bind_with_ops_exposes_the_same_metrics_as_the_builder() {
-    let (tx_old, rx_old) = watch::channel(0i64);
-    let old = TcpOrigin::bind_with_ops("127.0.0.1:0", origin(), watch_clock(rx_old))
+async fn identical_ops_configs_expose_identical_metrics() {
+    let (tx_a, rx_a) = watch::channel(0i64);
+    let a = TcpOrigin::builder()
+        .server(origin())
+        .clock(watch_clock(rx_a))
+        .ops(true)
+        .bind("127.0.0.1:0")
         .await
         .unwrap();
-    let (tx_new, rx_new) = watch::channel(0i64);
-    let new = TcpOrigin::builder()
+    let (tx_b, rx_b) = watch::channel(0i64);
+    let b = TcpOrigin::builder()
         .server(origin())
-        .clock(watch_clock(rx_new))
+        .clock(watch_clock(rx_b))
         .ops(true)
         .bind("127.0.0.1:0")
         .await
         .unwrap();
 
     assert_eq!(
-        drive(old.local_addr, &tx_old).await,
-        drive(new.local_addr, &tx_new).await
+        drive(a.local_addr, &tx_a).await,
+        drive(b.local_addr, &tx_b).await
     );
 
     let mut scrapes = Vec::new();
-    for addr in [old.local_addr, new.local_addr] {
+    for addr in [a.local_addr, b.local_addr] {
         let stream = TcpStream::connect(addr).await.unwrap();
         let mut conn = ClientConn::new(stream);
         let resp = conn.round_trip(&Request::get("/metrics")).await.unwrap();
         assert_eq!(resp.status, StatusCode::OK);
         scrapes.push(String::from_utf8(resp.body.to_vec()).unwrap());
     }
-    let (old_names, old_counters) = deterministic_series(&scrapes[0]);
-    let (new_names, new_counters) = deterministic_series(&scrapes[1]);
-    assert_eq!(old_names, new_names, "series sets diverge");
-    assert_eq!(old_counters, new_counters, "counter values diverge");
+    let (a_names, a_counters) = deterministic_series(&scrapes[0]);
+    let (b_names, b_counters) = deterministic_series(&scrapes[1]);
+    assert_eq!(a_names, b_names, "series sets diverge");
+    assert_eq!(a_counters, b_counters, "counter values diverge");
     assert!(
-        old_counters
+        a_counters
             .iter()
             .any(|(series, value)| series.starts_with("origin_requests_total") && value == "10"),
-        "traffic not accounted: {old_counters:?}"
+        "traffic not accounted: {a_counters:?}"
     );
-    old.shutdown().await;
-    new.shutdown().await;
+    a.shutdown().await;
+    b.shutdown().await;
 }
 
 /// One request against a possibly-faulting origin, reduced to a
@@ -214,14 +222,18 @@ async fn fault_outcomes(addr: std::net::SocketAddr, attempts: usize) -> Vec<Stri
 }
 
 #[tokio::test(flavor = "multi_thread", worker_threads = 2)]
-async fn deprecated_bind_with_faults_consumes_the_same_schedule_as_the_builder() {
+async fn identical_fault_plans_consume_identical_schedules() {
     let plan = FaultPlan::new(11)
         .with_fault_rate(0.4)
         .with_max_consecutive(2);
-    let old = TcpOrigin::bind_with_faults("127.0.0.1:0", origin(), fixed_clock(0), plan)
+    let a = TcpOrigin::builder()
+        .server(origin())
+        .clock(fixed_clock(0))
+        .faults(plan)
+        .bind("127.0.0.1:0")
         .await
         .unwrap();
-    let new = TcpOrigin::builder()
+    let b = TcpOrigin::builder()
         .server(origin())
         .clock(fixed_clock(0))
         .faults(plan)
@@ -229,18 +241,18 @@ async fn deprecated_bind_with_faults_consumes_the_same_schedule_as_the_builder()
         .await
         .unwrap();
 
-    let old_outcomes = fault_outcomes(old.local_addr, 30).await;
-    let new_outcomes = fault_outcomes(new.local_addr, 30).await;
-    assert_eq!(old_outcomes, new_outcomes, "schedule consumption diverges");
+    let a_outcomes = fault_outcomes(a.local_addr, 30).await;
+    let b_outcomes = fault_outcomes(b.local_addr, 30).await;
+    assert_eq!(a_outcomes, b_outcomes, "schedule consumption diverges");
     // The comparison must not be vacuous: this seed fires visibly.
     assert!(
-        old_outcomes
+        a_outcomes
             .iter()
             .any(|o| o == "conn-error" || o.contains(":server-error:")),
-        "no observable fault in 30 draws: {old_outcomes:?}"
+        "no observable fault in 30 draws: {a_outcomes:?}"
     );
-    old.shutdown().await;
-    new.shutdown().await;
+    a.shutdown().await;
+    b.shutdown().await;
 }
 
 /// Runs `client` against a serving loop over an in-process duplex
@@ -264,7 +276,7 @@ where
 }
 
 #[tokio::test]
-async fn deprecated_serve_stream_matches_the_builder_over_a_pipe() {
+async fn serve_stream_is_deterministic_over_a_pipe() {
     let fetch_all = |mut conn: ClientConn<tokio::io::DuplexStream>| async move {
         let mut prints = Vec::new();
         for path in PATHS {
@@ -277,68 +289,28 @@ async fn deprecated_serve_stream_matches_the_builder_over_a_pipe() {
         prints
     };
 
-    let old_origin = origin();
-    let old = over_duplex(
-        move |stream| async move {
-            let _ = serve_stream(stream, old_origin, fixed_clock(3600)).await;
-        },
-        fetch_all,
-    )
-    .await;
-    let new_origin = origin();
-    let new = over_duplex(
-        move |stream| async move {
-            let _ = ServeOptions::new()
-                .server(new_origin)
-                .clock(fixed_clock(3600))
-                .serve_stream(stream)
-                .await;
-        },
-        fetch_all,
-    )
-    .await;
-    assert_eq!(old, new);
-}
-
-#[tokio::test]
-async fn deprecated_serve_stream_with_ops_matches_the_builder_over_a_pipe() {
-    let scrape = |mut conn: ClientConn<tokio::io::DuplexStream>| async move {
-        for path in PATHS {
-            conn.round_trip(&Request::get(path).with_header("host", "example.org"))
-                .await
-                .unwrap();
-        }
-        let resp = conn.round_trip(&Request::get("/metrics")).await.unwrap();
-        assert_eq!(resp.status, StatusCode::OK);
-        String::from_utf8(resp.body.to_vec()).unwrap()
-    };
-
-    let old_origin = origin();
-    let old = over_duplex(
-        move |stream| async move {
-            let _ = serve_stream_with_ops(stream, old_origin, fixed_clock(0)).await;
-        },
-        scrape,
-    )
-    .await;
-    let new_origin = origin();
-    let new = over_duplex(
-        move |stream| async move {
-            let _ = ServeOptions::new()
-                .server(new_origin)
-                .clock(fixed_clock(0))
-                .ops(true)
-                .serve_stream(stream)
-                .await;
-        },
-        scrape,
-    )
-    .await;
-    assert_eq!(deterministic_series(&old), deterministic_series(&new));
+    let mut runs = Vec::new();
+    for _ in 0..2 {
+        let server = origin();
+        let prints = over_duplex(
+            move |stream| async move {
+                let _ = ServeOptions::new()
+                    .server(server)
+                    .clock(fixed_clock(3600))
+                    .serve_stream(stream)
+                    .await;
+            },
+            fetch_all,
+        )
+        .await;
+        runs.push(prints);
+    }
+    assert_eq!(runs[0].len(), PATHS.len());
+    assert_eq!(runs[0], runs[1]);
 }
 
 #[tokio::test(flavor = "multi_thread", worker_threads = 2)]
-async fn deprecated_serve_stream_with_faults_matches_the_builder_over_pipes() {
+async fn shared_faults_keep_their_draw_order_across_pipe_reconnects() {
     let plan = FaultPlan::new(23)
         .with_fault_rate(0.4)
         .with_max_consecutive(2);
@@ -379,33 +351,26 @@ async fn deprecated_serve_stream_with_faults_matches_the_builder_over_pipes() {
         outcomes
     }
 
-    let old_origin = origin();
-    let old_faults = ServerFaults::new(plan);
-    let old = outcomes_via(move |stream| {
-        let origin = Arc::clone(&old_origin);
-        let faults = Arc::clone(&old_faults);
-        tokio::spawn(async move {
-            let _ = serve_stream_with_faults(stream, origin, fixed_clock(0), faults).await;
-        });
-    })
-    .await;
+    let mut runs = Vec::new();
+    for _ in 0..2 {
+        let server = origin();
+        let faults = ServerFaults::new(plan);
+        let outcomes = outcomes_via(move |stream| {
+            let opts = ServeOptions::new()
+                .server(Arc::clone(&server))
+                .clock(fixed_clock(0))
+                .shared_faults(Arc::clone(&faults));
+            tokio::spawn(async move {
+                let _ = opts.serve_stream(stream).await;
+            });
+        })
+        .await;
+        runs.push(outcomes);
+    }
 
-    let new_origin = origin();
-    let new_faults = ServerFaults::new(plan);
-    let new = outcomes_via(move |stream| {
-        let opts = ServeOptions::new()
-            .server(Arc::clone(&new_origin))
-            .clock(fixed_clock(0))
-            .shared_faults(Arc::clone(&new_faults));
-        tokio::spawn(async move {
-            let _ = opts.serve_stream(stream).await;
-        });
-    })
-    .await;
-
-    assert_eq!(old, new, "schedule consumption diverges");
+    assert_eq!(runs[0], runs[1], "schedule consumption diverges");
     assert!(
-        old.iter().any(|o| o != "200:-"),
-        "no observable fault in 30 draws: {old:?}"
+        runs[0].iter().any(|o| o != "200:-"),
+        "no observable fault in 30 draws: {runs:?}"
     );
 }
